@@ -1,0 +1,1 @@
+bench/bechamel_suite.ml: Analyze Bechamel Bench_util Benchmark Cloudskulk Hashtbl Instance List Measure Memory Migration Net Printf Sim Staged Test Time Toolkit Vmm Workload

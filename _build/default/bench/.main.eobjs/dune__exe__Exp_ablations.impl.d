@@ -1,0 +1,1 @@
+bench/exp_ablations.ml: Bench_util Cloudskulk List Memory Migration Net Option Printf Result Sim Vmm Workload

@@ -1,0 +1,1 @@
+bench/exp_detect.ml: Bench_util Cloudskulk List Printf

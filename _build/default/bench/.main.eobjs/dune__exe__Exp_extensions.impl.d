@@ -1,0 +1,1 @@
+bench/exp_extensions.ml: Bench_util Cloudskulk List Memory Migration Net Printf Result Sim Vmm

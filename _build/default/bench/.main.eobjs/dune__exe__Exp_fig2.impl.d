@@ -1,0 +1,1 @@
+bench/exp_fig2.ml: Bench_util List Printf Sim Vmm Workload

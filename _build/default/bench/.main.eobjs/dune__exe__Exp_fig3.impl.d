@@ -1,0 +1,1 @@
+bench/exp_fig3.ml: Bench_util Float List Printf Sim Vmm Workload

@@ -1,0 +1,1 @@
+bench/exp_fig4.ml: Bench_util List Migration Sim String Vmm Workload

@@ -1,0 +1,1 @@
+bench/exp_fig56.ml: Array Bench_util Cloudskulk Float Printf Sim String

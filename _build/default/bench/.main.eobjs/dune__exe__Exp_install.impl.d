@@ -1,0 +1,1 @@
+bench/exp_install.ml: Bench_util Cloudskulk List Migration Net Printf Sim Vmm

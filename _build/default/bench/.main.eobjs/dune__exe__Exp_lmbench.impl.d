@@ -1,0 +1,1 @@
+bench/exp_lmbench.ml: Bench_util List Printf Vmm Workload

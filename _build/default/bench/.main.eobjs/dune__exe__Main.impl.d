@@ -1,0 +1,1 @@
+bench/main.ml: Arg Bechamel_suite Cmd Cmdliner Exp_ablations Exp_detect Exp_extensions Exp_fig2 Exp_fig3 Exp_fig4 Exp_fig56 Exp_install Exp_lmbench Exp_table1 List Printf String Term

@@ -1,0 +1,113 @@
+(* Bechamel micro-benchmarks: one Test.make per paper table/figure,
+   each timing the representative unit of work that experiment leans on
+   (real wall-clock of the simulator, not virtual time). Useful to track
+   the simulator's own performance. *)
+
+open Bechamel
+open Toolkit
+
+(* Table I: rendering the CVE table. *)
+let test_table1 =
+  Test.make ~name:"table1/render-cve-table"
+    (Staged.stage (fun () -> ignore (Cloudskulk.Cve_data.render_table ())))
+
+(* Fig 2: pricing one kernel-compile unit at every level. *)
+let test_fig2 =
+  let op = Workload.Kernel_compile.unit_op Workload.Kernel_compile.default_config in
+  Test.make ~name:"fig2/compile-unit-cost"
+    (Staged.stage (fun () ->
+         ignore (Vmm.Cost_model.cost_ns ~level:Vmm.Level.l0 op);
+         ignore (Vmm.Cost_model.cost_ns ~level:Vmm.Level.l1 op);
+         ignore (Vmm.Cost_model.cost_ns ~level:Vmm.Level.l2 op)))
+
+(* Fig 3: one simulated netperf chunk sequence. *)
+let test_fig3 =
+  Test.make ~name:"fig3/flow-1MiB"
+    (Staged.stage (fun () ->
+         let engine = Sim.Engine.create () in
+         ignore (Net.Flow.run engine ~link:Net.Link.lan_1gbe ~bytes:(1024 * 1024) ())))
+
+(* Fig 4: one small end-to-end migration. *)
+let test_fig4 =
+  Test.make ~name:"fig4/migrate-8MB-idle"
+    (Staged.stage (fun () ->
+         let config = { (Vmm.Qemu_config.default ~name:"guest0") with Vmm.Qemu_config.memory_mb = 8 } in
+         let mp =
+           Vmm.Layers.migration_pair ~ksm_config:Memory.Ksm.default_config ~config
+             ~nested_dest:false ()
+         in
+         match
+           Migration.Precopy.migrate mp.Vmm.Layers.mp_engine ~source:mp.Vmm.Layers.mp_source
+             ~dest:mp.Vmm.Layers.mp_dest ()
+         with
+         | Ok _ -> ()
+         | Error e -> failwith e))
+
+(* Tables II-IV: pricing every lmbench row at every level. *)
+let test_lmbench =
+  Test.make ~name:"table2-4/lmbench-pricing"
+    (Staged.stage (fun () ->
+         List.iter
+           (fun level ->
+             List.iter
+               (fun (_, op) -> ignore (Vmm.Cost_model.cost_ns ~level op))
+               (Workload.Lmbench.arithmetic @ Workload.Lmbench.processes))
+           [ Vmm.Level.l0; Vmm.Level.l1; Vmm.Level.l2 ]))
+
+(* Figs 5-6: one 100-page write probe against a half-merged buffer. *)
+let test_fig56 =
+  Test.make ~name:"fig5-6/write-probe-100-pages"
+    (Staged.stage (fun () ->
+         let ft = Memory.Frame_table.create () in
+         let a = Memory.Address_space.create_root ft ~name:"a" ~pages:100 in
+         let b = Memory.Address_space.create_root ft ~name:"b" ~pages:100 in
+         for i = 0 to 99 do
+           let c = Memory.Page.Content.of_int i in
+           ignore (Memory.Address_space.write a i c);
+           if i mod 2 = 0 then begin
+             ignore (Memory.Address_space.write b i c);
+             Memory.Address_space.remap b i (Memory.Address_space.frame_at a i)
+           end
+         done;
+         let rng = Sim.Rng.create 1 in
+         ignore (Memory.Write_probe.probe ~rng b ~offset:0 ~pages:100)))
+
+(* Installation: KSM scanning one wakeup over a registered VM. *)
+let test_install =
+  Test.make ~name:"install/ksm-wakeup-4096-pages"
+    (Staged.stage (fun () ->
+         let engine = Sim.Engine.create () in
+         let ft = Memory.Frame_table.create () in
+         let ksm = Memory.Ksm.create ~config:Memory.Ksm.fast_config engine ft in
+         let s = Memory.Address_space.create_root ft ~name:"s" ~pages:4096 in
+         Memory.Ksm.register ksm s;
+         Memory.Ksm.scan_once ksm))
+
+let tests =
+  Test.make_grouped ~name:"cloudskulk"
+    [ test_table1; test_fig2; test_fig3; test_fig4; test_lmbench; test_fig56; test_install ]
+
+let run () =
+  Bench_util.section "Bechamel: simulator micro-benchmarks (real wall-clock)";
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let est =
+        match Analyze.OLS.estimates ols_result with
+        | Some (e :: _) -> Printf.sprintf "%.0f ns/run" e
+        | Some [] | None -> "-"
+      in
+      let r2 =
+        match Analyze.OLS.r_square ols_result with
+        | Some r -> Printf.sprintf "%.4f" r
+        | None -> "-"
+      in
+      rows := [ name; est; r2 ] :: !rows)
+    results;
+  let sorted = List.sort (fun a b -> compare (List.hd a) (List.hd b)) !rows in
+  Bench_util.table ~header:[ "benchmark"; "estimate"; "r^2" ] ~rows:sorted

@@ -1,0 +1,48 @@
+(* Shared helpers for the benchmark harness: section headers, table
+   rendering, and repeated-run statistics. *)
+
+let section title =
+  let line = String.make 78 '=' in
+  Printf.printf "\n%s\n%s\n%s\n" line title line
+
+let subsection title = Printf.printf "\n--- %s ---\n" title
+
+let note fmt = Printf.ksprintf (fun s -> Printf.printf "  note: %s\n" s) fmt
+
+(* Render a table with left-aligned first column and right-aligned data
+   columns. *)
+let table ~header ~rows =
+  let all = header :: rows in
+  let cols = List.length header in
+  let width c =
+    List.fold_left (fun acc row -> max acc (String.length (List.nth row c))) 0 all
+  in
+  let widths = List.init cols width in
+  let render_row row =
+    String.concat "  "
+      (List.mapi
+         (fun c cell ->
+           let w = List.nth widths c in
+           if c = 0 then Printf.sprintf "%-*s" w cell else Printf.sprintf "%*s" w cell)
+         row)
+  in
+  Printf.printf "%s\n" (render_row header);
+  Printf.printf "%s\n" (String.make (String.length (render_row header)) '-');
+  List.iter (fun row -> Printf.printf "%s\n" (render_row row)) rows
+
+(* Run [f seed] for [runs] seeds and accumulate the float it returns. *)
+let repeat ?(runs = 5) f =
+  let stats = Sim.Stats.create () in
+  for seed = 1 to runs do
+    Sim.Stats.add stats (f seed)
+  done;
+  Sim.Stats.summary stats
+
+let pct_label from_ to_ =
+  Printf.sprintf "%+.1f%%" (Sim.Stats.percent_change ~from_ ~to_)
+
+let fmt_s v = Printf.sprintf "%.1f s" v
+let fmt_rsd (s : Sim.Stats.summary) = Printf.sprintf "%.1f%%" (s.Sim.Stats.rsd *. 100.)
+
+let paper_vs_measured ~paper ~measured =
+  Printf.printf "  paper: %s | measured: %s\n" paper measured

@@ -1,0 +1,52 @@
+(* Figs 5 and 6: the detector's per-page write times t0/t1/t2, without
+   (Fig 5) and with (Fig 6) a nested VM. The paper plots one point per
+   probed page; we print the summary statistics plus a compact rendering
+   of the per-page series. *)
+
+let sparkline values =
+  let glyphs = [| '_'; '.'; ':'; '-'; '='; '+'; '*'; '#' |] in
+  let mx = Array.fold_left Float.max 1e-9 values in
+  String.init (Array.length values) (fun i ->
+      let v = values.(i) /. mx in
+      glyphs.(min 7 (int_of_float (v *. 8.))))
+
+let print_measurement (m : Cloudskulk.Dedup_detector.measurement) =
+  Printf.printf "  %-3s mean %7.0f ns  stddev %6.0f ns  merged pages %3.0f%%  |%s|\n"
+    m.Cloudskulk.Dedup_detector.label m.summary.Sim.Stats.mean m.summary.Sim.Stats.stddev
+    (m.cow_fraction *. 100.)
+    (sparkline (Array.sub m.per_page_ns 0 (min 60 (Array.length m.per_page_ns))))
+
+let run_scenario scenario_name scenario expected =
+  Bench_util.subsection scenario_name;
+  match Cloudskulk.Dedup_detector.run scenario.Cloudskulk.Scenarios.detector_env with
+  | Error e -> Printf.printf "  ERROR: %s\n" e
+  | Ok o ->
+    print_measurement o.Cloudskulk.Dedup_detector.t0;
+    print_measurement o.t1;
+    print_measurement o.t2;
+    Printf.printf "  verdict: %s\n"
+      (Cloudskulk.Dedup_detector.verdict_to_string o.Cloudskulk.Dedup_detector.verdict);
+    Printf.printf "  ksm wait per step: %s; whole protocol: %s\n"
+      (Sim.Time.to_string o.wait_per_step)
+      (Sim.Time.to_string o.elapsed);
+    Bench_util.paper_vs_measured ~paper:expected
+      ~measured:
+        (Printf.sprintf "t1/t0 = %.1fx, t2/t0 = %.1fx"
+           (o.t1.summary.Sim.Stats.mean /. o.t0.summary.Sim.Stats.mean)
+           (o.t2.summary.Sim.Stats.mean /. o.t0.summary.Sim.Stats.mean))
+
+let fig5 ?(seed = 7) () =
+  Bench_util.section "Fig 5: t0, t1, t2 per page - no nested VM (scenario 1)";
+  run_scenario "clean host, customer VM at L1"
+    (Cloudskulk.Scenarios.clean ~seed ())
+    "t1 significantly larger than t2; t2 similar to t0"
+
+let fig6 ?(seed = 7) () =
+  Bench_util.section "Fig 6: t0, t1, t2 per page - with a nested VM (scenario 2)";
+  run_scenario "CloudSkulk installed, customer at L2 behind the RITM"
+    (Cloudskulk.Scenarios.infected ~seed ())
+    "no significant difference between t1 and t2; both far above t0"
+
+let run ?(seed = 7) () =
+  fig5 ~seed ();
+  fig6 ~seed ()

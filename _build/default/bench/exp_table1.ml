@@ -1,0 +1,15 @@
+(* Table I: VM-escape CVEs reported 2015-2020, per hypervisor. *)
+
+let run () =
+  Bench_util.section "Table I: VM escape CVE vulnerabilities, 2015-2020";
+  print_string (Cloudskulk.Cve_data.render_table ());
+  Bench_util.paper_vs_measured
+    ~paper:"totals 29 / 15 / 15 / 14 / 23 (96 CVEs)"
+    ~measured:
+      (Printf.sprintf "totals %d / %d / %d / %d / %d (%d CVEs)"
+         (Cloudskulk.Cve_data.total Cloudskulk.Cve_data.Vmware)
+         (Cloudskulk.Cve_data.total Cloudskulk.Cve_data.Virtualbox)
+         (Cloudskulk.Cve_data.total Cloudskulk.Cve_data.Xen)
+         (Cloudskulk.Cve_data.total Cloudskulk.Cve_data.Hyperv)
+         (Cloudskulk.Cve_data.total Cloudskulk.Cve_data.Kvm_qemu)
+         Cloudskulk.Cve_data.grand_total)

@@ -1,0 +1,149 @@
+(* cloudskulk-cli: drive attack / detection scenarios from the shell.
+
+     dune exec bin/cloudskulk_cli.exe -- attack
+     dune exec bin/cloudskulk_cli.exe -- detect --infected
+     dune exec bin/cloudskulk_cli.exe -- monitor --cmd "info qtree"
+     dune exec bin/cloudskulk_cli.exe -- trace --infected *)
+
+open Cmdliner
+
+let seed_arg =
+  let doc = "Seed for the deterministic simulation." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+(* attack: run the install and print the report *)
+let attack seed =
+  let engine = Sim.Engine.create ~seed () in
+  let uplink = Net.Fabric.Switch.create engine ~name:"uplink" ~link:Net.Link.lan_1gbe in
+  let host = Vmm.Hypervisor.create_l0 engine ~name:"host" ~uplink ~addr:"192.168.1.100" in
+  let registry = Migration.Registry.create () in
+  let config =
+    Vmm.Qemu_config.with_hostfwd (Vmm.Qemu_config.default ~name:"guest0") [ (2222, 22) ]
+  in
+  (match Vmm.Hypervisor.launch host config with
+  | Ok _ -> ()
+  | Error e -> failwith e);
+  match Cloudskulk.Install.run engine ~host ~registry ~target_name:"guest0" with
+  | Ok report ->
+    Format.printf "%a" Cloudskulk.Install.pp_report report;
+    0
+  | Error e ->
+    Printf.eprintf "install failed: %s\n" e;
+    1
+
+(* detect: run the detector against a clean or infected scenario *)
+let detect seed infected syncs =
+  let scenario =
+    if infected then Cloudskulk.Scenarios.infected ~seed ~attacker_syncs_changes:syncs ()
+    else Cloudskulk.Scenarios.clean ~seed ()
+  in
+  Printf.printf "scenario: %s\n" scenario.Cloudskulk.Scenarios.description;
+  match Cloudskulk.Dedup_detector.run scenario.Cloudskulk.Scenarios.detector_env with
+  | Ok o ->
+    let line (m : Cloudskulk.Dedup_detector.measurement) =
+      Printf.printf "%-3s mean %8.0f ns  stddev %7.0f ns  merged %3.0f%%\n"
+        m.Cloudskulk.Dedup_detector.label m.summary.Sim.Stats.mean m.summary.Sim.Stats.stddev
+        (m.cow_fraction *. 100.)
+    in
+    line o.Cloudskulk.Dedup_detector.t0;
+    line o.t1;
+    line o.t2;
+    Printf.printf "verdict: %s\n"
+      (Cloudskulk.Dedup_detector.verdict_to_string o.Cloudskulk.Dedup_detector.verdict);
+    if infected && o.Cloudskulk.Dedup_detector.verdict = Cloudskulk.Dedup_detector.Nested_vm_detected
+       || (not infected)
+          && o.Cloudskulk.Dedup_detector.verdict = Cloudskulk.Dedup_detector.No_nested_vm
+    then 0
+    else 2
+  | Error e ->
+    Printf.eprintf "detector failed: %s\n" e;
+    1
+
+(* monitor: run a QEMU monitor command against a fresh guest *)
+let monitor seed cmd =
+  let engine = Sim.Engine.create ~seed () in
+  let uplink = Net.Fabric.Switch.create engine ~name:"uplink" ~link:Net.Link.lan_1gbe in
+  let host = Vmm.Hypervisor.create_l0 engine ~name:"host" ~uplink ~addr:"192.168.1.100" in
+  match Vmm.Hypervisor.launch host (Vmm.Qemu_config.default ~name:"guest0") with
+  | Error e ->
+    Printf.eprintf "%s\n" e;
+    1
+  | Ok vm -> (
+    print_endline (Vmm.Monitor.banner vm);
+    match Vmm.Monitor.execute vm cmd with
+    | Vmm.Monitor.Ok_text s ->
+      print_endline s;
+      0
+    | Vmm.Monitor.Quit -> 0
+    | Vmm.Monitor.Error_text e ->
+      Printf.eprintf "error: %s\n" e;
+      1)
+
+(* audit: behavioral sweep of a clean or infected host *)
+let audit_host seed infected =
+  let scenario =
+    if infected then Cloudskulk.Scenarios.infected ~seed ()
+    else Cloudskulk.Scenarios.clean ~seed ()
+  in
+  Printf.printf "scenario: %s\n" scenario.Cloudskulk.Scenarios.description;
+  let findings = Cloudskulk.Install_auditor.audit scenario.Cloudskulk.Scenarios.host in
+  if findings = [] then print_endline "no findings"
+  else
+    List.iter
+      (fun f -> Format.printf "%a@." Cloudskulk.Install_auditor.pp_finding f)
+      findings;
+  if Cloudskulk.Install_auditor.is_alarming findings then begin
+    print_endline "=> ALARMING: quarantine and run the dedup detector";
+    3
+  end
+  else 0
+
+(* trace: run a scenario and dump its trace *)
+let dump_trace seed infected =
+  let scenario =
+    if infected then Cloudskulk.Scenarios.infected ~seed () else Cloudskulk.Scenarios.clean ~seed ()
+  in
+  List.iter
+    (fun r -> Format.printf "%a@." Sim.Trace.pp_record r)
+    (Sim.Trace.records scenario.Cloudskulk.Scenarios.trace);
+  0
+
+let attack_cmd =
+  let doc = "Install CloudSkulk against a fresh victim and print the report" in
+  Cmd.v (Cmd.info "attack" ~doc) Term.(const attack $ seed_arg)
+
+let detect_cmd =
+  let doc = "Run the memory-deduplication detector" in
+  let infected =
+    Arg.(value & flag & info [ "infected" ] ~doc:"Install CloudSkulk first.")
+  in
+  let syncs =
+    Arg.(
+      value & flag
+      & info [ "attacker-syncs" ] ~doc:"Model the attacker synchronising page changes.")
+  in
+  Cmd.v (Cmd.info "detect" ~doc) Term.(const detect $ seed_arg $ infected $ syncs)
+
+let monitor_cmd =
+  let doc = "Execute a QEMU monitor command against a fresh guest" in
+  let cmd_arg =
+    Arg.(value & opt string "info qtree" & info [ "cmd" ] ~docv:"CMD" ~doc:"Monitor command.")
+  in
+  Cmd.v (Cmd.info "monitor" ~doc) Term.(const monitor $ seed_arg $ cmd_arg)
+
+let audit_cmd =
+  let doc = "Run the behavioral install auditor against a host" in
+  let infected = Arg.(value & flag & info [ "infected" ] ~doc:"Install CloudSkulk first.") in
+  Cmd.v (Cmd.info "audit" ~doc) Term.(const audit_host $ seed_arg $ infected)
+
+let trace_cmd =
+  let doc = "Dump the simulation trace of a scenario" in
+  let infected = Arg.(value & flag & info [ "infected" ] ~doc:"Infected scenario.") in
+  Cmd.v (Cmd.info "trace" ~doc) Term.(const dump_trace $ seed_arg $ infected)
+
+let main =
+  let doc = "CloudSkulk: nested-VM rootkit and detection, simulated" in
+  Cmd.group (Cmd.info "cloudskulk" ~doc)
+    [ attack_cmd; detect_cmd; monitor_cmd; audit_cmd; trace_cmd ]
+
+let () = exit (Cmd.eval' main)

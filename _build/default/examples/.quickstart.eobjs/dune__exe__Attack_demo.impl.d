@@ -1,0 +1,1 @@
+examples/attack_demo.ml: Cloudskulk Format List Migration Net Printf Result Sim Vmm Workload

@@ -1,0 +1,1 @@
+examples/covert_exfil.ml: Cloudskulk Memory Net Printf Result Sim String Vmm

@@ -1,0 +1,1 @@
+examples/detection_demo.ml: Cloudskulk List Printf Sim String

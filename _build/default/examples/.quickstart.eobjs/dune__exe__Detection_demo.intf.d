@@ -1,0 +1,1 @@
+examples/detection_demo.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Memory Net Option Printf Sim Vmm

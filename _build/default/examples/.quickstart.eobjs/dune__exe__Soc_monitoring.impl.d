@@ -1,0 +1,1 @@
+examples/soc_monitoring.ml: Cloudskulk Hashtbl List Memory Migration Net Printf Result Sim Vmm

@@ -1,0 +1,1 @@
+lib/cloudskulk/covert_channel.ml: Array Char List Memory Printf Sim String Vmm

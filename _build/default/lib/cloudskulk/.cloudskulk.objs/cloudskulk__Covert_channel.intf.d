@@ -1,0 +1,1 @@
+lib/cloudskulk/covert_channel.mli: Memory Sim Vmm

@@ -1,0 +1,1 @@
+lib/cloudskulk/cve_data.mli:

@@ -1,0 +1,1 @@
+lib/cloudskulk/dedup_detector.ml: Array Memory Printf Result Sim Vmm

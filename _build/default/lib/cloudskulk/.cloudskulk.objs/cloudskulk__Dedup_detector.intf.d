@@ -1,0 +1,1 @@
+lib/cloudskulk/dedup_detector.mli: Memory Sim Vmm

@@ -1,0 +1,1 @@
+lib/cloudskulk/detector_service.ml: Dedup_detector Format Hashtbl Install_auditor List Option Printf Sim String Vmm

@@ -1,0 +1,1 @@
+lib/cloudskulk/detector_service.mli: Dedup_detector Install_auditor Sim Vmm

@@ -1,0 +1,1 @@
+lib/cloudskulk/install.ml: Format List Migration Net Printf Recon Result Ritm Sim Stealth Vmm

@@ -1,0 +1,1 @@
+lib/cloudskulk/install.mli: Format Migration Ritm Sim Vmm

@@ -1,0 +1,1 @@
+lib/cloudskulk/install_auditor.ml: Format List Net Printf Result Sim String Vmcs_scan Vmm

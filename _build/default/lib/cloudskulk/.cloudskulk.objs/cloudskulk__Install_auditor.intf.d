@@ -1,0 +1,1 @@
+lib/cloudskulk/install_auditor.mli: Format Vmm

@@ -1,0 +1,1 @@
+lib/cloudskulk/l2_timing_detector.ml: Float List Sim Vmm Workload

@@ -1,0 +1,1 @@
+lib/cloudskulk/recon.ml: List Printf String Vmm

@@ -1,0 +1,1 @@
+lib/cloudskulk/recon.mli: Vmm

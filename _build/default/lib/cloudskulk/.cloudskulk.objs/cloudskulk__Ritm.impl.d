@@ -1,0 +1,1 @@
+lib/cloudskulk/ritm.ml: Format Migration Sim Vmm

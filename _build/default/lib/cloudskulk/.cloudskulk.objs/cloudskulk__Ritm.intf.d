@@ -1,0 +1,1 @@
+lib/cloudskulk/ritm.mli: Format Migration Net Sim Vmm

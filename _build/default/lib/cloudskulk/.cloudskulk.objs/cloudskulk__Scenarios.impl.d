@@ -1,0 +1,1 @@
+lib/cloudskulk/scenarios.ml: Dedup_detector Install List Memory Migration Net Option Printf Result Ritm Sim Stealth String Vmm

@@ -1,0 +1,1 @@
+lib/cloudskulk/scenarios.mli: Dedup_detector Install Memory Migration Ritm Sim Vmm

@@ -1,0 +1,1 @@
+lib/cloudskulk/services.ml: Buffer List Net Printf Ritm Sim String Vmm

@@ -1,0 +1,1 @@
+lib/cloudskulk/services.mli: Net Ritm Sim Vmm

@@ -1,0 +1,1 @@
+lib/cloudskulk/stealth.ml: Array List Memory Printf String Vmm

@@ -1,0 +1,1 @@
+lib/cloudskulk/stealth.mli: Vmm

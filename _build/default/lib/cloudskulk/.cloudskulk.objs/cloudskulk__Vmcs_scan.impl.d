@@ -1,0 +1,1 @@
+lib/cloudskulk/vmcs_scan.ml: List Memory Vmm

@@ -1,0 +1,1 @@
+lib/cloudskulk/vmcs_scan.mli: Memory Vmm

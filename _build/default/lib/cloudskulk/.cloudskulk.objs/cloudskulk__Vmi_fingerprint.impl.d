@@ -1,0 +1,1 @@
+lib/cloudskulk/vmi_fingerprint.ml: List String Vmm

@@ -1,0 +1,1 @@
+lib/cloudskulk/vmi_fingerprint.mli: Vmm

@@ -1,0 +1,24 @@
+(** VM-escape vulnerability dataset (paper Table I).
+
+    The CVE identifiers of VM-escape vulnerabilities reported between
+    2015 and 2020, per hypervisor - the evidence behind the threat
+    model's assumption that escaping to the host is realistic. *)
+
+type hypervisor = Vmware | Virtualbox | Xen | Hyperv | Kvm_qemu
+
+val hypervisors : hypervisor list
+val hypervisor_name : hypervisor -> string
+
+val years : int list
+(** 2015 through 2020. *)
+
+val cves : hypervisor -> year:int -> string list
+(** CVE identifiers for one cell of the table. *)
+
+val count : hypervisor -> year:int -> int
+val total : hypervisor -> int
+val grand_total : int
+
+val render_table : unit -> string
+(** The counts table, matching the paper's totals row
+    (29/15/15/14/23). *)

@@ -1,0 +1,143 @@
+type verdict =
+  | Nested_vm_detected
+  | No_nested_vm
+  | Inconclusive of string
+
+let verdict_to_string = function
+  | Nested_vm_detected -> "nested VM detected (CloudSkulk present)"
+  | No_nested_vm -> "no nested VM"
+  | Inconclusive reason -> "inconclusive: " ^ reason
+
+type config = {
+  file_pages : int;
+  mem_params : Memory.Mem_params.t;
+  wait_factor : float;
+  merge_ratio : float;
+  mutate_salt : int;
+}
+
+let default_config =
+  {
+    file_pages = 100;
+    mem_params = Memory.Mem_params.default;
+    wait_factor = 2.5;
+    merge_ratio = 3.0;
+    mutate_salt = 0x5A17;
+  }
+
+type environment = {
+  engine : Sim.Engine.t;
+  host : Vmm.Hypervisor.t;
+  deliver_to_guest : Memory.File_image.t -> (unit, string) result;
+  mutate_in_guest : name:string -> salt:int -> (unit, string) result;
+}
+
+type measurement = {
+  label : string;
+  per_page_ns : float array;
+  summary : Sim.Stats.summary;
+  cow_fraction : float;
+}
+
+type outcome = {
+  t0 : measurement;
+  t1 : measurement;
+  t2 : measurement;
+  verdict : verdict;
+  wait_per_step : Sim.Time.t;
+  elapsed : Sim.Time.t;
+}
+
+let ( let* ) r f = Result.bind r f
+
+let ksm_exn env =
+  match Vmm.Hypervisor.ksm env.host with
+  | Some k -> k
+  | None -> invalid_arg "Dedup_detector: host has no ksmd"
+
+let wait_time config env =
+  (* After the buffer is registered: how long one full ksmd pass takes
+     over everything registered, padded by the configured factor. *)
+  Sim.Time.mul (Memory.Ksm.time_for_full_pass (ksm_exn env)) config.wait_factor
+
+(* Load [image] into a fresh host buffer, wait for ksmd, and time a
+   write to each page. The buffer is released afterwards: the real
+   detector's process exits and frees its memory. *)
+let load_wait_probe config env ~label image =
+  let* buffer =
+    Vmm.Hypervisor.host_buffer env.host ~name:(Printf.sprintf "detector-%s" label)
+      ~pages:(Memory.File_image.pages image)
+  in
+  Memory.File_image.load_into image buffer ~offset:0;
+  let wait = wait_time config env in
+  ignore (Sim.Engine.run_for env.engine wait);
+  let rng = Sim.Engine.fork_rng env.engine in
+  let probe =
+    Memory.Write_probe.probe ~params:config.mem_params ~rng buffer ~offset:0
+      ~pages:(Memory.File_image.pages image)
+  in
+  ignore (Sim.Engine.run_for env.engine probe.Memory.Write_probe.total);
+  Vmm.Hypervisor.release_buffer env.host buffer;
+  let per_page_ns = Memory.Write_probe.costs_ns probe in
+  let stats = Sim.Stats.of_list (Array.to_list per_page_ns) in
+  Ok
+    {
+      label;
+      per_page_ns;
+      summary = Sim.Stats.summary stats;
+      cow_fraction = Memory.Write_probe.fraction_cow probe;
+    }
+
+(* Each protocol run works with a fresh file: real deployments generate
+   a new random File-A per check (Section VI-D-1), and reusing a name
+   would collide with a previous run's copy still sitting in the
+   guest. *)
+let run_counter = ref 0
+
+let fresh_name prefix =
+  incr run_counter;
+  Printf.sprintf "%s-%d" prefix !run_counter
+
+let measure_t0 ?(config = default_config) env =
+  let rng = Sim.Engine.fork_rng env.engine in
+  let lonely =
+    Memory.File_image.generate rng ~name:(fresh_name "file-t0") ~pages:config.file_pages
+  in
+  load_wait_probe config env ~label:"t0" lonely
+
+let run ?(config = default_config) env =
+  let started = Sim.Engine.now env.engine in
+  let rng = Sim.Engine.fork_rng env.engine in
+  let file_a =
+    Memory.File_image.generate rng ~name:(fresh_name "file-a") ~pages:config.file_pages
+  in
+  if not (Memory.File_image.all_pages_distinct file_a) then
+    Error "File-A generation produced duplicate pages"
+  else begin
+    (* Baseline: a file no one else holds. *)
+    let* t0 = measure_t0 ~config env in
+    (* Step 1: push File-A to the guest, then measure. *)
+    let* () = env.deliver_to_guest file_a in
+    let* t1 = load_wait_probe config env ~label:"t1" file_a in
+    (* Step 2: the guest changes every page; measure a fresh original. *)
+    let* () = env.mutate_in_guest ~name:(Memory.File_image.name file_a) ~salt:config.mutate_salt in
+    let* t2 = load_wait_probe config env ~label:"t2" file_a in
+    let merged m = m.summary.Sim.Stats.mean >= config.merge_ratio *. t0.summary.Sim.Stats.mean in
+    let verdict =
+      if not (merged t1) then
+        Inconclusive
+          "t1 is as fast as the baseline: File-A never merged (ksmd too slow, or the file \
+           never reached the guest)"
+      else if merged t2 then Nested_vm_detected
+      else No_nested_vm
+    in
+    Ok
+      {
+        t0;
+        t1;
+        t2;
+        verdict;
+        wait_per_step = wait_time config env;
+        elapsed = Sim.Time.diff (Sim.Engine.now env.engine) started;
+      }
+  end

@@ -1,0 +1,142 @@
+type policy = {
+  sweep_every : Sim.Time.t;
+  probe_pages : int;
+  dedup_every_n_sweeps : int;
+}
+
+let default_policy =
+  { sweep_every = Sim.Time.minutes 30.; probe_pages = 8; dedup_every_n_sweeps = 4 }
+
+type tenant_state = {
+  tenant : string;
+  last_verdict : Dedup_detector.verdict option;
+  sweeps_since_dedup : int;
+}
+
+type event =
+  | Audit_alarm of { sweep : int; findings : Install_auditor.finding list }
+  | Verdict_flip of {
+      sweep : int;
+      tenant : string;
+      before : Dedup_detector.verdict option;
+      after : Dedup_detector.verdict;
+    }
+  | Probe_failed of { sweep : int; tenant : string; reason : string }
+
+let event_to_string = function
+  | Audit_alarm { sweep; findings } ->
+    Printf.sprintf "[sweep %d] audit alarm: %s" sweep
+      (String.concat "; "
+         (List.map (fun f -> Format.asprintf "%a" Install_auditor.pp_finding f) findings))
+  | Verdict_flip { sweep; tenant; before; after } ->
+    Printf.sprintf "[sweep %d] %s: %s -> %s" sweep tenant
+      (match before with
+      | Some v -> Dedup_detector.verdict_to_string v
+      | None -> "(never probed)")
+      (Dedup_detector.verdict_to_string after)
+  | Probe_failed { sweep; tenant; reason } ->
+    Printf.sprintf "[sweep %d] %s: probe failed: %s" sweep tenant reason
+
+type registered = {
+  mutable env : unit -> Dedup_detector.environment;
+  mutable last_verdict : Dedup_detector.verdict option;
+  mutable sweeps_since_dedup : int;
+}
+
+type t = {
+  engine : Sim.Engine.t;
+  host : Vmm.Hypervisor.t;
+  policy : policy;
+  tenants : (string, registered) Hashtbl.t;
+  mutable tenant_order : string list;
+  mutable sweeps : int;
+  mutable event_log : event list;  (* newest first *)
+  mutable active : bool;
+}
+
+let create ?(policy = default_policy) engine host =
+  {
+    engine;
+    host;
+    policy;
+    tenants = Hashtbl.create 8;
+    tenant_order = [];
+    sweeps = 0;
+    event_log = [];
+    active = false;
+  }
+
+let register_tenant t ~name ~env =
+  match Hashtbl.find_opt t.tenants name with
+  | Some r -> r.env <- env
+  | None ->
+    Hashtbl.replace t.tenants name { env; last_verdict = None; sweeps_since_dedup = 0 };
+    t.tenant_order <- t.tenant_order @ [ name ]
+
+let unregister_tenant t ~name =
+  Hashtbl.remove t.tenants name;
+  t.tenant_order <- List.filter (fun n -> n <> name) t.tenant_order
+
+let emit t ev = t.event_log <- ev :: t.event_log
+
+let probe_tenant t ~sweep name (r : registered) =
+  let config =
+    { Dedup_detector.default_config with Dedup_detector.file_pages = t.policy.probe_pages }
+  in
+  match Dedup_detector.run ~config (r.env ()) with
+  | Error reason ->
+    emit t (Probe_failed { sweep; tenant = name; reason });
+    r.sweeps_since_dedup <- 0
+  | Ok outcome ->
+    let after = outcome.Dedup_detector.verdict in
+    if r.last_verdict <> Some after then
+      emit t (Verdict_flip { sweep; tenant = name; before = r.last_verdict; after });
+    r.last_verdict <- Some after;
+    r.sweeps_since_dedup <- 0
+
+let sweep_now t =
+  t.sweeps <- t.sweeps + 1;
+  let sweep = t.sweeps in
+  let events_before = List.length t.event_log in
+  let findings = Install_auditor.audit t.host in
+  let alarmed = Install_auditor.is_alarming findings in
+  if alarmed then emit t (Audit_alarm { sweep; findings });
+  List.iter
+    (fun name ->
+      match Hashtbl.find_opt t.tenants name with
+      | None -> ()
+      | Some r ->
+        let due =
+          r.last_verdict = None || r.sweeps_since_dedup + 1 >= t.policy.dedup_every_n_sweeps
+        in
+        if alarmed || due then probe_tenant t ~sweep name r
+        else r.sweeps_since_dedup <- r.sweeps_since_dedup + 1)
+    t.tenant_order;
+  let new_count = List.length t.event_log - events_before in
+  List.filteri (fun i _ -> i < new_count) t.event_log |> List.rev
+
+let start t =
+  if not t.active then begin
+    t.active <- true;
+    Sim.Engine.periodic t.engine ~every:t.policy.sweep_every (fun () ->
+        if t.active then ignore (sweep_now t);
+        t.active)
+  end
+
+let stop t = t.active <- false
+let sweeps_run t = t.sweeps
+let events t = List.rev t.event_log
+
+let tenant_state t name =
+  Option.map
+    (fun (r : registered) ->
+      { tenant = name; last_verdict = r.last_verdict; sweeps_since_dedup = r.sweeps_since_dedup })
+    (Hashtbl.find_opt t.tenants name)
+
+let compromised_tenants t =
+  List.filter
+    (fun name ->
+      match Hashtbl.find_opt t.tenants name with
+      | Some { last_verdict = Some Dedup_detector.Nested_vm_detected; _ } -> true
+      | Some _ | None -> false)
+    t.tenant_order

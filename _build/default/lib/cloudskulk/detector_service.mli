@@ -1,0 +1,72 @@
+(** Operational detection service.
+
+    The paper gives the detection {e mechanism}; this module packages it
+    the way a cloud operator would run it: a recurring sweep over
+    registered tenants that layers the cheap checks over the expensive
+    one -
+
+    + every sweep runs the {!Install_auditor} (milliseconds, no tenant
+      involvement);
+    + the {!Dedup_detector} protocol (minutes of ksmd waiting, needs the
+      tenant-side agent) runs for a tenant when the audit is alarming,
+      when the tenant has never been probed, or when its rotation is due;
+    + verdict flips raise {!event}s the operator can alert on.
+
+    See examples/soc_monitoring.ml for the inline version of the same
+    idea. *)
+
+type policy = {
+  sweep_every : Sim.Time.t;  (** gap between sweeps in {!start} mode *)
+  probe_pages : int;  (** File-A size for routine probes (default 8) *)
+  dedup_every_n_sweeps : int;
+      (** rotation: run the expensive protocol for every tenant at least
+          every N sweeps even without an audit alarm (default 4) *)
+}
+
+val default_policy : policy
+
+type tenant_state = {
+  tenant : string;
+  last_verdict : Dedup_detector.verdict option;
+  sweeps_since_dedup : int;
+}
+
+type event =
+  | Audit_alarm of { sweep : int; findings : Install_auditor.finding list }
+  | Verdict_flip of {
+      sweep : int;
+      tenant : string;
+      before : Dedup_detector.verdict option;
+      after : Dedup_detector.verdict;
+    }
+  | Probe_failed of { sweep : int; tenant : string; reason : string }
+
+val event_to_string : event -> string
+
+type t
+
+val create : ?policy:policy -> Sim.Engine.t -> Vmm.Hypervisor.t -> t
+
+val register_tenant :
+  t -> name:string -> env:(unit -> Dedup_detector.environment) -> unit
+(** [env] is re-evaluated at each probe, so it can track a tenant whose
+    OS moves (e.g. into a nested VM). Registering an existing name
+    replaces its environment but keeps its history. *)
+
+val unregister_tenant : t -> name:string -> unit
+
+val sweep_now : t -> event list
+(** Run one sweep synchronously (advances virtual time by however long
+    the probes take); returns the events it raised. *)
+
+val start : t -> unit
+(** Sweep on the policy's cadence until {!stop}. *)
+
+val stop : t -> unit
+val sweeps_run : t -> int
+val events : t -> event list
+(** All events ever raised, oldest first. *)
+
+val tenant_state : t -> string -> tenant_state option
+val compromised_tenants : t -> string list
+(** Tenants whose last verdict was {!Dedup_detector.Nested_vm_detected}. *)

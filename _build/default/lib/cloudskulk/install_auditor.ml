@@ -1,0 +1,168 @@
+type code =
+  | Vmx_colaunch
+  | Local_incoming
+  | Pid_inversion
+  | Forward_to_vmx_guest
+  | Vmcs_signature
+
+let code_to_string = function
+  | Vmx_colaunch -> "vmx-colaunch"
+  | Local_incoming -> "local-incoming"
+  | Pid_inversion -> "pid-inversion"
+  | Forward_to_vmx_guest -> "forward-to-vmx-guest"
+  | Vmcs_signature -> "vmcs-signature"
+
+type severity = Info | Suspicious | Alarm
+
+let severity_to_string = function
+  | Info -> "info"
+  | Suspicious -> "suspicious"
+  | Alarm -> "ALARM"
+
+type finding = {
+  code : code;
+  severity : severity;
+  subject : string;
+  message : string;
+}
+
+let vmx_colaunch host =
+  let vms = List.filter Vmm.Vm.is_alive (Vmm.Hypervisor.vms host) in
+  let vmx_vms = List.filter (fun vm -> (Vmm.Vm.config vm).Vmm.Qemu_config.nested_vmx) vms in
+  List.filter_map
+    (fun vmx_vm ->
+      let others = List.filter (fun v -> not (v == vmx_vm)) vms in
+      if others <> [] then
+        Some
+          {
+            code = Vmx_colaunch;
+            severity = Suspicious;
+            subject = Vmm.Vm.name vmx_vm;
+            message =
+              Printf.sprintf
+                "%s exposes nested VMX while %d other guest(s) run on this host"
+                (Vmm.Vm.name vmx_vm) (List.length others);
+          }
+      else None)
+    vmx_vms
+
+let local_incoming host =
+  let vms = List.filter Vmm.Vm.is_alive (Vmm.Hypervisor.vms host) in
+  List.filter_map
+    (fun vm ->
+      if Vmm.Vm.state vm <> Vmm.Vm.Incoming then None
+      else
+        let compatible_source =
+          List.find_opt
+            (fun src ->
+              (not (src == vm))
+              && Vmm.Vm.state src = Vmm.Vm.Running
+              && Result.is_ok
+                   (Vmm.Qemu_config.migration_compatible ~source:(Vmm.Vm.config src)
+                      ~dest:(Vmm.Vm.config vm)))
+            vms
+        in
+        match compatible_source with
+        | Some src ->
+          Some
+            {
+              code = Local_incoming;
+              severity = Alarm;
+              subject = Vmm.Vm.name vm;
+              message =
+                Printf.sprintf
+                  "%s awaits an incoming migration matching running guest %s on the SAME host"
+                  (Vmm.Vm.name vm) (Vmm.Vm.name src);
+            }
+        | None ->
+          Some
+            {
+              code = Local_incoming;
+              severity = Info;
+              subject = Vmm.Vm.name vm;
+              message = Vmm.Vm.name vm ^ " awaits an incoming migration";
+            })
+    vms
+
+(* A reassigned PID shows up as an inversion: some process has a lower
+   PID than another but started later (beyond scheduler jitter). *)
+let pid_inversions host =
+  let procs = Vmm.Process_table.all (Vmm.Hypervisor.processes host) in
+  let tolerance = Sim.Time.ms 1. in
+  let rec scan acc = function
+    | [] | [ _ ] -> acc
+    | a :: (b :: _ as rest) ->
+      (* [all] is sorted by pid, so a.pid < b.pid *)
+      let acc =
+        if Sim.Time.(a.Vmm.Process_table.started_at > Sim.Time.add b.Vmm.Process_table.started_at tolerance)
+        then
+          {
+            code = Pid_inversion;
+            severity = Suspicious;
+            subject = Printf.sprintf "pid %d" a.Vmm.Process_table.pid;
+            message =
+              Printf.sprintf
+                "pid %d (%s) started at %s, after higher pid %d (%s, %s) - renumbered?"
+                a.Vmm.Process_table.pid a.Vmm.Process_table.name
+                (Sim.Time.to_string a.Vmm.Process_table.started_at)
+                b.Vmm.Process_table.pid b.Vmm.Process_table.name
+                (Sim.Time.to_string b.Vmm.Process_table.started_at);
+          }
+          :: acc
+        else acc
+      in
+      scan acc rest
+  in
+  List.rev (scan [] procs)
+
+let forwards_to_vmx host =
+  let rules = Net.Fabric.Node.forwards (Vmm.Hypervisor.gateway host) in
+  List.filter_map
+    (fun (port, (to_ : Net.Packet.endpoint)) ->
+      let target =
+        List.find_opt
+          (fun vm -> String.equal (Vmm.Vm.addr vm) to_.Net.Packet.addr)
+          (Vmm.Hypervisor.vms host)
+      in
+      match target with
+      | Some vm when (Vmm.Vm.config vm).Vmm.Qemu_config.nested_vmx ->
+        Some
+          {
+            code = Forward_to_vmx_guest;
+            severity = Suspicious;
+            subject = Printf.sprintf "port %d" port;
+            message =
+              Printf.sprintf
+                "public port %d terminates at %s, a guest with nested VMX enabled" port
+                (Vmm.Vm.name vm);
+          }
+      | Some _ | None -> None)
+    rules
+
+let vmcs_findings host =
+  let scan = Vmcs_scan.scan_host host in
+  List.map
+    (fun (hit : Vmcs_scan.hit) ->
+      {
+        code = Vmcs_signature;
+        severity = Alarm;
+        subject = Vmm.Vm.name hit.Vmcs_scan.vm;
+        message =
+          Printf.sprintf "VMCS structure at page %d of %s's RAM: it is running a hypervisor"
+            hit.Vmcs_scan.page_index
+            (Vmm.Vm.name hit.Vmcs_scan.vm);
+      })
+    scan.Vmcs_scan.hits
+
+let audit host =
+  vmx_colaunch host @ local_incoming host @ pid_inversions host @ forwards_to_vmx host
+  @ vmcs_findings host
+
+let is_alarming findings =
+  List.exists (fun f -> f.severity = Alarm) findings
+  || List.length (List.filter (fun f -> f.severity = Suspicious) findings) >= 2
+
+let pp_finding fmt f =
+  Format.fprintf fmt "[%s] %s (%s): %s"
+    (severity_to_string f.severity)
+    (code_to_string f.code) f.subject f.message

@@ -1,0 +1,71 @@
+type finding = {
+  vm : Vmm.Vm.t;
+  qemu_pid : Vmm.Process_table.pid;
+  cmdline : string;
+  config : Vmm.Qemu_config.t;
+}
+
+let list_targets host =
+  let table = Vmm.Hypervisor.processes host in
+  let qemu_procs = Vmm.Process_table.grep_cmdline table ~substring:"qemu-system-x86_64" in
+  List.filter_map
+    (fun (proc : Vmm.Process_table.proc) ->
+      match Vmm.Qemu_config.of_cmdline proc.Vmm.Process_table.cmdline with
+      | Error _ -> None
+      | Ok config -> (
+        match Vmm.Hypervisor.find_vm host config.Vmm.Qemu_config.vm_name with
+        | Some vm when Vmm.Vm.is_alive vm ->
+          Some { vm; qemu_pid = proc.Vmm.Process_table.pid; cmdline = proc.cmdline; config }
+        | Some _ | None -> None))
+    qemu_procs
+
+let find_target host ~name =
+  match List.find_opt (fun f -> Vmm.Vm.name f.vm = name) (list_targets host) with
+  | Some f -> Ok f
+  | None -> Error (Printf.sprintf "no running QEMU process for a VM named %s" name)
+
+type monitor_probe = {
+  status : string;
+  qtree : string;
+  blockstats : string;
+  mtree : string;
+  network : string;
+}
+
+let probe_monitor vm =
+  let run cmd = Vmm.Monitor.execute_exn vm cmd in
+  {
+    status = run "info status";
+    qtree = run "info qtree";
+    blockstats = run "info blockstats";
+    mtree = run "info mtree";
+    network = run "info network";
+  }
+
+let probe_disk host f =
+  let image = f.config.Vmm.Qemu_config.disk.Vmm.Qemu_config.image in
+  match Vmm.Hypervisor.qemu_img_info host image with
+  | Error e -> Error e
+  | Ok info -> Vmm.Disk_image.parse_virtual_size info
+
+let contains_substring s sub =
+  let n = String.length s and m = String.length sub in
+  if m = 0 then true
+  else begin
+    let rec scan i = i + m <= n && (String.sub s i m = sub || scan (i + 1)) in
+    scan 0
+  end
+
+let verify_config f =
+  let probe = probe_monitor f.vm in
+  let cfg = f.config in
+  let mem_str = Printf.sprintf "size %d MB" cfg.Vmm.Qemu_config.memory_mb in
+  if not (contains_substring probe.mtree mem_str) then
+    Error
+      (Printf.sprintf "monitor reports different memory than cmdline (%d MB expected)"
+         cfg.Vmm.Qemu_config.memory_mb)
+  else if
+    not
+      (contains_substring probe.qtree cfg.Vmm.Qemu_config.netdev.Vmm.Qemu_config.model)
+  then Error "monitor reports a different NIC model than the command line"
+  else Ok ()

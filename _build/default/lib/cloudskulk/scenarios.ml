@@ -1,0 +1,128 @@
+type t = {
+  engine : Sim.Engine.t;
+  trace : Sim.Trace.t;
+  host : Vmm.Hypervisor.t;
+  registry : Migration.Registry.t;
+  customer_vm : Vmm.Vm.t;
+  ritm : Ritm.t option;
+  install_report : Install.report option;
+  detector_env : Dedup_detector.environment;
+  description : string;
+}
+
+let get_ok what = function
+  | Ok v -> v
+  | Error e -> invalid_arg (Printf.sprintf "Scenarios.%s: %s" what e)
+
+let make_host ?(seed = 42) ?ksm_config () =
+  let engine = Sim.Engine.create ~seed () in
+  let trace = Sim.Trace.create () in
+  let uplink = Net.Fabric.Switch.create engine ~name:"uplink" ~link:Net.Link.lan_1gbe in
+  let host =
+    Vmm.Hypervisor.create_l0 ?ksm_config ~trace engine ~name:"host" ~uplink
+      ~addr:"192.168.1.100"
+  in
+  (engine, trace, host)
+
+let customer_config () =
+  Vmm.Qemu_config.with_hostfwd (Vmm.Qemu_config.default ~name:"guest0") [ (2222, 22) ]
+
+(* Change every page of a named file inside a VM's memory. *)
+let mutate_file_in vm ~name ~salt =
+  match Vmm.Vm.file_offset vm name with
+  | None -> Error (Printf.sprintf "%s holds no file named %s" (Vmm.Vm.name vm) name)
+  | Some offset ->
+    let pages =
+      match List.find_opt (fun (n, _, _) -> String.equal n name) (Vmm.Vm.loaded_files vm) with
+      | Some (_, _, p) -> p
+      | None -> 0
+    in
+    let ram = Vmm.Vm.ram vm in
+    for i = 0 to pages - 1 do
+      let c = Memory.Address_space.read ram (offset + i) in
+      ignore (Memory.Address_space.write ram (offset + i) (Memory.Page.Content.mutate c ~salt))
+    done;
+    Ok ()
+
+let clean ?seed ?ksm_config () =
+  let engine, trace, host = make_host ?seed ?ksm_config () in
+  let registry = Migration.Registry.create () in
+  let guest0 = get_ok "clean" (Vmm.Hypervisor.launch host (customer_config ())) in
+  let deliver_to_guest image = Result.map (fun _ -> ()) (Vmm.Vm.load_file guest0 image) in
+  let mutate_in_guest ~name ~salt = mutate_file_in guest0 ~name ~salt in
+  {
+    engine;
+    trace;
+    host;
+    registry;
+    customer_vm = guest0;
+    ritm = None;
+    install_report = None;
+    detector_env = { Dedup_detector.engine; host; deliver_to_guest; mutate_in_guest };
+    description = "clean host: customer VM at L1";
+  }
+
+let infected ?seed ?ksm_config ?(attacker_syncs_changes = false) ?install_config () =
+  let engine, trace, host = make_host ?seed ?ksm_config () in
+  let registry = Migration.Registry.create () in
+  let guest0 = get_ok "infected(launch)" (Vmm.Hypervisor.launch host (customer_config ())) in
+  ignore guest0;
+  let report =
+    get_ok "infected(install)"
+      (Install.run ?config:install_config engine ~host ~registry ~target_name:"guest0")
+  in
+  let ritm = report.Install.ritm in
+  let victim = ritm.Ritm.victim in
+  let guestx = ritm.Ritm.guestx in
+  (* The web-interface delivery lands in the customer's OS - which now
+     runs at L2. The attacker sees the file cross the RITM and mirrors
+     it into GuestX so that the L1 "guest" keeps looking identical. *)
+  let deliver_to_guest image =
+    match Vmm.Vm.load_file victim image with
+    | Error e -> Error e
+    | Ok _ ->
+      Result.map
+        (fun () -> ())
+        (Stealth.mirror_file ~guestx ~victim ~name:(Memory.File_image.name image))
+  in
+  let mutate_in_guest ~name ~salt =
+    match mutate_file_in victim ~name ~salt with
+    | Error e -> Error e
+    | Ok () ->
+      if attacker_syncs_changes then begin
+        (* Section VI-D evasion: the attacker tracks the victim's page
+           writes and replays them into the mirror. *)
+        let pages =
+          match
+            List.find_opt (fun (n, _, _) -> String.equal n name) (Vmm.Vm.loaded_files victim)
+          with
+          | Some (_, _, p) -> p
+          | None -> 0
+        in
+        let rec sync i =
+          if i >= pages then Ok ()
+          else
+            match Stealth.sync_victim_page ~guestx ~victim ~name ~page:i with
+            | Ok () -> sync (i + 1)
+            | Error e -> Error e
+        in
+        sync 0
+      end
+      else Ok ()
+  in
+  {
+    engine;
+    trace;
+    host;
+    registry;
+    customer_vm = victim;
+    ritm = Some ritm;
+    install_report = Some report;
+    detector_env = { Dedup_detector.engine; host; deliver_to_guest; mutate_in_guest };
+    description =
+      (if attacker_syncs_changes then
+         "infected host: CloudSkulk installed, attacker syncing file changes"
+       else "infected host: CloudSkulk installed");
+  }
+
+let is_infected t = Option.is_some t.ritm

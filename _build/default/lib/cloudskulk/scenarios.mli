@@ -1,0 +1,42 @@
+(** End-to-end evaluation scenarios.
+
+    The paper's detection evaluation (Section VI-C) runs the protocol in
+    two worlds: scenario 1, a clean host where the customer's VM really
+    is the L1 guest the administrator sees; and scenario 2, a host where
+    CloudSkulk has been installed and the "guest" the administrator sees
+    is the attacker's GuestX with the real customer at L2. This module
+    builds both, with the detector's web-interface callbacks wired to
+    the right VMs. *)
+
+type t = {
+  engine : Sim.Engine.t;
+  trace : Sim.Trace.t;
+  host : Vmm.Hypervisor.t;
+  registry : Migration.Registry.t;
+  customer_vm : Vmm.Vm.t;  (** where the customer's agent actually runs *)
+  ritm : Ritm.t option;  (** present when CloudSkulk is installed *)
+  install_report : Install.report option;
+  detector_env : Dedup_detector.environment;
+  description : string;
+}
+
+val clean : ?seed:int -> ?ksm_config:Memory.Ksm.config -> unit -> t
+(** Scenario 1: a host running the customer's VM (guest0) at L1. *)
+
+val infected :
+  ?seed:int ->
+  ?ksm_config:Memory.Ksm.config ->
+  ?attacker_syncs_changes:bool ->
+  ?install_config:Install.config ->
+  unit ->
+  t
+(** Scenario 2: the same host after a CloudSkulk installation. The
+    detector's file delivery reaches the customer's agent (now at L2);
+    the attacker, watching the delivery cross the RITM, mirrors the file
+    into GuestX to keep impersonating. [attacker_syncs_changes] (default
+    false) models the evasion of Section VI-D: the attacker also
+    propagates the customer's page changes into the mirror. Raises
+    [Invalid_argument] if the installation fails (it cannot in the
+    default topology). *)
+
+val is_infected : t -> bool

@@ -1,0 +1,32 @@
+(** Impersonation and clean-up tricks (paper Section III-A).
+
+    After migration, the system administrator believes GuestX {e is} the
+    victim's VM. These routines make the lie hold up: GuestX reports the
+    same OS, runs the same-named programs, carries the same files in
+    memory, and - because "the PID is just a variable in memory" - even
+    wears the victim's old QEMU PID. *)
+
+val impersonate_os : guestx:Vmm.Vm.t -> victim:Vmm.Vm.t -> unit
+(** Copy the victim's OS release string and spawn matching-named
+    processes inside GuestX's (i.e. the L1 hypervisor's) OS. *)
+
+val mirror_file : guestx:Vmm.Vm.t -> victim:Vmm.Vm.t -> name:string -> (unit, string) result
+(** Copy a file the victim holds in memory into GuestX's memory with
+    identical contents. The attacker does this so that VMI-style file
+    checks against "the guest" (really GuestX) pass - and it is exactly
+    what the dedup detector turns against them. *)
+
+val mirror_all_files : guestx:Vmm.Vm.t -> victim:Vmm.Vm.t -> int
+(** Mirror every victim file; returns how many were copied. *)
+
+val spoof_pid :
+  host:Vmm.Hypervisor.t -> guestx:Vmm.Vm.t -> old_pid:Vmm.Process_table.pid ->
+  (unit, string) result
+(** Renumber GuestX's QEMU process to the victim's old PID (the victim's
+    process must already be dead). Updates the VM's recorded pid. *)
+
+val sync_victim_page :
+  guestx:Vmm.Vm.t -> victim:Vmm.Vm.t -> name:string -> page:int -> (unit, string) result
+(** Propagate one page of a victim file change into GuestX's mirror -
+    the evasion move the paper argues is unrealistically expensive at
+    scale (Section VI-D); the [abl-sync] bench prices it. *)

@@ -1,0 +1,26 @@
+type hit = {
+  vm : Vmm.Vm.t;
+  page_index : int;
+  content : Memory.Page.Content.t;
+}
+
+type result = {
+  hits : hit list;
+  vms_scanned : int;
+  pages_scanned : int;
+  verdict : bool;
+}
+
+let scan_vm vm =
+  let ram = Vmm.Vm.ram vm in
+  List.map
+    (fun page_index -> { vm; page_index; content = Memory.Address_space.read ram page_index })
+    (Vmm.Vmcs.scan ram)
+
+let scan_host host =
+  let vms = List.filter Vmm.Vm.is_alive (Vmm.Hypervisor.vms host) in
+  let hits = List.concat_map scan_vm vms in
+  let pages_scanned =
+    List.fold_left (fun acc vm -> acc + Memory.Address_space.pages (Vmm.Vm.ram vm)) 0 vms
+  in
+  { hits; vms_scanned = List.length vms; pages_scanned; verdict = hits <> [] }

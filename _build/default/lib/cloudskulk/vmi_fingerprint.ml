@@ -1,0 +1,53 @@
+type fingerprint = {
+  os_release : string;
+  process_names : string list;
+  memory_mb : int;
+  nic_model : string;
+  disk_image : string;
+}
+
+let take vm =
+  let cfg = Vmm.Vm.config vm in
+  let names =
+    List.map
+      (fun (p : Vmm.Process_table.proc) -> p.Vmm.Process_table.name)
+      (Vmm.Process_table.all (Vmm.Vm.guest_processes vm))
+    |> List.sort_uniq String.compare
+  in
+  {
+    os_release = Vmm.Vm.os_release vm;
+    process_names = names;
+    memory_mb = cfg.Vmm.Qemu_config.memory_mb;
+    nic_model = cfg.Vmm.Qemu_config.netdev.Vmm.Qemu_config.model;
+    disk_image = cfg.Vmm.Qemu_config.disk.Vmm.Qemu_config.image;
+  }
+
+type mismatch = {
+  field : string;
+  expected : string;
+  actual : string;
+}
+
+let compare_fingerprints ~expected ~actual =
+  let check field exp act acc = if String.equal exp act then acc else { field; expected = exp; actual = act } :: acc in
+  let missing =
+    List.filter (fun n -> not (List.mem n actual.process_names)) expected.process_names
+  in
+  []
+  |> check "os_release" expected.os_release actual.os_release
+  |> check "nic_model" expected.nic_model actual.nic_model
+  |> (fun acc ->
+       if expected.memory_mb = actual.memory_mb then acc
+       else
+         { field = "memory_mb"; expected = string_of_int expected.memory_mb;
+           actual = string_of_int actual.memory_mb }
+         :: acc)
+  |> fun acc ->
+  if missing = [] then acc
+  else
+    { field = "processes"; expected = String.concat "," missing; actual = "(absent)" } :: acc
+
+let check ~expected vm =
+  match compare_fingerprints ~expected ~actual:(take vm) with
+  | [] -> Ok ()
+  | ms -> Error ms

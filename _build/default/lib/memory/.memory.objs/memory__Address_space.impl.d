@@ -1,0 +1,1 @@
+lib/memory/address_space.ml: Array Dirty Format Frame_table Page Printf

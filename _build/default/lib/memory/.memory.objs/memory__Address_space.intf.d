@@ -1,0 +1,1 @@
+lib/memory/address_space.mli: Dirty Format Frame_table Page

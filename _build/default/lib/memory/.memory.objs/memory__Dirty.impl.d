@@ -1,0 +1,1 @@
+lib/memory/dirty.ml: Bytes Char List

@@ -1,0 +1,1 @@
+lib/memory/file_image.ml: Address_space Array Hashtbl List Page

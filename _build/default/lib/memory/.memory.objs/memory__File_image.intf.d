@@ -1,0 +1,1 @@
+lib/memory/file_image.mli: Address_space Page Sim

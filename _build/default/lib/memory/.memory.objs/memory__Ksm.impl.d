@@ -1,0 +1,1 @@
+lib/memory/ksm.ml: Address_space Array Format Frame_table Hashtbl List Page Sim

@@ -1,0 +1,1 @@
+lib/memory/ksm.mli: Address_space Frame_table Sim

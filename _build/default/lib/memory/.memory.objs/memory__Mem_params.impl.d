@@ -1,0 +1,1 @@
+lib/memory/mem_params.ml: Address_space Sim

@@ -1,0 +1,1 @@
+lib/memory/mem_params.mli: Address_space Sim

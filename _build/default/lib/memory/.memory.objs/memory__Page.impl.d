@@ -1,0 +1,1 @@
+lib/memory/page.ml: Format Int64 Sim

@@ -1,0 +1,1 @@
+lib/memory/write_probe.ml: Address_space Array Int64 List Mem_params Page Sim

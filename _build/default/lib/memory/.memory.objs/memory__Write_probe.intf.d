@@ -1,0 +1,1 @@
+lib/memory/write_probe.mli: Address_space Mem_params Sim

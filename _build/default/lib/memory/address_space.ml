@@ -1,0 +1,115 @@
+type backing =
+  | Root of { table : Frame_table.t; frames : Frame_table.frame array }
+  | Window of { parent : t; offset : int }
+
+and t = {
+  name : string;
+  pages : int;
+  backing : backing;
+  dirty : Dirty.t;
+}
+
+let create_root table ~name ~pages =
+  if pages <= 0 then invalid_arg "Address_space.create_root: pages must be positive";
+  let frames = Array.init pages (fun _ -> Frame_table.alloc table Page.Content.zero) in
+  { name; pages; backing = Root { table; frames }; dirty = Dirty.create pages }
+
+let window parent ~name ~offset ~pages =
+  if offset < 0 || pages <= 0 || offset + pages > parent.pages then
+    invalid_arg "Address_space.window: range does not fit in parent";
+  { name; pages; backing = Window { parent; offset }; dirty = Dirty.create pages }
+
+let name t = t.name
+let pages t = t.pages
+let bytes t = t.pages * Page.size_bytes
+let is_root t = match t.backing with Root _ -> true | Window _ -> false
+let parent t = match t.backing with Root _ -> None | Window w -> Some w.parent
+
+let rec frame_table t =
+  match t.backing with
+  | Root r -> r.table
+  | Window w -> frame_table w.parent
+
+let check t i =
+  if i < 0 || i >= t.pages then
+    invalid_arg (Printf.sprintf "Address_space %s: page %d out of range" t.name i)
+
+let rec resolve t i =
+  check t i;
+  match t.backing with
+  | Root _ -> (t, i)
+  | Window w -> resolve w.parent (w.offset + i)
+
+let root_frames t =
+  match t.backing with
+  | Root r -> r.frames
+  | Window _ -> assert false
+
+let frame_at t i =
+  let root, ri = resolve t i in
+  (root_frames root).(ri)
+
+let read t i =
+  let root, ri = resolve t i in
+  Frame_table.content (frame_table t) (root_frames root).(ri)
+
+type write_kind = Private_write | Cow_break
+
+(* Mark dirty in this space and every ancestor on the delegation path. *)
+let rec mark_dirty_chain t i =
+  Dirty.set t.dirty i;
+  match t.backing with
+  | Root _ -> ()
+  | Window w -> mark_dirty_chain w.parent (w.offset + i)
+
+let write t i c =
+  let root, ri = resolve t i in
+  let table = frame_table t in
+  let frames = root_frames root in
+  let f = frames.(ri) in
+  let kind =
+    if Frame_table.is_shared table f then begin
+      (* Copy-on-write: the shared frame keeps its content for the other
+         sharers; this space gets a fresh private copy. *)
+      let fresh = Frame_table.alloc table c in
+      Frame_table.decref table f;
+      frames.(ri) <- fresh;
+      Cow_break
+    end
+    else begin
+      Frame_table.write table f c;
+      Private_write
+    end
+  in
+  mark_dirty_chain t i;
+  kind
+
+let remap t i f =
+  match t.backing with
+  | Window _ -> invalid_arg "Address_space.remap: only valid on a root space"
+  | Root r ->
+    check t i;
+    let old = r.frames.(i) in
+    if old <> f then begin
+      Frame_table.incref r.table f;
+      Frame_table.decref r.table old;
+      r.frames.(i) <- f
+    end
+
+let dirty t = t.dirty
+
+let load t ~offset contents =
+  Array.iteri (fun k c -> ignore (write t (offset + k) c)) contents
+
+let contents t = Array.init t.pages (fun i -> read t i)
+
+let shared_page_count t =
+  let table = frame_table t in
+  let n = ref 0 in
+  for i = 0 to t.pages - 1 do
+    if Frame_table.is_shared table (frame_at t i) then incr n
+  done;
+  !n
+
+let pp fmt t =
+  Format.fprintf fmt "%s (%d pages%s)" t.name t.pages (if is_root t then "" else ", window")

@@ -1,0 +1,39 @@
+type t = {
+  bits : Bytes.t;
+  length : int;
+  mutable count : int;
+}
+
+let create n = { bits = Bytes.make ((n + 7) / 8) '\000'; length = n; count = 0 }
+let length t = t.length
+
+let check t i = if i < 0 || i >= t.length then invalid_arg "Dirty: index out of range"
+
+let is_dirty t i =
+  check t i;
+  Char.code (Bytes.get t.bits (i / 8)) land (1 lsl (i mod 8)) <> 0
+
+let set t i =
+  check t i;
+  if not (is_dirty t i) then begin
+    let byte = Char.code (Bytes.get t.bits (i / 8)) in
+    Bytes.set t.bits (i / 8) (Char.chr (byte lor (1 lsl (i mod 8))));
+    t.count <- t.count + 1
+  end
+
+let dirty_count t = t.count
+
+let clear t =
+  Bytes.fill t.bits 0 (Bytes.length t.bits) '\000';
+  t.count <- 0
+
+let iter_dirty t f =
+  for i = 0 to t.length - 1 do
+    if is_dirty t i then f i
+  done
+
+let collect_and_clear t =
+  let acc = ref [] in
+  iter_dirty t (fun i -> acc := i :: !acc);
+  clear t;
+  List.rev !acc

@@ -1,0 +1,22 @@
+(** Dirty-page bitmap.
+
+    Live migration tracks which guest pages were written since the last
+    pre-copy round; the bitmap supports atomically collecting and
+    clearing the dirty set, which is exactly what each round does. *)
+
+type t
+
+val create : int -> t
+(** [create n] is a clean bitmap over [n] pages. *)
+
+val length : t -> int
+val set : t -> int -> unit
+val is_dirty : t -> int -> bool
+val dirty_count : t -> int
+val clear : t -> unit
+
+val collect_and_clear : t -> int list
+(** Indices that were dirty, in increasing order; the bitmap is clean
+    afterwards. *)
+
+val iter_dirty : t -> (int -> unit) -> unit

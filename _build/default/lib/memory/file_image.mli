@@ -1,0 +1,32 @@
+(** File images (the detector's File-A).
+
+    The detection protocol needs a file whose pages are {e unique} - no
+    page of it coincides with any other page in the system - plus the
+    ability to derive a "slightly changed" second version (File-A-v2). *)
+
+type t
+
+val generate : Sim.Rng.t -> name:string -> pages:int -> t
+(** A fresh file of distinct random page contents. *)
+
+val of_contents : name:string -> Page.Content.t array -> t
+
+val name : t -> string
+val pages : t -> int
+val bytes : t -> int
+val content : t -> int -> Page.Content.t
+val contents : t -> Page.Content.t array
+(** A copy; mutating it does not affect the file. *)
+
+val mutate_all : t -> salt:int -> t
+(** File-A-v2: every page's content changed slightly (deterministically
+    per [salt]), no page equal to the original's. *)
+
+val load_into : t -> Address_space.t -> offset:int -> unit
+(** Write the file's pages into consecutive pages of a space. *)
+
+val matches : t -> Address_space.t -> offset:int -> bool
+(** Does the space hold exactly this file's contents at [offset]? *)
+
+val all_pages_distinct : t -> bool
+(** The uniqueness property the protocol assumes. *)

@@ -1,0 +1,91 @@
+exception Out_of_memory_frames
+
+type frame = int
+
+type slot = {
+  mutable content : Page.Content.t;
+  mutable refs : int;
+  mutable stable : bool;
+}
+
+type t = {
+  mutable slots : slot array;
+  mutable used : int;
+  mutable free_list : frame list;
+  mutable live : int;
+  capacity : int option;
+}
+
+let create ?capacity_frames () =
+  { slots = [||]; used = 0; free_list = []; live = 0; capacity = capacity_frames }
+
+let grow t =
+  let cap = Array.length t.slots in
+  let new_cap = if cap = 0 then 1024 else 2 * cap in
+  let fresh () = { content = Page.Content.zero; refs = 0; stable = false } in
+  let new_slots = Array.init new_cap (fun i -> if i < cap then t.slots.(i) else fresh ()) in
+  t.slots <- new_slots
+
+let alloc t c =
+  (match t.capacity with
+  | Some cap when t.live >= cap -> raise Out_of_memory_frames
+  | Some _ | None -> ());
+  let f =
+    match t.free_list with
+    | f :: rest ->
+      t.free_list <- rest;
+      f
+    | [] ->
+      if t.used = Array.length t.slots then grow t;
+      let f = t.used in
+      t.used <- t.used + 1;
+      f
+  in
+  let slot = t.slots.(f) in
+  slot.content <- c;
+  slot.refs <- 1;
+  slot.stable <- false;
+  t.live <- t.live + 1;
+  f
+
+let slot t f =
+  let s = t.slots.(f) in
+  assert (s.refs > 0);
+  s
+
+let is_live t f = f >= 0 && f < t.used && t.slots.(f).refs > 0
+let content t f = (slot t f).content
+let refcount t f = (slot t f).refs
+let is_shared t f = (slot t f).refs > 1
+let incref t f = (slot t f).refs <- (slot t f).refs + 1
+
+let decref t f =
+  let s = slot t f in
+  s.refs <- s.refs - 1;
+  if s.refs = 0 then begin
+    s.stable <- false;
+    t.free_list <- f :: t.free_list;
+    t.live <- t.live - 1
+  end
+
+let write t f c =
+  let s = slot t f in
+  assert (s.refs = 1);
+  s.content <- c
+
+let mark_stable t f = (slot t f).stable <- true
+let clear_stable t f = (slot t f).stable <- false
+let is_stable t f = (slot t f).stable
+let live_frames t = t.live
+
+let fold_live t init f =
+  let acc = ref init in
+  for i = 0 to t.used - 1 do
+    if t.slots.(i).refs > 0 then acc := f !acc i t.slots.(i)
+  done;
+  !acc
+
+let shared_frames t = fold_live t 0 (fun n _ s -> if s.refs > 1 then n + 1 else n)
+
+let sharing_savings_pages t =
+  fold_live t 0 (fun n _ s -> if s.refs > 1 then n + s.refs - 1 else n)

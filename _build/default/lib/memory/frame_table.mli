@@ -1,0 +1,54 @@
+(** Host physical frames.
+
+    One frame table per physical machine. Each frame holds a page content
+    digest and a reference count; KSM raises the count when it merges
+    identical pages, and copy-on-write lowers it again when a shared
+    frame is written. *)
+
+type t
+
+type frame = int
+(** Frame identifier. *)
+
+val create : ?capacity_frames:int -> unit -> t
+(** [capacity_frames] (default unbounded) models the host's physical RAM;
+    allocation beyond it raises {!Out_of_memory_frames}. *)
+
+exception Out_of_memory_frames
+
+val alloc : t -> Page.Content.t -> frame
+(** Allocate a fresh private frame holding the given content. *)
+
+val is_live : t -> frame -> bool
+(** Whether the frame is currently allocated. Every other accessor
+    asserts liveness; callers holding possibly-stale frame ids (KSM's
+    stable tree) must check this first. *)
+
+val content : t -> frame -> Page.Content.t
+val refcount : t -> frame -> int
+val is_shared : t -> frame -> bool
+(** [refcount > 1]. *)
+
+val incref : t -> frame -> unit
+val decref : t -> frame -> unit
+(** Dropping the last reference frees the frame. *)
+
+val write : t -> frame -> Page.Content.t -> unit
+(** In-place content update; only legal on a private frame (asserts). A
+    shared frame must be CoW-broken first (see {!Address_space.write}). *)
+
+val mark_stable : t -> frame -> unit
+(** Flag a frame as living in KSM's stable tree. *)
+
+val clear_stable : t -> frame -> unit
+val is_stable : t -> frame -> bool
+
+val live_frames : t -> int
+(** Number of allocated (refcounted > 0) frames. *)
+
+val shared_frames : t -> int
+(** Number of frames with refcount > 1. *)
+
+val sharing_savings_pages : t -> int
+(** Pages of RAM saved by sharing: sum over shared frames of
+    (refcount - 1). The "memory density" KSM buys. *)

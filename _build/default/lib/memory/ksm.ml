@@ -1,0 +1,192 @@
+type config = {
+  pages_to_scan : int;
+  sleep : Sim.Time.t;
+}
+
+let default_config = { pages_to_scan = 100; sleep = Sim.Time.ms 20. }
+let fast_config = { pages_to_scan = 4096; sleep = Sim.Time.ms 1. }
+
+module Content_tbl = Hashtbl.Make (struct
+  type t = Page.Content.t
+
+  let equal = Page.Content.equal
+  let hash = Page.Content.hash
+end)
+
+type t = {
+  engine : Sim.Engine.t;
+  table : Frame_table.t;
+  config : config;
+  trace : Sim.Trace.t option;
+  mutable spaces : Address_space.t list;
+  stable : Frame_table.frame Content_tbl.t;
+  unstable : (Address_space.t * int) Content_tbl.t;
+  mutable cursor_space : int;  (* index into [spaces] *)
+  mutable cursor_page : int;
+  mutable full_scans : int;
+  mutable merges : int;
+  mutable active : bool;
+}
+
+let create ?(config = default_config) ?trace engine table =
+  {
+    engine;
+    table;
+    config;
+    trace;
+    spaces = [];
+    stable = Content_tbl.create 4096;
+    unstable = Content_tbl.create 4096;
+    cursor_space = 0;
+    cursor_page = 0;
+    full_scans = 0;
+    merges = 0;
+    active = false;
+  }
+
+let emit t fmt =
+  match t.trace with
+  | None -> Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
+  | Some tr -> Sim.Trace.emitf tr (Sim.Engine.now t.engine) Sim.Trace.Info ~component:"ksm" fmt
+
+let register t space =
+  if not (Address_space.is_root space) then
+    invalid_arg "Ksm.register: only root address spaces are mergeable";
+  if not (List.memq space t.spaces) then begin
+    t.spaces <- t.spaces @ [ space ];
+    emit t "registered %s (%d pages)" (Address_space.name space) (Address_space.pages space)
+  end
+
+let unregister t space =
+  t.spaces <- List.filter (fun s -> not (s == space)) t.spaces;
+  t.cursor_space <- 0;
+  t.cursor_page <- 0
+
+(* A stable-tree entry is valid only while its frame is still live,
+   flagged stable, and holding the content it was indexed under (CoW can
+   have recycled it). Invalid entries are pruned on lookup. *)
+let stable_lookup t content =
+  match Content_tbl.find_opt t.stable content with
+  | None -> None
+  | Some f ->
+    let valid =
+      Frame_table.is_live t.table f
+      && Frame_table.is_stable t.table f
+      && Page.Content.equal (Frame_table.content t.table f) content
+    in
+    if valid then Some f
+    else begin
+      Content_tbl.remove t.stable content;
+      None
+    end
+
+(* An unstable-tree entry is a (space, index) recorded earlier in this
+   pass; it is only useful if the page still holds the same content. *)
+let unstable_lookup t content =
+  match Content_tbl.find_opt t.unstable content with
+  | None -> None
+  | Some (space, i) ->
+    if Page.Content.equal (Address_space.read space i) content then Some (space, i)
+    else begin
+      Content_tbl.remove t.unstable content;
+      None
+    end
+
+let merge_into_stable t space i stable_frame =
+  Address_space.remap space i stable_frame;
+  t.merges <- t.merges + 1
+
+let promote_to_stable t space i =
+  let f = Address_space.frame_at space i in
+  Frame_table.mark_stable t.table f;
+  Content_tbl.replace t.stable (Frame_table.content t.table f) f;
+  f
+
+let scan_page t space i =
+  let content = Address_space.read space i in
+  let f = Address_space.frame_at space i in
+  if Frame_table.is_stable t.table f then
+    (* Already merged; nothing to do this pass. *)
+    ()
+  else
+    match stable_lookup t content with
+    | Some s when s <> f -> merge_into_stable t space i s
+    | Some _ -> ()
+    | None -> (
+      match unstable_lookup t content with
+      | Some (space', i') when not (space' == space && i' = i) ->
+        let f' = Address_space.frame_at space' i' in
+        if f' <> f then begin
+          (* Two distinct frames with equal content: promote the earlier
+             candidate to the stable tree and merge this page into it. *)
+          let s = promote_to_stable t space' i' in
+          merge_into_stable t space i s;
+          Content_tbl.remove t.unstable content
+        end
+      | Some _ -> ()
+      | None -> Content_tbl.replace t.unstable content (space, i))
+
+let total_pages t =
+  List.fold_left (fun acc s -> acc + Address_space.pages s) 0 t.spaces
+
+let advance_cursor t =
+  let spaces = Array.of_list t.spaces in
+  let n = Array.length spaces in
+  if n = 0 then ()
+  else begin
+    t.cursor_page <- t.cursor_page + 1;
+    if t.cursor_page >= Address_space.pages spaces.(t.cursor_space) then begin
+      t.cursor_page <- 0;
+      t.cursor_space <- t.cursor_space + 1;
+      if t.cursor_space >= n then begin
+        t.cursor_space <- 0;
+        t.full_scans <- t.full_scans + 1;
+        Content_tbl.reset t.unstable;
+        emit t "full pass %d complete (%d merges so far)" t.full_scans t.merges
+      end
+    end
+  end
+
+let scan_once t =
+  let spaces = Array.of_list t.spaces in
+  if Array.length spaces > 0 then
+    for _ = 1 to t.config.pages_to_scan do
+      if t.cursor_space < Array.length spaces then begin
+        let space = spaces.(t.cursor_space) in
+        if t.cursor_page < Address_space.pages space then scan_page t space t.cursor_page;
+        advance_cursor t
+      end
+    done
+
+let start t =
+  if not t.active then begin
+    t.active <- true;
+    Sim.Engine.periodic t.engine ~every:t.config.sleep (fun () ->
+        if t.active then scan_once t;
+        t.active)
+  end
+
+let stop t = t.active <- false
+let running t = t.active
+let full_scans t = t.full_scans
+let pages_merged t = t.merges
+
+let pages_shared t =
+  Content_tbl.fold
+    (fun content f acc ->
+      let live =
+        Frame_table.is_live t.table f
+        && Frame_table.is_stable t.table f
+        && Page.Content.equal (Frame_table.content t.table f) content
+      in
+      if live then acc + 1 else acc)
+    t.stable 0
+
+let pages_sharing t = Frame_table.sharing_savings_pages t.table
+
+let time_for_full_pass t =
+  let pages = total_pages t in
+  if pages = 0 then Sim.Time.zero
+  else
+    let wakeups = (pages + t.config.pages_to_scan - 1) / t.config.pages_to_scan in
+    Sim.Time.mul t.config.sleep (float_of_int wakeups)

@@ -1,0 +1,58 @@
+(** Kernel samepage merging (ksmd).
+
+    A simulation of Linux's KSM daemon: a periodic scanner that walks the
+    pages of registered (madvise-MERGEABLE) address spaces and merges
+    pages with identical content into a single copy-on-write-protected
+    frame. Follows the real ksmd structure: a {e stable tree} of already
+    merged frames and an {e unstable tree} of candidate pages that is
+    rebuilt on every full pass, with the [pages_to_scan] /
+    [sleep_millisecs] pacing knobs from [/sys/kernel/mm/ksm]. *)
+
+type config = {
+  pages_to_scan : int;  (** pages examined per wakeup (Linux default 100) *)
+  sleep : Sim.Time.t;  (** pause between wakeups (Linux default 20 ms) *)
+}
+
+val default_config : config
+val fast_config : config
+(** An aggressive setting (4096 pages / 1 ms) used by experiments whose
+    subject is not KSM pacing itself. *)
+
+type t
+
+val create :
+  ?config:config -> ?trace:Sim.Trace.t -> Sim.Engine.t -> Frame_table.t -> t
+
+val register : t -> Address_space.t -> unit
+(** Offer a root address space for merging. Raises [Invalid_argument] on
+    a window: nested spaces are scanned through their root ancestor. *)
+
+val unregister : t -> Address_space.t -> unit
+
+val start : t -> unit
+(** Begin periodic scanning on the engine's clock. Idempotent. *)
+
+val stop : t -> unit
+
+val running : t -> bool
+
+val scan_once : t -> unit
+(** Immediately examine the next [pages_to_scan] pages (a single wakeup's
+    work), without touching the schedule. Useful in unit tests. *)
+
+val full_scans : t -> int
+(** Completed full passes over all registered pages. *)
+
+val pages_merged : t -> int
+(** Merge operations performed since creation. *)
+
+val pages_shared : t -> int
+(** Stable-tree frames currently live (Linux's [pages_shared]). *)
+
+val pages_sharing : t -> int
+(** Extra page references saved by sharing (Linux's [pages_sharing]). *)
+
+val time_for_full_pass : t -> Sim.Time.t
+(** Lower bound on the virtual time one full pass takes with the current
+    configuration and registered population - what a detector must wait
+    before trusting merge state. *)

@@ -1,0 +1,1 @@
+lib/migration/postcopy.ml: Float Memory Net Sim Vmm

@@ -1,0 +1,1 @@
+lib/migration/postcopy.mli: Net Sim Stdlib Vmm

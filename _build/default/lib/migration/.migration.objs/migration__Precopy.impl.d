@@ -1,0 +1,1 @@
+lib/migration/precopy.ml: Float Fun List Memory Net Printf Qemu_config Sim Vm Vmm

@@ -1,0 +1,1 @@
+lib/migration/precopy.mli: Net Sim Stdlib Vmm

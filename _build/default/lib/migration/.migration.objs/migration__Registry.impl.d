@@ -1,0 +1,1 @@
+lib/migration/registry.ml: Hashtbl Net Printf Result Vmm

@@ -1,0 +1,1 @@
+lib/migration/registry.mli: Net Vmm

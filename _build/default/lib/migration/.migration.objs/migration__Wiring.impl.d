@@ -1,0 +1,1 @@
+lib/migration/wiring.ml: Hashtbl Postcopy Precopy Registry Vmm

@@ -1,0 +1,1 @@
+lib/migration/wiring.mli: Postcopy Precopy Registry Sim Vmm

@@ -1,0 +1,96 @@
+type config = {
+  link : Net.Link.t;
+  page_header_bytes : int;
+  nested_dest_derate : float;
+  working_set_pages : int;
+  demand_fault_rate : float;
+}
+
+let default_config =
+  {
+    link = Net.Link.migration_loopback;
+    page_header_bytes = 8;
+    nested_dest_derate = 0.82;
+    working_set_pages = 2048;
+    demand_fault_rate = 0.02;
+  }
+
+type result = {
+  downtime : Sim.Time.t;
+  resume_time : Sim.Time.t;
+  background_time : Sim.Time.t;
+  total_time : Sim.Time.t;
+  demand_faults : int;
+  total_pages_sent : int;
+}
+
+let pow base n =
+  let rec go acc n = if n <= 0 then acc else go (acc *. base) (n - 1) in
+  go 1.0 n
+
+let migrate ?(config = default_config) engine ~source ~dest () =
+  match
+    (match Vmm.Vm.state source with
+    | Vmm.Vm.Running | Vmm.Vm.Paused -> (
+      match Vmm.Vm.state dest with
+      | Vmm.Vm.Incoming -> (
+        match
+          Vmm.Qemu_config.migration_compatible ~source:(Vmm.Vm.config source)
+            ~dest:(Vmm.Vm.config dest)
+        with
+        | Error e -> Error ("incompatible configurations: " ^ e)
+        | Ok () ->
+          if
+            Memory.Address_space.pages (Vmm.Vm.ram source)
+            <> Memory.Address_space.pages (Vmm.Vm.ram dest)
+          then Error "RAM size mismatch"
+          else Ok ())
+      | s -> Error ("destination is " ^ Vmm.Vm.state_to_string s ^ ", not incoming"))
+    | s -> Error ("source is " ^ Vmm.Vm.state_to_string s ^ ", not running/paused"))
+  with
+  | Error e -> Error e
+  | Ok () ->
+    let extra = max 0 (Vmm.Level.to_int (Vmm.Vm.level dest) - 1) in
+    let link = Net.Link.scale_bandwidth config.link (pow config.nested_dest_derate extra) in
+    let sram = Vmm.Vm.ram source and dram = Vmm.Vm.ram dest in
+    let pages = Memory.Address_space.pages sram in
+    let started = Sim.Engine.now engine in
+    (* Phase 1: stop the source, push device state + working set. *)
+    (match Vmm.Vm.state source with
+    | Vmm.Vm.Running -> (
+      match Vmm.Vm.pause source with Ok () -> () | Error e -> invalid_arg e)
+    | Vmm.Vm.Paused | Vmm.Vm.Created | Vmm.Vm.Incoming | Vmm.Vm.Stopped -> ());
+    let ws = min config.working_set_pages pages in
+    let ws_bytes = (ws * (Memory.Page.size_bytes + config.page_header_bytes)) + (512 * 1024) in
+    let downtime = Net.Link.transfer_time link ws_bytes in
+    ignore (Sim.Engine.run_for engine downtime);
+    for i = 0 to ws - 1 do
+      ignore (Memory.Address_space.write dram i (Memory.Address_space.read sram i))
+    done;
+    Vmm.Vm.adopt_guest_state dest ~from:source;
+    (match Vmm.Vm.complete_incoming dest with Ok () -> () | Error e -> invalid_arg e);
+    let resumed_at = Sim.Engine.now engine in
+    (* Phase 2: background pull of the rest; a fraction arrives as
+       demand faults costing an extra round trip each. *)
+    let remaining = pages - ws in
+    let demand_faults =
+      int_of_float (Float.round (config.demand_fault_rate *. float_of_int remaining))
+    in
+    let stream_bytes = remaining * (Memory.Page.size_bytes + config.page_header_bytes) in
+    let stream_time = Net.Link.transfer_time link stream_bytes in
+    let fault_penalty = Sim.Time.mul link.Net.Link.latency (2. *. float_of_int demand_faults) in
+    let background_time = Sim.Time.add stream_time fault_penalty in
+    ignore (Sim.Engine.run_for engine background_time);
+    for i = ws to pages - 1 do
+      ignore (Memory.Address_space.write dram i (Memory.Address_space.read sram i))
+    done;
+    let finished = Sim.Engine.now engine in
+    Ok
+      {
+        downtime;
+        resume_time = Sim.Time.diff resumed_at started;
+        background_time;
+        total_time = Sim.Time.diff finished started;
+        demand_faults;
+        total_pages_sent = pages;
+      }

@@ -1,0 +1,35 @@
+(** Post-copy live migration.
+
+    The alternative strategy the paper notes cloud vendors may use
+    (Section II-A): pause the source almost immediately, ship the device
+    state and a minimal working set, resume the guest at the
+    destination, and pull the remaining pages in the background (with
+    demand faults for pages the guest touches first). CloudSkulk works
+    over either strategy; the [abl-postcopy] bench compares install
+    times under both. *)
+
+type config = {
+  link : Net.Link.t;
+  page_header_bytes : int;
+  nested_dest_derate : float;
+  working_set_pages : int;  (** pages pushed before the destination resumes *)
+  demand_fault_rate : float;
+      (** fraction of background pages that arrive via a demand fault
+          (network round-trip each) rather than the streaming pull *)
+}
+
+val default_config : config
+
+type result = {
+  downtime : Sim.Time.t;
+  resume_time : Sim.Time.t;  (** source pause to destination running *)
+  background_time : Sim.Time.t;  (** resume to last page transferred *)
+  total_time : Sim.Time.t;
+  demand_faults : int;
+  total_pages_sent : int;
+}
+
+val migrate :
+  ?config:config -> Sim.Engine.t -> source:Vmm.Vm.t -> dest:Vmm.Vm.t -> unit ->
+  (result, string) Stdlib.result
+(** Same preconditions and postconditions as {!Precopy.migrate}. *)

@@ -1,0 +1,211 @@
+type config = {
+  link : Net.Link.t;
+  max_downtime : Sim.Time.t;
+  max_rounds : int;
+  page_header_bytes : int;
+  nested_dest_derate : float;
+  zero_page_optimization : bool;
+  auto_converge : bool;
+  xbzrle : bool;
+  xbzrle_ratio : float;
+}
+
+let default_config =
+  {
+    link = Net.Link.migration_loopback;
+    max_downtime = Sim.Time.ms 300.;
+    max_rounds = 50;
+    page_header_bytes = 8;
+    nested_dest_derate = 0.82;
+    zero_page_optimization = false;
+    auto_converge = false;
+    xbzrle = false;
+    xbzrle_ratio = 0.3;
+  }
+
+type round_stat = {
+  round : int;
+  pages_sent : int;
+  bytes_sent : int;
+  duration : Sim.Time.t;
+  dirtied_during : int;
+}
+
+type result = {
+  rounds : round_stat list;
+  total_pages_sent : int;
+  total_bytes_sent : int;
+  downtime : Sim.Time.t;
+  total_time : Sim.Time.t;
+  converged : bool;
+  max_throttle : float;
+}
+
+let pow base n =
+  let rec go acc n = if n <= 0 then acc else go (acc *. base) (n - 1) in
+  go 1.0 n
+
+(* The effective channel: derated once per destination nesting level
+   beyond an ordinary L1 guest (writing received pages into a nested
+   VM's RAM traps to the levels below). *)
+let effective_link config ~dest_level =
+  let extra = max 0 (Vmm.Level.to_int dest_level - 1) in
+  Net.Link.scale_bandwidth config.link (pow config.nested_dest_derate extra)
+
+let validate ~source ~dest =
+  let open Vmm in
+  if not (List.mem (Vm.state source) [ Vm.Running; Vm.Paused ]) then
+    Error
+      (Printf.sprintf "source %s is %s, not running/paused" (Vm.name source)
+         (Vm.state_to_string (Vm.state source)))
+  else if Vm.state dest <> Vm.Incoming then
+    Error
+      (Printf.sprintf "destination %s is %s, not in incoming state" (Vm.name dest)
+         (Vm.state_to_string (Vm.state dest)))
+  else
+    match
+      Qemu_config.migration_compatible ~source:(Vm.config source) ~dest:(Vm.config dest)
+    with
+    | Error e -> Error ("incompatible configurations: " ^ e)
+    | Ok () ->
+      let sp = Memory.Address_space.pages (Vm.ram source) in
+      let dp = Memory.Address_space.pages (Vm.ram dest) in
+      if sp <> dp then Error (Printf.sprintf "RAM size mismatch: %d vs %d pages" sp dp)
+      else Ok ()
+
+let wire_bytes config ~source ~sent_before pages_idx =
+  let ram = Vmm.Vm.ram source in
+  List.fold_left
+    (fun acc i ->
+      let payload =
+        if
+          config.zero_page_optimization
+          && Memory.Page.Content.is_zero (Memory.Address_space.read ram i)
+        then 0
+        else if config.xbzrle && Memory.Dirty.is_dirty sent_before i then
+          (* destination holds this page's previous version: ship a delta *)
+          int_of_float (Float.round (config.xbzrle_ratio *. float_of_int Memory.Page.size_bytes))
+        else Memory.Page.size_bytes
+      in
+      acc + config.page_header_bytes + payload)
+    0 pages_idx
+
+let copy_pages ~source ~dest pages_idx =
+  let sram = Vmm.Vm.ram source and dram = Vmm.Vm.ram dest in
+  List.iter
+    (fun i -> ignore (Memory.Address_space.write dram i (Memory.Address_space.read sram i)))
+    pages_idx
+
+let all_page_indices ram = List.init (Memory.Address_space.pages ram) Fun.id
+
+let migrate ?(config = default_config) engine ~source ~dest () =
+  match validate ~source ~dest with
+  | Error e -> Error e
+  | Ok () ->
+    let link = effective_link config ~dest_level:(Vmm.Vm.level dest) in
+    let sram = Vmm.Vm.ram source in
+    let dirty = Memory.Address_space.dirty sram in
+    (* pages the destination has already received at least once - the
+       XBZRLE cache's reach *)
+    let sent_before = Memory.Dirty.create (Memory.Address_space.pages sram) in
+    let started = Sim.Engine.now engine in
+    (* Pages that can move within the downtime budget. *)
+    let downtime_page_budget =
+      let per_page =
+        Net.Link.transfer_time link (Memory.Page.size_bytes + config.page_header_bytes)
+      in
+      let per_page_s = Sim.Time.to_s per_page -. Sim.Time.to_s link.Net.Link.latency in
+      if per_page_s <= 0. then max_int
+      else int_of_float (Sim.Time.to_s config.max_downtime /. per_page_s)
+    in
+    let run_round ~round pages_idx =
+      let bytes = wire_bytes config ~source ~sent_before pages_idx in
+      let duration = Net.Link.transfer_time link bytes in
+      (* Let the guest (and everything else) run while the data is on
+         the wire: this is where re-dirtying happens. *)
+      ignore (Sim.Engine.run_for engine duration);
+      copy_pages ~source ~dest pages_idx;
+      List.iter (Memory.Dirty.set sent_before) pages_idx;
+      {
+        round;
+        pages_sent = List.length pages_idx;
+        bytes_sent = bytes;
+        duration;
+        dirtied_during = Memory.Dirty.dirty_count dirty;
+      }
+    in
+    (* Round 1: the full RAM; later rounds: what got dirtied. *)
+    Memory.Dirty.clear dirty;
+    let first = run_round ~round:1 (all_page_indices sram) in
+    let max_throttle = ref 0. in
+    let throttle_source round =
+      (* QEMU's schedule: engage at 20 %, then +10 % per further
+         non-converging round, capped at 99 % *)
+      if config.auto_converge && round >= 3 then begin
+        let step = 0.2 +. (0.1 *. float_of_int (round - 3)) in
+        let value = Float.min 0.99 step in
+        Vmm.Vm.set_cpu_throttle source value;
+        if value > !max_throttle then max_throttle := value
+      end
+    in
+    let rec iterate acc round =
+      let dirty_now = Memory.Dirty.dirty_count dirty in
+      if dirty_now <= downtime_page_budget then (acc, true)
+      else if round > config.max_rounds then (acc, false)
+      else begin
+        throttle_source round;
+        let pages_idx = Memory.Dirty.collect_and_clear dirty in
+        let stat = run_round ~round pages_idx in
+        iterate (stat :: acc) (round + 1)
+      end
+    in
+    let later, converged = iterate [] 2 in
+    Vmm.Vm.set_cpu_throttle source 0.;
+    (* Stop-and-copy: pause the source, move the final dirty set. *)
+    let pause_result =
+      match Vmm.Vm.state source with
+      | Vmm.Vm.Running -> Vmm.Vm.pause source
+      | Vmm.Vm.Paused | Vmm.Vm.Created | Vmm.Vm.Incoming | Vmm.Vm.Stopped -> Ok ()
+    in
+    (match pause_result with
+    | Ok () -> ()
+    | Error e -> invalid_arg ("precopy: pausing source: " ^ e));
+    let final_idx = Memory.Dirty.collect_and_clear dirty in
+    let final_bytes = wire_bytes config ~source ~sent_before final_idx in
+    let device_state_bytes = 512 * 1024 in
+    let downtime = Net.Link.transfer_time link (final_bytes + device_state_bytes) in
+    ignore (Sim.Engine.run_for engine downtime);
+    copy_pages ~source ~dest final_idx;
+    (* The destination takes over the guest's identity. *)
+    Vmm.Vm.adopt_guest_state dest ~from:source;
+    (match Vmm.Vm.complete_incoming dest with
+    | Ok () -> ()
+    | Error e -> invalid_arg ("precopy: completing incoming: " ^ e));
+    let rounds =
+      first :: List.rev later
+      @ [
+          {
+            round = List.length later + 2;
+            pages_sent = List.length final_idx;
+            bytes_sent = final_bytes;
+            duration = downtime;
+            dirtied_during = 0;
+          };
+        ]
+    in
+    let total_pages_sent = List.fold_left (fun a r -> a + r.pages_sent) 0 rounds in
+    let total_bytes_sent = List.fold_left (fun a r -> a + r.bytes_sent) 0 rounds in
+    Ok
+      {
+        rounds;
+        total_pages_sent;
+        total_bytes_sent;
+        downtime;
+        total_time = Sim.Time.diff (Sim.Engine.now engine) started;
+        converged;
+        max_throttle = !max_throttle;
+      }
+
+let estimated_idle_time ?(config = default_config) ~pages () =
+  let bytes = pages * (Memory.Page.size_bytes + config.page_header_bytes) in
+  Net.Link.transfer_time config.link bytes

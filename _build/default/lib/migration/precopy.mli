@@ -1,0 +1,76 @@
+(** Pre-copy live migration.
+
+    The algorithm of Clark et al. that QEMU implements and the paper's
+    attack rides on: iteratively copy RAM while the source keeps
+    running, re-sending pages the guest dirties, until the remaining
+    dirty set is small enough to move within the downtime budget (or a
+    round cap is hit); then pause the source, transfer the rest, and
+    start the destination.
+
+    The driver is {e blocking on virtual time}: it advances the engine
+    while rounds are in flight, so workloads keep executing - and keep
+    dirtying pages - during the migration, which is what produces the
+    workload-dependent end-to-end times of Fig 4. *)
+
+type config = {
+  link : Net.Link.t;  (** the migration channel *)
+  max_downtime : Sim.Time.t;  (** stop-and-copy budget (QEMU default 300 ms) *)
+  max_rounds : int;  (** cap on iterative rounds before forcing convergence *)
+  page_header_bytes : int;  (** per-page framing overhead on the wire *)
+  nested_dest_derate : float;
+      (** multiplicative bandwidth factor per destination nesting level
+          beyond L1: receiving into a nested VM's RAM costs extra exits *)
+  zero_page_optimization : bool;
+      (** send only headers for all-zero pages (QEMU does; off by
+          default here because the effective-bandwidth calibration
+          already folds it in - see DESIGN.md) *)
+  auto_converge : bool;
+      (** QEMU's auto-converge: when rounds stop shrinking, throttle the
+          source's vCPU (20 %, then +10 % per further round, up to 99 %)
+          until the dirty rate fits the downtime budget. Off by default -
+          for CloudSkulk's attacker it is a stealth trade-off: the
+          migration finishes, but the victim feels the brake *)
+  xbzrle : bool;
+      (** QEMU's XBZRLE delta compression: a page re-sent in a later
+          round (its content changed, but the destination holds the
+          previous version) goes on the wire as a delta. Off by
+          default. *)
+  xbzrle_ratio : float;
+      (** delta size as a fraction of a full page (default 0.3) *)
+}
+
+val default_config : config
+(** {!Net.Link.migration_loopback}, 300 ms downtime, 50 rounds, 8-byte
+    headers, 0.82 per-level derate, zero-page optimization off. *)
+
+type round_stat = {
+  round : int;  (** 1-based *)
+  pages_sent : int;
+  bytes_sent : int;
+  duration : Sim.Time.t;
+  dirtied_during : int;  (** pages dirtied while this round was on the wire *)
+}
+
+type result = {
+  rounds : round_stat list;
+  total_pages_sent : int;
+  total_bytes_sent : int;
+  downtime : Sim.Time.t;  (** source paused to destination running *)
+  total_time : Sim.Time.t;  (** end-to-end, the paper's Fig 4 metric *)
+  converged : bool;  (** false when the round cap forced the stop *)
+  max_throttle : float;  (** strongest auto-converge brake applied (0 if off) *)
+}
+
+val migrate :
+  ?config:config -> Sim.Engine.t -> source:Vmm.Vm.t -> dest:Vmm.Vm.t -> unit ->
+  (result, string) Stdlib.result
+(** Run a migration to completion. Fails without side effects when the
+    source is not running/paused, the destination is not [Incoming], the
+    configurations are not migration-compatible, or RAM sizes differ.
+    On success the source is left [Paused] (the post-migrated husk the
+    attacker must clean up) and the destination [Running] with the
+    source's RAM contents and OS identity. *)
+
+val estimated_idle_time : ?config:config -> pages:int -> unit -> Sim.Time.t
+(** Analytic single-round estimate: what an idle-guest migration should
+    take - useful as a sanity anchor in tests. *)

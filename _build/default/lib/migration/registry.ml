@@ -1,0 +1,37 @@
+type key = Net.Packet.addr * int
+
+type entry =
+  | Listener of Vmm.Vm.t
+  | Forward of key
+
+type t = { entries : (key, entry) Hashtbl.t }
+
+let create () = { entries = Hashtbl.create 16 }
+
+let register_incoming t ~addr ~port vm =
+  Hashtbl.replace t.entries (addr, port) (Listener vm)
+
+let unregister t ~addr ~port = Hashtbl.remove t.entries (addr, port)
+
+let add_forward t ~addr ~port ~to_addr ~to_port =
+  Hashtbl.replace t.entries (addr, port) (Forward (to_addr, to_port))
+
+let max_hops = 16
+
+let resolve_with_hops t ~addr ~port =
+  let rec follow key hop =
+    if hop > max_hops then Error "forwarding loop (too many hops)"
+    else
+      match Hashtbl.find_opt t.entries key with
+      | None ->
+        let a, p = key in
+        Error (Printf.sprintf "connection refused: nothing listening at %s:%d" a p)
+      | Some (Listener vm) -> Ok (vm, hop)
+      | Some (Forward next) -> follow next (hop + 1)
+  in
+  follow (addr, port) 0
+
+let resolve t ~addr ~port = Result.map fst (resolve_with_hops t ~addr ~port)
+
+let hops t ~addr ~port =
+  match resolve_with_hops t ~addr ~port with Ok (_, h) -> h | Error _ -> 0

@@ -1,0 +1,33 @@
+type strategy =
+  | Pre_copy of Precopy.config
+  | Post_copy of Postcopy.config
+
+(* Keyed weakly by VM name; one live wiring per source VM at a time is
+   all the attack needs. *)
+let results : (string, Precopy.result option * Postcopy.result option) Hashtbl.t =
+  Hashtbl.create 8
+
+let wire_monitor ?(strategy = Pre_copy Precopy.default_config) engine ~registry ~source () =
+  Vmm.Vm.set_migrate_handler source (fun ~host ~port ->
+      match Registry.resolve registry ~addr:host ~port with
+      | Error e -> Error e
+      | Ok dest -> (
+        let outcome =
+          match strategy with
+          | Pre_copy config -> (
+            match Precopy.migrate ~config engine ~source ~dest () with
+            | Ok r -> Ok (Some r, None)
+            | Error e -> Error e)
+          | Post_copy config -> (
+            match Postcopy.migrate ~config engine ~source ~dest () with
+            | Ok r -> Ok (None, Some r)
+            | Error e -> Error e)
+        in
+        match outcome with
+        | Error e -> Error e
+        | Ok pair ->
+          Hashtbl.replace results (Vmm.Vm.name source) pair;
+          Registry.unregister registry ~addr:host ~port;
+          Ok ()))
+
+let last_result vm = Hashtbl.find_opt results (Vmm.Vm.name vm)

@@ -1,0 +1,25 @@
+(** Glue between the QEMU monitor and the migration engine.
+
+    Installs a handler so that the monitor command [migrate
+    tcp:host:port] on a source VM resolves the endpoint through a
+    {!Registry} and runs a pre-copy (or post-copy) migration - the same
+    division of labour as QEMU's monitor and migration thread. *)
+
+type strategy =
+  | Pre_copy of Precopy.config
+  | Post_copy of Postcopy.config
+
+val wire_monitor :
+  ?strategy:strategy ->
+  Sim.Engine.t ->
+  registry:Registry.t ->
+  source:Vmm.Vm.t ->
+  unit ->
+  unit
+(** After this, [Monitor.execute source "migrate tcp:H:P"] performs the
+    migration. Default strategy: pre-copy with {!Precopy.default_config}.
+    The registry entry for the destination is removed on success. *)
+
+val last_result : Vmm.Vm.t -> (Precopy.result option * Postcopy.result option) option
+(** Result of the most recent migration initiated from this VM's
+    monitor, if any ([fst] set for pre-copy, [snd] for post-copy). *)

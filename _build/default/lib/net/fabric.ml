@@ -1,0 +1,130 @@
+type tap_action =
+  | Forward
+  | Drop
+  | Rewrite of Packet.t
+
+type tap = Packet.t -> tap_action
+
+type node = {
+  node_engine : Sim.Engine.t;
+  node_name : string;
+  node_addr : Packet.addr;
+  handlers : (Packet.port, Packet.t -> unit) Hashtbl.t;
+  forwards : (Packet.port, Packet.endpoint * switch) Hashtbl.t;
+  mutable taps : (string * tap) list;
+  mutable received : int;
+  mutable unhandled : int;
+}
+
+and switch = {
+  sw_engine : Sim.Engine.t;
+  sw_name : string;
+  link : Link.t;
+  stations : (Packet.addr, node) Hashtbl.t;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable bytes : int;
+}
+
+let rec deliver node packet =
+  node.received <- node.received + 1;
+  match apply_taps node.taps packet with
+  | None -> ()
+  | Some packet -> (
+    let port = packet.Packet.dst.Packet.port in
+    match Hashtbl.find_opt node.forwards port with
+    | Some (to_, via) ->
+      let forwarded = { packet with Packet.dst = to_ } in
+      switch_send via forwarded
+    | None -> (
+      match Hashtbl.find_opt node.handlers port with
+      | Some handler -> handler packet
+      | None -> node.unhandled <- node.unhandled + 1))
+
+and apply_taps taps packet =
+  match taps with
+  | [] -> Some packet
+  | (_, tap) :: rest -> (
+    match tap packet with
+    | Forward -> apply_taps rest packet
+    | Drop -> None
+    | Rewrite p -> apply_taps rest p)
+
+and switch_send sw packet =
+  match Hashtbl.find_opt sw.stations packet.Packet.dst.Packet.addr with
+  | None -> sw.dropped <- sw.dropped + 1
+  | Some node ->
+    let delay = Link.transfer_time sw.link packet.Packet.size_bytes in
+    ignore
+      (Sim.Engine.schedule_after sw.sw_engine delay (fun () ->
+           sw.delivered <- sw.delivered + 1;
+           sw.bytes <- sw.bytes + packet.Packet.size_bytes;
+           deliver node packet))
+
+module Switch = struct
+  type t = switch
+
+  let create engine ~name ~link =
+    {
+      sw_engine = engine;
+      sw_name = name;
+      link;
+      stations = Hashtbl.create 16;
+      delivered = 0;
+      dropped = 0;
+      bytes = 0;
+    }
+
+  let name t = t.sw_name
+  let send = switch_send
+  let packets_delivered t = t.delivered
+  let packets_dropped t = t.dropped
+  let bytes_carried t = t.bytes
+end
+
+module Node = struct
+  type t = node
+
+  let create engine ~name ~addr =
+    {
+      node_engine = engine;
+      node_name = name;
+      node_addr = addr;
+      handlers = Hashtbl.create 8;
+      forwards = Hashtbl.create 8;
+      taps = [];
+      received = 0;
+      unhandled = 0;
+    }
+
+  let name t = t.node_name
+  let addr t = t.node_addr
+  let attach t sw = Hashtbl.replace sw.stations t.node_addr t
+
+  let detach t sw =
+    match Hashtbl.find_opt sw.stations t.node_addr with
+    | Some n when n == t -> Hashtbl.remove sw.stations t.node_addr
+    | Some _ | None -> ()
+  let listen t port handler = Hashtbl.replace t.handlers port handler
+  let stop_listening t port = Hashtbl.remove t.handlers port
+  let add_forward t ~from_port ~to_ ~via = Hashtbl.replace t.forwards from_port (to_, via)
+  let remove_forward t ~from_port = Hashtbl.remove t.forwards from_port
+  let forward_target t port = Option.map fst (Hashtbl.find_opt t.forwards port)
+
+  let forwards t =
+    Hashtbl.fold (fun port (to_, _) acc -> (port, to_) :: acc) t.forwards []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  let add_tap t ~name tap = t.taps <- t.taps @ [ (name, tap) ]
+  let remove_tap t ~name = t.taps <- List.filter (fun (n, _) -> n <> name) t.taps
+
+  let send t ~via packet =
+    ignore t.node_engine;
+    switch_send via packet
+
+  let route_through t packet =
+    t.received <- t.received + 1;
+    apply_taps t.taps packet
+
+  let packets_received t = t.received
+  let packets_unhandled t = t.unhandled
+end

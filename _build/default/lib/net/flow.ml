@@ -1,0 +1,43 @@
+type result = {
+  bytes : int;
+  elapsed : Sim.Time.t;
+  throughput_mbit_s : float;
+}
+
+let throughput_mbit_s ~bytes ~elapsed =
+  let secs = Sim.Time.to_s elapsed in
+  if secs <= 0. then 0. else float_of_int bytes *. 8. /. 1e6 /. secs
+
+let run engine ~link ?(derate = 1.) ?(chunk_bytes = 65536) ?(noise_rsd = 0.) ?rng ~bytes () =
+  if bytes < 0 then invalid_arg "Flow.run: negative byte count";
+  let link = Link.scale_bandwidth link derate in
+  let rng = match rng with Some r -> r | None -> Sim.Engine.fork_rng engine in
+  let started = Sim.Engine.now engine in
+  let finished = ref None in
+  (* TCP pipelines chunks, so propagation latency is paid once (the
+     handshake), and afterwards the stream is serialisation-bound. *)
+  let serialisation this =
+    Sim.Time.s (float_of_int this /. link.Link.bandwidth_bytes_per_s)
+  in
+  let rec send_chunk remaining =
+    if remaining <= 0 then finished := Some (Sim.Engine.now engine)
+    else begin
+      let this = min chunk_bytes remaining in
+      let delay =
+        Sim.Time.mul (serialisation this) (Sim.Rng.lognormal_noise rng ~rsd:noise_rsd)
+      in
+      ignore (Sim.Engine.schedule_after engine delay (fun () -> send_chunk (remaining - this)))
+    end
+  in
+  ignore (Sim.Engine.schedule_after engine link.Link.latency (fun () -> send_chunk bytes));
+  let rec drive () =
+    match !finished with
+    | Some at -> at
+    | None ->
+      if not (Sim.Engine.step engine) then
+        raise (Sim.Engine.Simulation_deadlock "Flow.run: engine drained before flow completed")
+      else drive ()
+  in
+  let at = drive () in
+  let elapsed = Sim.Time.diff at started in
+  { bytes; elapsed; throughput_mbit_s = throughput_mbit_s ~bytes ~elapsed }

@@ -1,0 +1,32 @@
+(** Bulk-transfer flows.
+
+    Models a unidirectional TCP stream (Netperf TCP_STREAM, or the
+    migration byte channel) as a sequence of chunk transmissions over a
+    {!Link}. Virtualization overhead enters as a bandwidth derating
+    factor per virtio traversal, so L0/L1/L2 senders see slightly
+    different goodput - the effect Fig 3 measures (and finds to be within
+    noise for TCP bulk transfer). *)
+
+type result = {
+  bytes : int;
+  elapsed : Sim.Time.t;
+  throughput_mbit_s : float;
+}
+
+val run :
+  Sim.Engine.t ->
+  link:Link.t ->
+  ?derate:float ->
+  ?chunk_bytes:int ->
+  ?noise_rsd:float ->
+  ?rng:Sim.Rng.t ->
+  bytes:int ->
+  unit ->
+  result
+(** Simulate transferring [bytes] over [link] with effective bandwidth
+    [link.bandwidth * derate] (default derate 1.0). The transfer is
+    executed on the engine's virtual clock in [chunk_bytes] units
+    (default 64 KiB); per-chunk jitter [noise_rsd] (default 0) models
+    scheduling noise. The engine is run until the flow completes. *)
+
+val throughput_mbit_s : bytes:int -> elapsed:Sim.Time.t -> float

@@ -1,0 +1,24 @@
+type t = {
+  latency : Sim.Time.t;
+  bandwidth_bytes_per_s : float;
+}
+
+let make ~latency ~bandwidth_mbytes_per_s =
+  if bandwidth_mbytes_per_s <= 0. then invalid_arg "Link.make: bandwidth must be positive";
+  { latency; bandwidth_bytes_per_s = bandwidth_mbytes_per_s *. 1024. *. 1024. }
+
+let loopback = make ~latency:(Sim.Time.us 50.) ~bandwidth_mbytes_per_s:2048.
+let lan_1gbe = make ~latency:(Sim.Time.us 200.) ~bandwidth_mbytes_per_s:117.
+let migration_loopback = make ~latency:(Sim.Time.us 80.) ~bandwidth_mbytes_per_s:50.
+
+let transfer_time t bytes =
+  let serialisation = Sim.Time.s (float_of_int bytes /. t.bandwidth_bytes_per_s) in
+  Sim.Time.add t.latency serialisation
+
+let scale_bandwidth t factor =
+  if factor <= 0. then invalid_arg "Link.scale_bandwidth: factor must be positive";
+  { t with bandwidth_bytes_per_s = t.bandwidth_bytes_per_s *. factor }
+
+let pp fmt t =
+  Format.fprintf fmt "link(lat=%a, bw=%.1fMB/s)" Sim.Time.pp t.latency
+    (t.bandwidth_bytes_per_s /. (1024. *. 1024.))

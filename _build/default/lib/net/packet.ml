@@ -1,0 +1,33 @@
+type addr = string
+type port = int
+
+type endpoint = {
+  addr : addr;
+  port : port;
+}
+
+type t = {
+  id : int;
+  src : endpoint;
+  dst : endpoint;
+  size_bytes : int;
+  payload : string;
+  encrypted : bool;
+}
+
+let header_bytes = 54
+
+let make ?(encrypted = false) ?size_bytes ~id ~src ~dst payload =
+  let size_bytes =
+    match size_bytes with Some s -> s | None -> String.length payload + header_bytes
+  in
+  { id; src; dst; size_bytes; payload; encrypted }
+
+let endpoint addr port = { addr; port }
+let pp_endpoint fmt e = Format.fprintf fmt "%s:%d" e.addr e.port
+
+let pp fmt p =
+  Format.fprintf fmt "#%d %a -> %a (%dB%s)" p.id pp_endpoint p.src pp_endpoint p.dst p.size_bytes
+    (if p.encrypted then ", encrypted" else "")
+
+let visible_payload p = if p.encrypted then "<ciphertext>" else p.payload

@@ -1,0 +1,95 @@
+(* Welford's online algorithm for mean/variance, plus a retained sample
+   list for percentiles. Experiment sample counts are small (5-1000), so
+   keeping all samples is cheap. *)
+
+type t = {
+  mutable n : int;
+  mutable mean_acc : float;
+  mutable m2 : float;
+  mutable min_v : float;
+  mutable max_v : float;
+  mutable sum_v : float;
+  mutable rev_samples : float list;
+}
+
+let create () =
+  {
+    n = 0;
+    mean_acc = 0.;
+    m2 = 0.;
+    min_v = Float.infinity;
+    max_v = Float.neg_infinity;
+    sum_v = 0.;
+    rev_samples = [];
+  }
+
+let add t x =
+  t.n <- t.n + 1;
+  let delta = x -. t.mean_acc in
+  t.mean_acc <- t.mean_acc +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean_acc));
+  if x < t.min_v then t.min_v <- x;
+  if x > t.max_v then t.max_v <- x;
+  t.sum_v <- t.sum_v +. x;
+  t.rev_samples <- x :: t.rev_samples
+
+let add_time t d = add t (Int64.to_float (Time.to_ns d))
+let count t = t.n
+let mean t = if t.n = 0 then Float.nan else t.mean_acc
+let variance t = if t.n < 2 then 0. else t.m2 /. float_of_int (t.n - 1)
+let stddev t = Float.sqrt (variance t)
+
+let rsd t =
+  let m = mean t in
+  if t.n < 2 || m = 0. || Float.is_nan m then 0. else stddev t /. Float.abs m
+
+let min t = t.min_v
+let max t = t.max_v
+let sum t = t.sum_v
+let samples t = List.rev t.rev_samples
+
+let of_list xs =
+  let t = create () in
+  List.iter (add t) xs;
+  t
+
+let percentile t p =
+  if t.n = 0 then Float.nan
+  else begin
+    let arr = Array.of_list t.rev_samples in
+    Array.sort Float.compare arr;
+    let p = Float.max 0. (Float.min 100. p) in
+    let rank = p /. 100. *. float_of_int (Array.length arr - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = int_of_float (Float.ceil rank) in
+    if lo = hi then arr.(lo)
+    else
+      let frac = rank -. float_of_int lo in
+      arr.(lo) +. (frac *. (arr.(hi) -. arr.(lo)))
+  end
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  rsd : float;
+  min : float;
+  max : float;
+}
+
+let summary (t : t) : summary =
+  {
+    n = t.n;
+    mean = mean t;
+    stddev = stddev t;
+    rsd = rsd t;
+    min = (if t.n = 0 then Float.nan else t.min_v);
+    max = (if t.n = 0 then Float.nan else t.max_v);
+  }
+
+let pp_summary fmt s =
+  Format.fprintf fmt "n=%d mean=%.4g stddev=%.4g rsd=%.2f%% min=%.4g max=%.4g"
+    s.n s.mean s.stddev (s.rsd *. 100.) s.min s.max
+
+let percent_change ~from_ ~to_ =
+  if from_ = 0. then Float.nan else (to_ -. from_) /. from_ *. 100.

@@ -1,0 +1,55 @@
+(** Sample statistics.
+
+    Used by every benchmark harness to summarise repeated runs the way the
+    paper reports them: mean, standard deviation, and relative standard
+    deviation (the error bars in Figs 2-4). *)
+
+type t
+(** A mutable accumulator of float samples. *)
+
+val create : unit -> t
+val add : t -> float -> unit
+val add_time : t -> Time.t -> unit
+(** [add_time t d] records [d] in nanoseconds. *)
+
+val count : t -> int
+val mean : t -> float
+(** Mean of the samples; [nan] if empty. *)
+
+val variance : t -> float
+(** Unbiased sample variance; [0.] with fewer than two samples. *)
+
+val stddev : t -> float
+
+val rsd : t -> float
+(** Relative standard deviation as a fraction of the mean (multiply by 100
+    for percent); [0.] if the mean is zero or fewer than two samples. *)
+
+val min : t -> float
+val max : t -> float
+val sum : t -> float
+
+val percentile : t -> float -> float
+(** [percentile t p] for [p] in [0,100], by linear interpolation over the
+    sorted samples; [nan] if empty. *)
+
+val samples : t -> float list
+(** Samples in insertion order. *)
+
+val of_list : float list -> t
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  rsd : float;
+  min : float;
+  max : float;
+}
+
+val summary : t -> summary
+val pp_summary : Format.formatter -> summary -> unit
+
+val percent_change : from_:float -> to_:float -> float
+(** [percent_change ~from_ ~to_] is [(to_ - from_) / from_ * 100.], the
+    "+X%%" labels on the paper's figures. *)

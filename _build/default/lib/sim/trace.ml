@@ -1,0 +1,58 @@
+type level = Debug | Info | Warn
+
+type record = {
+  time : Time.t;
+  level : level;
+  component : string;
+  message : string;
+}
+
+type t = {
+  buffer : record Queue.t;
+  capacity : int;
+  mutable dropped_count : int;
+}
+
+let create ?(capacity = 65536) () =
+  { buffer = Queue.create (); capacity; dropped_count = 0 }
+
+let emit t time level ~component message =
+  Queue.push { time; level; component; message } t.buffer;
+  if Queue.length t.buffer > t.capacity then begin
+    ignore (Queue.pop t.buffer);
+    t.dropped_count <- t.dropped_count + 1
+  end
+
+let emitf t time level ~component fmt =
+  Format.kasprintf (fun message -> emit t time level ~component message) fmt
+
+let records t = List.of_seq (Queue.to_seq t.buffer)
+
+let find t ~component =
+  List.filter (fun r -> String.equal r.component component) (records t)
+
+let contains_substring s sub =
+  let n = String.length s and m = String.length sub in
+  if m = 0 then true
+  else begin
+    let rec scan i = i + m <= n && (String.sub s i m = sub || scan (i + 1)) in
+    scan 0
+  end
+
+let contains t ~component ~substring =
+  List.exists
+    (fun r -> String.equal r.component component && contains_substring r.message substring)
+    (records t)
+
+let count t = Queue.length t.buffer
+let dropped t = t.dropped_count
+let clear t = Queue.clear t.buffer
+
+let level_to_string = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+
+let pp_record fmt r =
+  Format.fprintf fmt "[%a] %-5s %s: %s" Time.pp r.time (level_to_string r.level) r.component
+    r.message

@@ -1,0 +1,37 @@
+(** Simulation trace.
+
+    A lightweight in-memory event log. Components append typed records
+    ("vm started", "page merged", "migration round", ...); tests and the
+    CLI read them back to assert causal behaviour without timing. *)
+
+type level = Debug | Info | Warn
+
+type record = {
+  time : Time.t;
+  level : level;
+  component : string;
+  message : string;
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] (default 65536) bounds retained records; older records are
+    dropped first once exceeded. *)
+
+val emit : t -> Time.t -> level -> component:string -> string -> unit
+
+val emitf :
+  t -> Time.t -> level -> component:string ->
+  ('a, Format.formatter, unit, unit) format4 -> 'a
+
+val records : t -> record list
+(** Records in chronological order. *)
+
+val find : t -> component:string -> record list
+val contains : t -> component:string -> substring:string -> bool
+val count : t -> int
+val dropped : t -> int
+val clear : t -> unit
+val pp_record : Format.formatter -> record -> unit
+val level_to_string : level -> string

@@ -1,0 +1,1 @@
+lib/vmm/cost_model.ml: Float Int64 Level Sim

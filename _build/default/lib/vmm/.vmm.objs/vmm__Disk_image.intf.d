@@ -1,0 +1,1 @@
+lib/vmm/disk_image.mli:

@@ -1,0 +1,1 @@
+lib/vmm/hypervisor.ml: Disk_image Format Hashtbl Level List Memory Net Printf Process_table Qemu_config Sim String Vm Vmcs

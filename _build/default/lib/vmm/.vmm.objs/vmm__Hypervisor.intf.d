@@ -1,0 +1,1 @@
+lib/vmm/hypervisor.mli: Disk_image Level Memory Net Process_table Qemu_config Sim Vm

@@ -1,0 +1,1 @@
+lib/vmm/layers.ml: Hypervisor Level Memory Net Printf Qemu_config Sim Vm

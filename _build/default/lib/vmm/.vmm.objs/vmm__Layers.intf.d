@@ -1,0 +1,1 @@
+lib/vmm/layers.mli: Hypervisor Level Memory Net Qemu_config Sim Vm

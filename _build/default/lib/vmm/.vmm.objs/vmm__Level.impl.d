@@ -1,0 +1,1 @@
+lib/vmm/level.ml: Format Int

@@ -1,0 +1,1 @@
+lib/vmm/monitor.ml: Disk_image Hashtbl List Memory Printf Qemu_config Sim String Vm

@@ -1,0 +1,1 @@
+lib/vmm/monitor.mli: Vm

@@ -1,0 +1,1 @@
+lib/vmm/process_table.ml: Buffer Hashtbl Int List Printf Sim String

@@ -1,0 +1,1 @@
+lib/vmm/process_table.mli: Sim

@@ -1,0 +1,1 @@
+lib/vmm/qemu_config.ml: Buffer Filename Format List Memory Option Printf Result String

@@ -1,0 +1,1 @@
+lib/vmm/qemu_config.mli: Format

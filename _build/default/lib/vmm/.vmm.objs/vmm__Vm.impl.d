@@ -1,0 +1,1 @@
+lib/vmm/vm.ml: Disk_image Float Format Hashtbl Level List Memory Net Option Printf Process_table Qemu_config Sim

@@ -1,0 +1,1 @@
+lib/vmm/vm.mli: Disk_image Format Level Memory Net Process_table Qemu_config Sim

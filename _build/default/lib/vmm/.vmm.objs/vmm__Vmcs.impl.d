@@ -1,0 +1,1 @@
+lib/vmm/vmcs.ml: Int64 Memory

@@ -1,0 +1,131 @@
+type env = {
+  engine : Sim.Engine.t;
+  trace : Sim.Trace.t;
+  uplink : Net.Fabric.switch;
+  host : Hypervisor.t;
+  exec_level : Level.t;
+  exec_ram : Memory.Address_space.t;
+  exec_vm : Vm.t option;
+  guestx : Vm.t option;
+  nested_hv : Hypervisor.t option;
+}
+
+let get_ok what = function
+  | Ok v -> v
+  | Error e -> invalid_arg (Printf.sprintf "Layers.%s: %s" what e)
+
+let make_host ?(seed = 42) ?ksm_config () =
+  let engine = Sim.Engine.create ~seed () in
+  let trace = Sim.Trace.create () in
+  let uplink = Net.Fabric.Switch.create engine ~name:"uplink" ~link:Net.Link.lan_1gbe in
+  let host =
+    Hypervisor.create_l0 ?ksm_config ~trace engine ~name:"host" ~uplink ~addr:"192.168.1.100"
+  in
+  (engine, trace, uplink, host)
+
+let guest_config () =
+  Qemu_config.with_hostfwd (Qemu_config.default ~name:"guest0") [ (2222, 22) ]
+
+let bare_metal ?seed ?ksm_config ?(workspace_mb = 1024) () =
+  let engine, trace, uplink, host = make_host ?seed ?ksm_config () in
+  let pages = workspace_mb * 1024 * 1024 / Memory.Page.size_bytes in
+  let exec_ram = get_ok "bare_metal" (Hypervisor.host_buffer host ~name:"l0-workspace" ~pages) in
+  {
+    engine;
+    trace;
+    uplink;
+    host;
+    exec_level = Level.l0;
+    exec_ram;
+    exec_vm = None;
+    guestx = None;
+    nested_hv = None;
+  }
+
+let single_guest ?seed ?ksm_config ?config () =
+  let engine, trace, uplink, host = make_host ?seed ?ksm_config () in
+  let config = match config with Some c -> c | None -> guest_config () in
+  let vm = get_ok "single_guest" (Hypervisor.launch host config) in
+  {
+    engine;
+    trace;
+    uplink;
+    host;
+    exec_level = Vm.level vm;
+    exec_ram = Vm.ram vm;
+    exec_vm = Some vm;
+    guestx = None;
+    nested_hv = None;
+  }
+
+let nested_guest ?seed ?ksm_config ?(guestx_memory_mb = 2048) ?config () =
+  let engine, trace, uplink, host = make_host ?seed ?ksm_config () in
+  let guestx_config =
+    { (Qemu_config.default ~name:"guestx") with Qemu_config.memory_mb = guestx_memory_mb }
+    |> fun c -> Qemu_config.with_nested_vmx c true
+  in
+  let guestx = get_ok "nested_guest(guestx)" (Hypervisor.launch host guestx_config) in
+  let nested_hv =
+    get_ok "nested_guest(hv)" (Hypervisor.create_nested ~trace engine ~vm:guestx ~name:"guestx-kvm")
+  in
+  let config = match config with Some c -> c | None -> guest_config () in
+  let vm = get_ok "nested_guest(l2)" (Hypervisor.launch nested_hv config) in
+  {
+    engine;
+    trace;
+    uplink;
+    host;
+    exec_level = Vm.level vm;
+    exec_ram = Vm.ram vm;
+    exec_vm = Some vm;
+    guestx = Some guestx;
+    nested_hv = Some nested_hv;
+  }
+
+type migration_pair = {
+  mp_engine : Sim.Engine.t;
+  mp_trace : Sim.Trace.t;
+  mp_host : Hypervisor.t;
+  mp_source : Vm.t;
+  mp_dest : Vm.t;
+  mp_guestx : Vm.t option;
+  mp_nested_hv : Hypervisor.t option;
+}
+
+let migration_pair ?seed ?ksm_config ?config ?(incoming_port = 5601) ~nested_dest () =
+  let engine, trace, _uplink, host = make_host ?seed ?ksm_config () in
+  let config = match config with Some c -> c | None -> guest_config () in
+  let source = get_ok "migration_pair(source)" (Hypervisor.launch host config) in
+  let dest_config =
+    Qemu_config.with_incoming (Qemu_config.with_name config "dest") ~port:incoming_port
+  in
+  if not nested_dest then begin
+    let dest = get_ok "migration_pair(dest)" (Hypervisor.launch host dest_config) in
+    { mp_engine = engine; mp_trace = trace; mp_host = host; mp_source = source; mp_dest = dest;
+      mp_guestx = None; mp_nested_hv = None }
+  end
+  else begin
+    let guestx_config =
+      Qemu_config.with_nested_vmx
+        { (Qemu_config.default ~name:"guestx") with
+          Qemu_config.memory_mb = config.Qemu_config.memory_mb * 2;
+          monitor_port = config.Qemu_config.monitor_port + 1;
+        }
+        true
+    in
+    let guestx = get_ok "migration_pair(guestx)" (Hypervisor.launch host guestx_config) in
+    let nested_hv =
+      get_ok "migration_pair(hv)"
+        (Hypervisor.create_nested ~trace engine ~vm:guestx ~name:"guestx-kvm")
+    in
+    let dest = get_ok "migration_pair(nested dest)" (Hypervisor.launch nested_hv dest_config) in
+    { mp_engine = engine; mp_trace = trace; mp_host = host; mp_source = source; mp_dest = dest;
+      mp_guestx = Some guestx; mp_nested_hv = Some nested_hv }
+  end
+
+let of_level ?seed ?ksm_config level =
+  match Level.to_int level with
+  | 0 -> bare_metal ?seed ?ksm_config ()
+  | 1 -> single_guest ?seed ?ksm_config ()
+  | 2 -> nested_guest ?seed ?ksm_config ()
+  | n -> invalid_arg (Printf.sprintf "Layers.of_level: L%d topology not predefined" n)

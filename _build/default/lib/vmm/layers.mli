@@ -1,0 +1,66 @@
+(** Standard experiment topologies.
+
+    The paper evaluates every workload in three execution environments -
+    L0 (bare host), L1 (guest), and L2 (nested guest) - and the
+    CloudSkulk attack turns a victim's L1 into an L2. This module builds
+    those topologies so benchmarks and tests do not repeat the plumbing. *)
+
+type env = {
+  engine : Sim.Engine.t;
+  trace : Sim.Trace.t;
+  uplink : Net.Fabric.switch;  (** the world outside the host *)
+  host : Hypervisor.t;  (** the L0 hypervisor *)
+  exec_level : Level.t;  (** where measured code runs *)
+  exec_ram : Memory.Address_space.t;  (** the memory that code dirties *)
+  exec_vm : Vm.t option;  (** the VM it runs in ([None] at L0) *)
+  guestx : Vm.t option;  (** the enclosing L1 VM when nested *)
+  nested_hv : Hypervisor.t option;  (** GuestX's hypervisor when nested *)
+}
+
+val bare_metal :
+  ?seed:int -> ?ksm_config:Memory.Ksm.config -> ?workspace_mb:int -> unit -> env
+(** L0: a host with a [workspace_mb] (default 1024) buffer the measured
+    code runs in. *)
+
+val single_guest :
+  ?seed:int -> ?ksm_config:Memory.Ksm.config -> ?config:Qemu_config.t -> unit -> env
+(** L1: a host plus one running guest (default config: the paper's 1 GB
+    VM, SSH forwarded from host port 2222). *)
+
+val nested_guest :
+  ?seed:int ->
+  ?ksm_config:Memory.Ksm.config ->
+  ?guestx_memory_mb:int ->
+  ?config:Qemu_config.t ->
+  unit ->
+  env
+(** L2: a host, a [guestx_memory_mb] (default 2048) L1 VM with nested
+    VMX, a hypervisor inside it, and a nested guest (default: the same
+    1 GB config as {!single_guest}) running at L2. *)
+
+val of_level :
+  ?seed:int -> ?ksm_config:Memory.Ksm.config -> Level.t -> env
+(** Dispatch on 0, 1 or 2; raises [Invalid_argument] on deeper levels. *)
+
+type migration_pair = {
+  mp_engine : Sim.Engine.t;
+  mp_trace : Sim.Trace.t;
+  mp_host : Hypervisor.t;
+  mp_source : Vm.t;  (** running L1 guest, the migration source *)
+  mp_dest : Vm.t;  (** incoming-state destination *)
+  mp_guestx : Vm.t option;  (** the enclosing VM when the destination is nested *)
+  mp_nested_hv : Hypervisor.t option;
+}
+
+val migration_pair :
+  ?seed:int ->
+  ?ksm_config:Memory.Ksm.config ->
+  ?config:Qemu_config.t ->
+  ?incoming_port:int ->
+  nested_dest:bool ->
+  unit ->
+  migration_pair
+(** The Fig 4 topology: a source VM at L1 and a matching destination
+    paused in the incoming state - either another L1 VM on the same
+    host (the paper's "L0-L0" series) or a VM nested inside a GuestX
+    (the "L0-L1" series, CloudSkulk's move). *)

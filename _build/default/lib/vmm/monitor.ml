@@ -1,0 +1,171 @@
+type response =
+  | Ok_text of string
+  | Error_text of string
+  | Quit
+
+let banner vm =
+  Printf.sprintf "QEMU 2.9.50 monitor - type 'help' for more information\n(qemu) [%s]" (Vm.name vm)
+
+let help_text =
+  String.concat "\n"
+    [
+      "info status        -- show the current VM status";
+      "info qtree         -- show device tree";
+      "info blockstats    -- show block device statistics";
+      "info mtree         -- show memory tree";
+      "info mem           -- show active virtual memory mappings";
+      "info network       -- show network state";
+      "info cpus          -- show infos for each CPU";
+      "info migrate       -- show migration status";
+      "info version       -- show the QEMU version";
+      "info name          -- show the current VM name";
+      "info uuid          -- show the current VM UUID";
+      "info kvm           -- show KVM information";
+      "migrate [-d] uri   -- migrate to uri (tcp:host:port)";
+      "migrate_set_speed  -- set maximum migration speed";
+      "stop               -- pause emulation";
+      "cont               -- resume emulation";
+      "quit               -- quit the emulator";
+    ]
+
+let info_status vm =
+  let status =
+    match Vm.state vm with
+    | Vm.Running -> "running"
+    | Vm.Paused -> "paused"
+    | Vm.Incoming -> "paused (incoming migration)"
+    | Vm.Created -> "prelaunch"
+    | Vm.Stopped -> "shutdown"
+  in
+  Printf.sprintf "VM status: %s" status
+
+let info_qtree vm =
+  let cfg = Vm.config vm in
+  let open Qemu_config in
+  String.concat "\n"
+    [
+      Printf.sprintf "bus: main-system-bus (machine %s)" cfg.machine;
+      "  type System";
+      Printf.sprintf "  dev: %s, id \"\"" cfg.netdev.model;
+      Printf.sprintf "    mac = \"%s\"" cfg.netdev.mac;
+      "  dev: virtio-blk-pci, id \"\"";
+      Printf.sprintf "    drive = \"%s\" (%s, %.0fG)" cfg.disk.image cfg.disk.format
+        cfg.disk.size_gb;
+      Printf.sprintf "  dev: kvm-pit, id \"\" (kvm: %b)" cfg.accel_kvm;
+    ]
+
+let info_blockstats vm =
+  let io = Vm.io vm in
+  let cfg = Vm.config vm in
+  Printf.sprintf "virtio0 (%s): rd_operations=%d wr_operations=%d allocated=%d"
+    cfg.Qemu_config.disk.Qemu_config.image io.Vm.block_read_ops io.Vm.block_write_ops
+    (Disk_image.allocated_bytes (Vm.disk vm))
+
+let info_mtree vm =
+  let cfg = Vm.config vm in
+  let bytes = cfg.Qemu_config.memory_mb * 1024 * 1024 in
+  String.concat "\n"
+    [
+      "memory";
+      Printf.sprintf "  0000000000000000-%016x (prio 0, ram): pc.ram" (bytes - 1);
+      Printf.sprintf "  (size %d MB, %d pages)" cfg.Qemu_config.memory_mb
+        (Qemu_config.memory_pages cfg);
+    ]
+
+let info_mem vm =
+  let ram = Vm.ram vm in
+  Printf.sprintf "guest RAM: %d pages, %d currently shared (KSM)"
+    (Memory.Address_space.pages ram)
+    (Memory.Address_space.shared_page_count ram)
+
+let info_network vm =
+  let cfg = Vm.config vm in
+  let io = Vm.io vm in
+  let open Qemu_config in
+  let fwd =
+    match cfg.netdev.hostfwd with
+    | [] -> "no host forwarding"
+    | rules ->
+      String.concat ", "
+        (List.map (fun (h, g) -> Printf.sprintf "hostfwd tcp::%d->:%d" h g) rules)
+  in
+  Printf.sprintf "net0: model=%s,macaddr=%s (%s)\n  tx=%dB rx=%dB" cfg.netdev.model
+    cfg.netdev.mac fwd io.Vm.net_tx_bytes io.Vm.net_rx_bytes
+
+let info_cpus vm =
+  let cfg = Vm.config vm in
+  let io = Vm.io vm in
+  let lines =
+    List.init cfg.Qemu_config.vcpus (fun i ->
+        Printf.sprintf "* CPU #%d: pc=0x%08x thread_id=%d" i (0xfff0 + i) (Vm.qemu_pid vm + i))
+  in
+  String.concat "\n" (lines @ [ Printf.sprintf "(vm exits: %d)" io.Vm.vm_exits ])
+
+let info_migrate vm =
+  match Vm.state vm with
+  | Vm.Incoming -> "Migration status: waiting for incoming migration"
+  | Vm.Running | Vm.Paused | Vm.Created | Vm.Stopped -> "Migration status: none"
+
+let parse_migrate_uri uri =
+  match String.split_on_char ':' uri with
+  | [ "tcp"; host; port ] -> (
+    match int_of_string_opt port with
+    | Some p -> Ok (host, p)
+    | None -> Error (Printf.sprintf "invalid port in uri '%s'" uri))
+  | _ -> Error (Printf.sprintf "unsupported migration uri '%s' (expected tcp:host:port)" uri)
+
+let do_migrate vm uri =
+  match parse_migrate_uri uri with
+  | Error e -> Error_text e
+  | Ok (host, port) -> (
+    match Vm.migrate_handler vm with
+    | None -> Error_text "migration backend not available"
+    | Some handler -> (
+      match handler ~host ~port with
+      | Ok () -> Ok_text "migration completed"
+      | Error e -> Error_text ("migration failed: " ^ e)))
+
+let words line = String.split_on_char ' ' line |> List.filter (fun w -> w <> "")
+
+let execute vm line =
+  (* telnet round trip + command dispatch on the monitor socket *)
+  ignore (Sim.Engine.run_for (Vm.engine vm) (Sim.Time.ms 5.));
+  match words line with
+  | [] -> Ok_text ""
+  | [ "help" ] -> Ok_text help_text
+  | [ "info"; "status" ] -> Ok_text (info_status vm)
+  | [ "info"; "qtree" ] -> Ok_text (info_qtree vm)
+  | [ "info"; "blockstats" ] -> Ok_text (info_blockstats vm)
+  | [ "info"; "mtree" ] -> Ok_text (info_mtree vm)
+  | [ "info"; "mem" ] -> Ok_text (info_mem vm)
+  | [ "info"; "network" ] -> Ok_text (info_network vm)
+  | [ "info"; "cpus" ] -> Ok_text (info_cpus vm)
+  | [ "info"; "migrate" ] -> Ok_text (info_migrate vm)
+  | [ "info"; "version" ] -> Ok_text "2.9.50 (v2.9.0-989-g43771d5)"
+  | [ "info"; "name" ] -> Ok_text (Vm.name vm)
+  | [ "info"; "kvm" ] ->
+    Ok_text
+      (if (Vm.config vm).Qemu_config.accel_kvm then "kvm support: enabled"
+       else "kvm support: disabled")
+  | [ "info"; "uuid" ] ->
+    (* derived from the name so it is stable across reconnects *)
+    let h = Hashtbl.hash (Vm.name vm) in
+    Ok_text (Printf.sprintf "%08x-0000-4000-8000-%012x" (h land 0xFFFFFFFF) (h * 2654435761))
+  | [ "info"; topic ] -> Error_text (Printf.sprintf "info: unknown topic '%s'" topic)
+  | [ "migrate"; uri ] -> do_migrate vm uri
+  | [ "migrate"; "-d"; uri ] -> do_migrate vm uri
+  | [ "migrate_set_speed"; _speed ] -> Ok_text ""
+  | [ "stop" ] -> (
+    match Vm.pause vm with Ok () -> Ok_text "" | Error e -> Error_text e)
+  | [ "cont" ] -> (
+    match Vm.resume vm with Ok () -> Ok_text "" | Error e -> Error_text e)
+  | [ "quit" ] ->
+    Vm.stop vm;
+    Quit
+  | cmd :: _ -> Error_text (Printf.sprintf "unknown command '%s'" cmd)
+
+let execute_exn vm line =
+  match execute vm line with
+  | Ok_text s -> s
+  | Quit -> ""
+  | Error_text e -> failwith (Printf.sprintf "monitor(%s): %s" (Vm.name vm) e)

@@ -1,0 +1,20 @@
+let revision_id = 0x12
+
+(* Slot is folded into the low bits so each nested VM gets a distinct
+   page, but the high bits stay fixed: that fixed prefix is the layout
+   signature a scanner greps for. *)
+let base = 0x564D4353_00000000L (* "VMCS" *)
+
+let signature_content ~slot =
+  Memory.Page.Content.of_int64
+    (Int64.logor base (Int64.of_int ((revision_id lsl 16) lor (slot land 0xFFFF))))
+
+let is_signature c =
+  Int64.equal (Int64.logand (Memory.Page.Content.to_int64 c) 0xFFFFFFFF_FF000000L) base
+
+let scan space =
+  let hits = ref [] in
+  for i = Memory.Address_space.pages space - 1 downto 0 do
+    if is_signature (Memory.Address_space.read space i) then hits := i :: !hits
+  done;
+  !hits

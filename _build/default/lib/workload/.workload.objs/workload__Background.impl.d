@@ -1,0 +1,1 @@
+lib/workload/background.ml: Exec_env Sim Vmm

@@ -1,0 +1,1 @@
+lib/workload/background.mli: Exec_env Sim

@@ -1,0 +1,1 @@
+lib/workload/exec_env.ml: Memory Sim Vmm

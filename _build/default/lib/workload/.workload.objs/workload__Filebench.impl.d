@@ -1,0 +1,1 @@
+lib/workload/filebench.ml: Array Background Exec_env Memory Sim Vmm

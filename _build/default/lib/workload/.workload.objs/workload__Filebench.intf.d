@@ -1,0 +1,1 @@
+lib/workload/filebench.mli: Background Exec_env Sim

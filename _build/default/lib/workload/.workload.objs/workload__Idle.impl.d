@@ -1,0 +1,1 @@
+lib/workload/idle.ml: Background Exec_env Sim

@@ -1,0 +1,1 @@
+lib/workload/kernel_compile.mli: Background Exec_env Sim Vmm

@@ -1,0 +1,1 @@
+lib/workload/lmbench.ml: Exec_env Float Sim Vmm

@@ -1,0 +1,1 @@
+lib/workload/lmbench.mli: Exec_env Vmm

@@ -1,0 +1,1 @@
+lib/workload/netperf.ml: Array Background Exec_env Net Sim Vmm

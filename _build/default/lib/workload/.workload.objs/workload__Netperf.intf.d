@@ -1,0 +1,1 @@
+lib/workload/netperf.mli: Background Exec_env Net Sim

@@ -1,0 +1,59 @@
+type t = {
+  engine : Sim.Engine.t;
+  level : Vmm.Level.t;
+  ram : Memory.Address_space.t;
+  rng : Sim.Rng.t;
+  vm : Vmm.Vm.t option;
+  params : Vmm.Cost_model.params;
+  noise_rsd : float;
+}
+
+let make ?(noise_rsd = 0.02) ?(params = Vmm.Cost_model.default_params) ?vm ~engine ~level ~ram
+    ~rng () =
+  { engine; level; ram; rng; vm; params; noise_rsd }
+
+let of_layers ?noise_rsd ?params (env : Vmm.Layers.env) =
+  make ?noise_rsd ?params ?vm:env.Vmm.Layers.exec_vm ~engine:env.Vmm.Layers.engine
+    ~level:env.Vmm.Layers.exec_level ~ram:env.Vmm.Layers.exec_ram
+    ~rng:(Sim.Engine.fork_rng env.Vmm.Layers.engine)
+    ()
+
+let charge_exits t n =
+  match t.vm with
+  | Some vm -> (Vmm.Vm.io vm).Vmm.Vm.vm_exits <- (Vmm.Vm.io vm).Vmm.Vm.vm_exits + n
+  | None -> ()
+
+let consume t op n =
+  let base = Vmm.Cost_model.cost_n ~params:t.params ~level:t.level op n in
+  let elapsed = Sim.Time.mul base (Sim.Rng.lognormal_noise t.rng ~rsd:t.noise_rsd) in
+  ignore (Sim.Engine.run_for t.engine elapsed);
+  (match t.vm with
+  | Some vm ->
+    let io = Vmm.Vm.io vm in
+    io.Vmm.Vm.cpu_time <- Sim.Time.add io.Vmm.Vm.cpu_time elapsed
+  | None -> ());
+  charge_exits t (int_of_float (op.Vmm.Cost_model.sw_exits *. float_of_int n));
+  elapsed
+
+let rewrite t i =
+  let c = Memory.Address_space.read t.ram i in
+  ignore (Memory.Address_space.write t.ram i (Memory.Page.Content.mutate c ~salt:i))
+
+let dirty_random t n =
+  let pages = Memory.Address_space.pages t.ram in
+  for _ = 1 to n do
+    rewrite t (Sim.Rng.int t.rng pages)
+  done
+
+let dirty_sequential t ~cursor n =
+  let pages = Memory.Address_space.pages t.ram in
+  for _ = 1 to n do
+    rewrite t (!cursor mod pages);
+    incr cursor
+  done
+
+let dirty_region t ~offset ~length n =
+  if length <= 0 then invalid_arg "dirty_region: empty region";
+  for _ = 1 to n do
+    rewrite t (offset + Sim.Rng.int t.rng length)
+  done

@@ -1,0 +1,27 @@
+(** Filebench workload (paper Fig 4's I/O-intensive case).
+
+    A fileserver-style personality: create / write / read / delete over
+    a bounded file-cache working set. I/O-intensive but with a limited
+    unique-dirty footprint, which is why its migration cost sits close
+    to idle and far from the kernel compile in Fig 4. *)
+
+type config = {
+  working_set_mb : int;  (** page-cache region it recycles (default 96) *)
+  ops_per_second : float;  (** filebench op rate (default 8000) *)
+  dirty_pages_per_second : float;  (** unique page dirty rate (default 2000) *)
+}
+
+val default_config : config
+
+type result = {
+  ops_done : int;
+  elapsed : Sim.Time.t;
+  ops_per_second : float;
+}
+
+val run : ?config:config -> ?ops:int -> Exec_env.t -> result
+(** Execute [ops] (default 100 000) filebench operations, pricing each
+    through the cost model (creates/deletes from the lmbench fs
+    calibration). *)
+
+val background : ?config:config -> unit -> Background.spec

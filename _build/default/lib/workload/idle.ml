@@ -1,0 +1,14 @@
+let background ?(pages_per_second = 2.) () =
+  let tick = Sim.Time.ms 500. in
+  let per_tick = pages_per_second *. Sim.Time.to_s tick in
+  let carry = ref 0. in
+  {
+    Background.name = "idle";
+    tick;
+    action =
+      (fun env ~tick_index:_ ->
+        carry := !carry +. per_tick;
+        let n = int_of_float !carry in
+        carry := !carry -. float_of_int n;
+        Exec_env.dirty_random env n);
+  }

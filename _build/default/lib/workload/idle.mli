@@ -1,0 +1,6 @@
+(** The idle workload: a guest whose user is connected but inactive
+    (paper Section V-B-1). Only kernel housekeeping touches memory, at a
+    trickle. *)
+
+val background : ?pages_per_second:float -> unit -> Background.spec
+(** Default 2 pages/s. *)

@@ -1,0 +1,83 @@
+type config = {
+  compile_units : int;
+  unit_cpu : Sim.Time.t;
+  ccache_hit_factor : float;
+  unit_sw_exits : float;
+  unit_hw_faults : float;
+  dirty_pages_per_unit : int;
+}
+
+let default_config =
+  {
+    compile_units = 2600;
+    unit_cpu = Sim.Time.ms 330.;
+    ccache_hit_factor = 0.26;
+    unit_sw_exits = 50.;
+    unit_hw_faults = 58_000.;
+    dirty_pages_per_unit = 8;
+  }
+
+let unit_op ?(ccache = false) config =
+  let cpu =
+    if ccache then Sim.Time.mul config.unit_cpu config.ccache_hit_factor else config.unit_cpu
+  in
+  Vmm.Cost_model.op ~name:"compile-unit" ~cpu ~sw_exits:config.unit_sw_exits
+    ~hw_faults_l2:config.unit_hw_faults ~residual_l1:1.02 ()
+
+let run ?(ccache_at_l0 = true) ?(config = default_config) env =
+  let ccache = ccache_at_l0 && Vmm.Level.equal env.Exec_env.level Vmm.Level.l0 in
+  let op = unit_op ~ccache config in
+  let cursor = ref 0 in
+  let batch = 100 in
+  let rec go remaining elapsed =
+    if remaining <= 0 then elapsed
+    else begin
+      let n = min batch remaining in
+      let d = Exec_env.consume env op n in
+      Exec_env.dirty_sequential env ~cursor (config.dirty_pages_per_unit * n);
+      (match env.Exec_env.vm with
+      | Some vm ->
+        let io = Vmm.Vm.io vm in
+        io.Vmm.Vm.block_read_ops <- io.Vmm.Vm.block_read_ops + n;
+        (* each unit leaves an object file on disk *)
+        Vmm.Vm.disk_write vm ~bytes:(n * 192 * 1024)
+      | None -> ());
+      go (remaining - n) (Sim.Time.add elapsed d)
+    end
+  in
+  go config.compile_units Sim.Time.zero
+
+let background ?(config = default_config) ?(pages_per_second = 10_150.) () =
+  let tick = Sim.Time.ms 50. in
+  let cursor = ref 0 in
+  let carry = ref 0. in
+  (* each run's build is a little different (cache state, scheduling):
+     draw a per-run rate factor on first tick *)
+  let rate = ref None in
+  ignore config.dirty_pages_per_unit;
+  {
+    Background.name = "kernel-compile";
+    tick;
+    action =
+      (fun env ~tick_index:_ ->
+        let pages_per_second =
+          match !rate with
+          | Some r -> r
+          | None ->
+            let r =
+              pages_per_second *. Sim.Rng.lognormal_noise env.Exec_env.rng ~rsd:0.015
+            in
+            rate := Some r;
+            r
+        in
+        let per_tick = pages_per_second *. Sim.Time.to_s tick in
+        carry := !carry +. per_tick;
+        let n = int_of_float !carry in
+        carry := !carry -. float_of_int n;
+        Exec_env.dirty_sequential env ~cursor n;
+        match env.Exec_env.vm with
+        | Some vm ->
+          let io = Vmm.Vm.io vm in
+          io.Vmm.Vm.block_write_ops <- io.Vmm.Vm.block_write_ops + (n / 16)
+        | None -> ());
+  }

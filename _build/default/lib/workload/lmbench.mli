@@ -1,0 +1,42 @@
+(** lmbench 3.0-a9 microbenchmarks (paper Tables II, III, IV).
+
+    Each row of the paper's three lmbench tables is encoded as a
+    {!Vmm.Cost_model.op}, calibrated so the model's L0/L1/L2 outputs
+    land on the published measurements. The calibration is documented in
+    DESIGN.md: arithmetic rows are pure CPU; pipe/socket rows carry
+    software exits; fork rows carry the hardware-assisted faults that L0
+    must emulate for an L2 guest; rows without a published exit
+    structure (and all file-system rows) are encoded through
+    {!Vmm.Cost_model.calibrate_hw_faults}. *)
+
+(** {2 Table II: arithmetic, times in nanoseconds} *)
+
+val arithmetic : (string * Vmm.Cost_model.op) list
+(** integer bit/add/div/mod, float add/mul/div, double add/mul/div. *)
+
+(** {2 Table III: processes, times in microseconds} *)
+
+val processes : (string * Vmm.Cost_model.op) list
+(** signal handler install/overhead, protection fault, pipe latency,
+    AF_UNIX latency, fork+exit, fork+execve, fork+/bin/sh. *)
+
+(** {2 Table IV: file system, creations/deletions per second} *)
+
+type fs_row = {
+  size_kb : int;
+  create : Vmm.Cost_model.op;
+  delete : Vmm.Cost_model.op;
+}
+
+val fs : fs_row list
+(** Rows for 0K, 1K, 4K, 10K files. *)
+
+(** {2 Measurement} *)
+
+val measure :
+  ?iterations:int -> Exec_env.t -> Vmm.Cost_model.op -> float
+(** Mean cost per op in nanoseconds, measured by timing [iterations]
+    (default 10 000) executions on the environment's clock, including
+    its noise - how lmbench actually reports. *)
+
+val ops_per_second : ns_per_op:float -> float

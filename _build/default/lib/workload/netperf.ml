@@ -1,0 +1,69 @@
+type config = {
+  link : Net.Link.t;
+  derate_per_level : float;
+  rsd_by_level : float array;
+  transfer_bytes : int;
+}
+
+let default_config =
+  {
+    link = Net.Link.lan_1gbe;
+    derate_per_level = 0.985;
+    rsd_by_level = [| 0.0111; 0.1032; 0.0396 |];
+    transfer_bytes = 128 * 1024 * 1024;
+  }
+
+type result = {
+  throughput_mbit_s : float;
+  elapsed : Sim.Time.t;
+}
+
+let pow base n =
+  let rec go acc n = if n <= 0 then acc else go (acc *. base) (n - 1) in
+  go 1.0 n
+
+let level_rsd config level =
+  let l = Vmm.Level.to_int level in
+  if l < Array.length config.rsd_by_level then config.rsd_by_level.(l)
+  else config.rsd_by_level.(Array.length config.rsd_by_level - 1)
+
+let run ?(config = default_config) env =
+  let level = env.Exec_env.level in
+  (* The paper's RSDs are run-to-run, so the noise is drawn once per run
+     (scheduling, host interference) and applied to the whole stream -
+     per-chunk jitter would average itself away over thousands of
+     chunks. *)
+  let rsd = level_rsd config level in
+  let run_noise = Sim.Rng.lognormal_noise env.Exec_env.rng ~rsd in
+  let derate = pow config.derate_per_level (Vmm.Level.to_int level) *. run_noise in
+  let flow =
+    Net.Flow.run env.Exec_env.engine ~link:config.link ~derate ~rng:env.Exec_env.rng
+      ~bytes:config.transfer_bytes ()
+  in
+  (match env.Exec_env.vm with
+  | Some vm ->
+    let io = Vmm.Vm.io vm in
+    io.Vmm.Vm.net_tx_bytes <- io.Vmm.Vm.net_tx_bytes + config.transfer_bytes
+  | None -> ());
+  { throughput_mbit_s = flow.Net.Flow.throughput_mbit_s; elapsed = flow.Net.Flow.elapsed }
+
+let background ?(config = default_config) () =
+  let tick = Sim.Time.ms 100. in
+  (* Socket buffers recycle a small ring of pages; the dirty footprint
+     of a sender is tiny compared to its traffic. *)
+  let ring_pages = 512 in
+  {
+    Background.name = "netperf";
+    tick;
+    action =
+      (fun env ~tick_index:_ ->
+        let bytes_per_tick =
+          int_of_float (config.link.Net.Link.bandwidth_bytes_per_s *. Sim.Time.to_s tick)
+        in
+        Exec_env.dirty_region env ~offset:0 ~length:ring_pages 16;
+        match env.Exec_env.vm with
+        | Some vm ->
+          let io = Vmm.Vm.io vm in
+          io.Vmm.Vm.net_tx_bytes <- io.Vmm.Vm.net_tx_bytes + bytes_per_tick
+        | None -> ());
+  }

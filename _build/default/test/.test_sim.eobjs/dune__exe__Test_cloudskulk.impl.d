@@ -1,0 +1,1 @@
+test/test_cloudskulk.ml: Alcotest Cloudskulk List Memory Migration Net Option Result Sim String Vmm

@@ -1,0 +1,1 @@
+test/test_detection.ml: Alcotest Array Cloudskulk Float Result Sim

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Cloudskulk Gen List Memory Migration Net Option QCheck QCheck_alcotest Result Sim Vmm

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Cloudskulk List Memory Migration Net Result Sim String Vmm Workload

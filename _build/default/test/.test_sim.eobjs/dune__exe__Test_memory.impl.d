@@ -1,0 +1,1 @@
+test/test_memory.ml: Alcotest Array Content Hashtbl List Memory Printf QCheck QCheck_alcotest Sim

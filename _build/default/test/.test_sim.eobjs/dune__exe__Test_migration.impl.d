@@ -1,0 +1,1 @@
+test/test_migration.ml: Alcotest Array List Memory Migration Net QCheck QCheck_alcotest Result Sim String Vmm Workload

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Float List Net Node Printf QCheck QCheck_alcotest Sim Switch

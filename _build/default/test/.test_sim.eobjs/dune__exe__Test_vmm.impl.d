@@ -1,0 +1,1 @@
+test/test_vmm.ml: Alcotest Float List Memory Net Option Printf Result Sim String Vmm Workload

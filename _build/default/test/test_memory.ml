@@ -1,0 +1,490 @@
+(* Tests for the memory substrate: frames, address spaces (including
+   nested windows), dirty tracking, KSM merging, and the write-timing
+   probe that the detector builds on. *)
+
+let rng () = Sim.Rng.create 42
+
+let content_tests =
+  let open Memory.Page in
+  [
+    Alcotest.test_case "of_int is deterministic and distinct" `Quick (fun () ->
+        Alcotest.(check bool) "equal" true (Content.equal (Content.of_int 5) (Content.of_int 5));
+        Alcotest.(check bool) "distinct" false
+          (Content.equal (Content.of_int 5) (Content.of_int 6)));
+    Alcotest.test_case "of_int never collides with the zero page" `Quick (fun () ->
+        for i = 0 to 1000 do
+          Alcotest.(check bool) "non-zero" false (Content.is_zero (Content.of_int i))
+        done);
+    Alcotest.test_case "mutate changes content" `Quick (fun () ->
+        let c = Content.of_int 9 in
+        Alcotest.(check bool) "differs" false (Content.equal c (Content.mutate c ~salt:0)));
+    Alcotest.test_case "mutate is deterministic per salt" `Quick (fun () ->
+        let c = Content.of_int 9 in
+        Alcotest.(check bool) "same salt same result" true
+          (Content.equal (Content.mutate c ~salt:3) (Content.mutate c ~salt:3));
+        Alcotest.(check bool) "different salt different result" false
+          (Content.equal (Content.mutate c ~salt:3) (Content.mutate c ~salt:4)));
+    Alcotest.test_case "pages_of_bytes rounds up" `Quick (fun () ->
+        Alcotest.(check int) "exact" 1 (Memory.Page.pages_of_bytes 4096);
+        Alcotest.(check int) "round up" 2 (Memory.Page.pages_of_bytes 4097);
+        Alcotest.(check int) "zero" 0 (Memory.Page.pages_of_bytes 0));
+    Alcotest.test_case "int64 round-trip" `Quick (fun () ->
+        let c = Content.of_int64 0xDEADBEEFL in
+        Alcotest.(check int64) "round trip" 0xDEADBEEFL (Content.to_int64 c));
+  ]
+
+let frame_tests =
+  let open Memory.Frame_table in
+  [
+    Alcotest.test_case "alloc gives private frame" `Quick (fun () ->
+        let t = create () in
+        let f = alloc t (Memory.Page.Content.of_int 1) in
+        Alcotest.(check int) "refcount" 1 (refcount t f);
+        Alcotest.(check bool) "not shared" false (is_shared t f);
+        Alcotest.(check int) "live" 1 (live_frames t));
+    Alcotest.test_case "incref/decref lifecycle" `Quick (fun () ->
+        let t = create () in
+        let f = alloc t (Memory.Page.Content.of_int 1) in
+        incref t f;
+        Alcotest.(check bool) "shared" true (is_shared t f);
+        decref t f;
+        decref t f;
+        Alcotest.(check int) "freed" 0 (live_frames t));
+    Alcotest.test_case "freed frames are recycled" `Quick (fun () ->
+        let t = create () in
+        let f = alloc t (Memory.Page.Content.of_int 1) in
+        decref t f;
+        let f2 = alloc t (Memory.Page.Content.of_int 2) in
+        Alcotest.(check int) "same slot" f f2);
+    Alcotest.test_case "capacity enforced" `Quick (fun () ->
+        let t = create ~capacity_frames:2 () in
+        ignore (alloc t (Memory.Page.Content.of_int 1));
+        ignore (alloc t (Memory.Page.Content.of_int 2));
+        Alcotest.(check bool) "raises OOM" true
+          (try
+             ignore (alloc t (Memory.Page.Content.of_int 3));
+             false
+           with Out_of_memory_frames -> true));
+    Alcotest.test_case "sharing accounting" `Quick (fun () ->
+        let t = create () in
+        let f = alloc t (Memory.Page.Content.of_int 1) in
+        incref t f;
+        incref t f;
+        ignore (alloc t (Memory.Page.Content.of_int 2));
+        Alcotest.(check int) "shared frames" 1 (shared_frames t);
+        Alcotest.(check int) "savings = refs-1" 2 (sharing_savings_pages t));
+    Alcotest.test_case "stable flag" `Quick (fun () ->
+        let t = create () in
+        let f = alloc t (Memory.Page.Content.of_int 1) in
+        Alcotest.(check bool) "initially unstable" false (is_stable t f);
+        mark_stable t f;
+        Alcotest.(check bool) "stable" true (is_stable t f);
+        clear_stable t f;
+        Alcotest.(check bool) "cleared" false (is_stable t f));
+  ]
+
+let dirty_tests =
+  let open Memory.Dirty in
+  [
+    Alcotest.test_case "set and count" `Quick (fun () ->
+        let d = create 100 in
+        set d 3;
+        set d 97;
+        set d 3;
+        Alcotest.(check int) "count dedups" 2 (dirty_count d);
+        Alcotest.(check bool) "is_dirty" true (is_dirty d 3);
+        Alcotest.(check bool) "clean page" false (is_dirty d 4));
+    Alcotest.test_case "collect_and_clear returns sorted and clears" `Quick (fun () ->
+        let d = create 50 in
+        List.iter (set d) [ 40; 2; 17 ];
+        Alcotest.(check (list int)) "sorted" [ 2; 17; 40 ] (collect_and_clear d);
+        Alcotest.(check int) "cleared" 0 (dirty_count d));
+    Alcotest.test_case "out of range raises" `Quick (fun () ->
+        let d = create 10 in
+        Alcotest.(check bool) "raises" true
+          (try
+             set d 10;
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "boundary bits work" `Quick (fun () ->
+        let d = create 17 in
+        set d 0;
+        set d 7;
+        set d 8;
+        set d 16;
+        Alcotest.(check (list int)) "all kept" [ 0; 7; 8; 16 ] (collect_and_clear d));
+  ]
+
+let space_tests =
+  [
+    Alcotest.test_case "fresh root space is all zero" `Quick (fun () ->
+        let ft = Memory.Frame_table.create () in
+        let s = Memory.Address_space.create_root ft ~name:"ram" ~pages:16 in
+        for i = 0 to 15 do
+          Alcotest.(check bool) "zero" true
+            (Memory.Page.Content.is_zero (Memory.Address_space.read s i))
+        done);
+    Alcotest.test_case "write then read" `Quick (fun () ->
+        let ft = Memory.Frame_table.create () in
+        let s = Memory.Address_space.create_root ft ~name:"ram" ~pages:4 in
+        let c = Memory.Page.Content.of_int 7 in
+        ignore (Memory.Address_space.write s 2 c);
+        Alcotest.(check bool) "read back" true
+          (Memory.Page.Content.equal c (Memory.Address_space.read s 2)));
+    Alcotest.test_case "window resolves into parent" `Quick (fun () ->
+        let ft = Memory.Frame_table.create () in
+        let parent = Memory.Address_space.create_root ft ~name:"l1" ~pages:32 in
+        let w = Memory.Address_space.window parent ~name:"l2" ~offset:8 ~pages:8 in
+        let c = Memory.Page.Content.of_int 3 in
+        ignore (Memory.Address_space.write w 0 c);
+        Alcotest.(check bool) "parent sees it" true
+          (Memory.Page.Content.equal c (Memory.Address_space.read parent 8));
+        let root, idx = Memory.Address_space.resolve w 3 in
+        Alcotest.(check bool) "root is parent" true (root == parent);
+        Alcotest.(check int) "offset applied" 11 idx);
+    Alcotest.test_case "nested window of window" `Quick (fun () ->
+        let ft = Memory.Frame_table.create () in
+        let l1 = Memory.Address_space.create_root ft ~name:"l1" ~pages:64 in
+        let l2 = Memory.Address_space.window l1 ~name:"l2" ~offset:16 ~pages:32 in
+        let l3 = Memory.Address_space.window l2 ~name:"l3" ~offset:4 ~pages:8 in
+        let c = Memory.Page.Content.of_int 5 in
+        ignore (Memory.Address_space.write l3 1 c);
+        Alcotest.(check bool) "l1 sees it at 21" true
+          (Memory.Page.Content.equal c (Memory.Address_space.read l1 21)));
+    Alcotest.test_case "window out of range rejected" `Quick (fun () ->
+        let ft = Memory.Frame_table.create () in
+        let parent = Memory.Address_space.create_root ft ~name:"l1" ~pages:8 in
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (Memory.Address_space.window parent ~name:"w" ~offset:4 ~pages:8);
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "write marks dirty along the chain" `Quick (fun () ->
+        let ft = Memory.Frame_table.create () in
+        let l1 = Memory.Address_space.create_root ft ~name:"l1" ~pages:32 in
+        let l2 = Memory.Address_space.window l1 ~name:"l2" ~offset:8 ~pages:8 in
+        Memory.Dirty.clear (Memory.Address_space.dirty l1);
+        ignore (Memory.Address_space.write l2 2 (Memory.Page.Content.of_int 1));
+        Alcotest.(check bool) "l2 dirty at 2" true
+          (Memory.Dirty.is_dirty (Memory.Address_space.dirty l2) 2);
+        Alcotest.(check bool) "l1 dirty at 10" true
+          (Memory.Dirty.is_dirty (Memory.Address_space.dirty l1) 10));
+    Alcotest.test_case "write to shared frame is CoW" `Quick (fun () ->
+        let ft = Memory.Frame_table.create () in
+        let a = Memory.Address_space.create_root ft ~name:"a" ~pages:2 in
+        let b = Memory.Address_space.create_root ft ~name:"b" ~pages:2 in
+        let c = Memory.Page.Content.of_int 4 in
+        ignore (Memory.Address_space.write a 0 c);
+        ignore (Memory.Address_space.write b 0 c);
+        (* merge manually (what ksm does) *)
+        Memory.Address_space.remap b 0 (Memory.Address_space.frame_at a 0);
+        Alcotest.(check int) "shared after remap" 2
+          (Memory.Frame_table.refcount ft (Memory.Address_space.frame_at a 0));
+        let kind = Memory.Address_space.write b 0 (Memory.Page.Content.of_int 5) in
+        Alcotest.(check bool) "cow break" true (kind = Memory.Address_space.Cow_break);
+        Alcotest.(check bool) "a unaffected" true
+          (Memory.Page.Content.equal c (Memory.Address_space.read a 0));
+        Alcotest.(check bool) "frames diverged" true
+          (Memory.Address_space.frame_at a 0 <> Memory.Address_space.frame_at b 0));
+    Alcotest.test_case "remap refuses windows" `Quick (fun () ->
+        let ft = Memory.Frame_table.create () in
+        let parent = Memory.Address_space.create_root ft ~name:"p" ~pages:8 in
+        let w = Memory.Address_space.window parent ~name:"w" ~offset:0 ~pages:4 in
+        Alcotest.(check bool) "raises" true
+          (try
+             Memory.Address_space.remap w 0 (Memory.Address_space.frame_at parent 5);
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "load and contents round-trip" `Quick (fun () ->
+        let ft = Memory.Frame_table.create () in
+        let s = Memory.Address_space.create_root ft ~name:"s" ~pages:8 in
+        let data = Array.init 4 (fun i -> Memory.Page.Content.of_int (100 + i)) in
+        Memory.Address_space.load s ~offset:2 data;
+        let all = Memory.Address_space.contents s in
+        Array.iteri
+          (fun i c ->
+            Alcotest.(check bool) "page matches" true (Memory.Page.Content.equal c all.(2 + i)))
+          data);
+  ]
+
+let make_ksm_world ?(config = Memory.Ksm.fast_config) () =
+  let engine = Sim.Engine.create () in
+  let ft = Memory.Frame_table.create () in
+  let ksm = Memory.Ksm.create ~config engine ft in
+  (engine, ft, ksm)
+
+let run_full_pass engine ksm n =
+  Memory.Ksm.start ksm;
+  let target = Memory.Ksm.full_scans ksm + n in
+  let guard = ref 0 in
+  while Memory.Ksm.full_scans ksm < target && !guard < 1_000_000 do
+    ignore (Sim.Engine.run_for engine (Sim.Time.ms 10.));
+    incr guard
+  done;
+  Memory.Ksm.stop ksm
+
+let ksm_tests =
+  [
+    Alcotest.test_case "identical pages merge" `Quick (fun () ->
+        let engine, ft, ksm = make_ksm_world () in
+        let a = Memory.Address_space.create_root ft ~name:"a" ~pages:8 in
+        let b = Memory.Address_space.create_root ft ~name:"b" ~pages:8 in
+        let c = Memory.Page.Content.of_int 77 in
+        ignore (Memory.Address_space.write a 1 c);
+        ignore (Memory.Address_space.write b 5 c);
+        Memory.Ksm.register ksm a;
+        Memory.Ksm.register ksm b;
+        run_full_pass engine ksm 2;
+        Alcotest.(check int) "same frame" (Memory.Address_space.frame_at a 1)
+          (Memory.Address_space.frame_at b 5);
+        Alcotest.(check bool) "merged count positive" true (Memory.Ksm.pages_merged ksm > 0));
+    Alcotest.test_case "different pages stay separate" `Quick (fun () ->
+        let engine, ft, ksm = make_ksm_world () in
+        let a = Memory.Address_space.create_root ft ~name:"a" ~pages:4 in
+        let b = Memory.Address_space.create_root ft ~name:"b" ~pages:4 in
+        ignore (Memory.Address_space.write a 0 (Memory.Page.Content.of_int 1));
+        ignore (Memory.Address_space.write b 0 (Memory.Page.Content.of_int 2));
+        Memory.Ksm.register ksm a;
+        Memory.Ksm.register ksm b;
+        run_full_pass engine ksm 2;
+        Alcotest.(check bool) "frames differ" true
+          (Memory.Address_space.frame_at a 0 <> Memory.Address_space.frame_at b 0));
+    Alcotest.test_case "nested window pages merge with host pages" `Quick (fun () ->
+        (* The CloudSkulk property: an L2 page (window into GuestX RAM)
+           merges with an identical page the L0 detector loads. *)
+        let engine, ft, ksm = make_ksm_world () in
+        let guestx = Memory.Address_space.create_root ft ~name:"guestx" ~pages:64 in
+        let l2 = Memory.Address_space.window guestx ~name:"l2" ~offset:32 ~pages:16 in
+        let host_buf = Memory.Address_space.create_root ft ~name:"detector" ~pages:4 in
+        let c = Memory.Page.Content.of_int 99 in
+        ignore (Memory.Address_space.write l2 3 c);
+        ignore (Memory.Address_space.write host_buf 0 c);
+        Memory.Ksm.register ksm guestx;
+        Memory.Ksm.register ksm host_buf;
+        run_full_pass engine ksm 2;
+        Alcotest.(check int) "merged across levels" (Memory.Address_space.frame_at l2 3)
+          (Memory.Address_space.frame_at host_buf 0));
+    Alcotest.test_case "registering a window is rejected" `Quick (fun () ->
+        let _, ft, ksm = make_ksm_world () in
+        let parent = Memory.Address_space.create_root ft ~name:"p" ~pages:8 in
+        let w = Memory.Address_space.window parent ~name:"w" ~offset:0 ~pages:4 in
+        Alcotest.(check bool) "raises" true
+          (try
+             Memory.Ksm.register ksm w;
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "CoW after merge restores divergence" `Quick (fun () ->
+        let engine, ft, ksm = make_ksm_world () in
+        let a = Memory.Address_space.create_root ft ~name:"a" ~pages:2 in
+        let b = Memory.Address_space.create_root ft ~name:"b" ~pages:2 in
+        let c = Memory.Page.Content.of_int 5 in
+        ignore (Memory.Address_space.write a 0 c);
+        ignore (Memory.Address_space.write b 0 c);
+        Memory.Ksm.register ksm a;
+        Memory.Ksm.register ksm b;
+        run_full_pass engine ksm 2;
+        let kind = Memory.Address_space.write b 0 (Memory.Page.Content.of_int 6) in
+        Alcotest.(check bool) "cow" true (kind = Memory.Address_space.Cow_break);
+        Alcotest.(check bool) "a keeps original" true
+          (Memory.Page.Content.equal c (Memory.Address_space.read a 0)));
+    Alcotest.test_case "re-merge after CoW on next passes" `Quick (fun () ->
+        let engine, ft, ksm = make_ksm_world () in
+        let a = Memory.Address_space.create_root ft ~name:"a" ~pages:2 in
+        let b = Memory.Address_space.create_root ft ~name:"b" ~pages:2 in
+        let c = Memory.Page.Content.of_int 5 in
+        ignore (Memory.Address_space.write a 0 c);
+        ignore (Memory.Address_space.write b 0 c);
+        Memory.Ksm.register ksm a;
+        Memory.Ksm.register ksm b;
+        run_full_pass engine ksm 2;
+        ignore (Memory.Address_space.write b 0 c);
+        (* same content again *)
+        run_full_pass engine ksm 2;
+        Alcotest.(check int) "merged again" (Memory.Address_space.frame_at a 0)
+          (Memory.Address_space.frame_at b 0));
+    Alcotest.test_case "counters: pages_sharing reflects savings" `Quick (fun () ->
+        let engine, ft, ksm = make_ksm_world () in
+        let a = Memory.Address_space.create_root ft ~name:"a" ~pages:10 in
+        let b = Memory.Address_space.create_root ft ~name:"b" ~pages:10 in
+        let c = Memory.Page.Content.of_int 1 in
+        for i = 0 to 9 do
+          ignore (Memory.Address_space.write a i c);
+          ignore (Memory.Address_space.write b i c)
+        done;
+        Memory.Ksm.register ksm a;
+        Memory.Ksm.register ksm b;
+        run_full_pass engine ksm 2;
+        (* 20 identical pages collapse to 1 frame: 19 pages saved *)
+        Alcotest.(check bool) "savings >= 19" true (Memory.Ksm.pages_sharing ksm >= 19));
+    Alcotest.test_case "time_for_full_pass scales with population" `Quick (fun () ->
+        let _, ft, ksm = make_ksm_world ~config:{ pages_to_scan = 10; sleep = Sim.Time.ms 1. } () in
+        let a = Memory.Address_space.create_root ft ~name:"a" ~pages:100 in
+        Memory.Ksm.register ksm a;
+        Alcotest.(check int64) "10 wakeups" (Sim.Time.to_ns (Sim.Time.ms 10.))
+          (Sim.Time.to_ns (Memory.Ksm.time_for_full_pass ksm)));
+  ]
+
+let file_tests =
+  [
+    Alcotest.test_case "generated file pages are distinct" `Quick (fun () ->
+        let f = Memory.File_image.generate (rng ()) ~name:"f" ~pages:100 in
+        Alcotest.(check bool) "distinct" true (Memory.File_image.all_pages_distinct f));
+    Alcotest.test_case "mutate_all changes every page" `Quick (fun () ->
+        let f = Memory.File_image.generate (rng ()) ~name:"f" ~pages:20 in
+        let v2 = Memory.File_image.mutate_all f ~salt:1 in
+        for i = 0 to 19 do
+          Alcotest.(check bool) "page differs" false
+            (Memory.Page.Content.equal (Memory.File_image.content f i)
+               (Memory.File_image.content v2 i))
+        done;
+        Alcotest.(check string) "renamed" "f-v2" (Memory.File_image.name v2));
+    Alcotest.test_case "load_into and matches" `Quick (fun () ->
+        let ft = Memory.Frame_table.create () in
+        let s = Memory.Address_space.create_root ft ~name:"s" ~pages:32 in
+        let f = Memory.File_image.generate (rng ()) ~name:"f" ~pages:8 in
+        Memory.File_image.load_into f s ~offset:4;
+        Alcotest.(check bool) "matches at 4" true (Memory.File_image.matches f s ~offset:4);
+        Alcotest.(check bool) "not at 5" false (Memory.File_image.matches f s ~offset:5));
+    Alcotest.test_case "bytes" `Quick (fun () ->
+        let f = Memory.File_image.generate (rng ()) ~name:"f" ~pages:100 in
+        Alcotest.(check int) "400KB, as the paper sizes File-A" (400 * 1024)
+          (Memory.File_image.bytes f));
+  ]
+
+let probe_tests =
+  [
+    Alcotest.test_case "private pages probe fast, merged slow" `Quick (fun () ->
+        let ft = Memory.Frame_table.create () in
+        let a = Memory.Address_space.create_root ft ~name:"a" ~pages:10 in
+        let b = Memory.Address_space.create_root ft ~name:"b" ~pages:10 in
+        for i = 0 to 9 do
+          let c = Memory.Page.Content.of_int i in
+          ignore (Memory.Address_space.write a i c);
+          ignore (Memory.Address_space.write b i c);
+          Memory.Address_space.remap b i (Memory.Address_space.frame_at a i)
+        done;
+        let r = Sim.Rng.create 1 in
+        let merged =
+          Memory.Write_probe.probe ~params:Memory.Mem_params.noiseless ~rng:r b ~offset:0
+            ~pages:10
+        in
+        Alcotest.(check int) "all cow" 10 merged.Memory.Write_probe.cow_breaks;
+        let again =
+          Memory.Write_probe.probe ~params:Memory.Mem_params.noiseless ~rng:r b ~offset:0
+            ~pages:10
+        in
+        Alcotest.(check int) "now private" 0 again.Memory.Write_probe.cow_breaks;
+        Alcotest.(check bool) "merged slower" true
+          Sim.Time.(
+            Memory.Write_probe.mean_cost merged > Memory.Write_probe.mean_cost again));
+    Alcotest.test_case "probe leaves no identical pages behind" `Quick (fun () ->
+        let ft = Memory.Frame_table.create () in
+        let s = Memory.Address_space.create_root ft ~name:"s" ~pages:6 in
+        let r = Sim.Rng.create 1 in
+        ignore (Memory.Write_probe.probe ~rng:r s ~offset:0 ~pages:6);
+        let seen = Hashtbl.create 8 in
+        let dup = ref false in
+        for i = 0 to 5 do
+          let c = Memory.Address_space.read s i in
+          let key = Memory.Page.Content.to_int64 c in
+          if Hashtbl.mem seen key then dup := true;
+          Hashtbl.replace seen key ()
+        done;
+        Alcotest.(check bool) "no duplicates" false !dup);
+    Alcotest.test_case "noiseless costs match parameters" `Quick (fun () ->
+        let ft = Memory.Frame_table.create () in
+        let s = Memory.Address_space.create_root ft ~name:"s" ~pages:4 in
+        let r = Sim.Rng.create 1 in
+        let probe =
+          Memory.Write_probe.probe ~params:Memory.Mem_params.noiseless ~rng:r s ~offset:0
+            ~pages:4
+        in
+        Array.iter
+          (fun ns -> Alcotest.(check (float 1.)) "400ns" 400. ns)
+          (Memory.Write_probe.costs_ns probe));
+    Alcotest.test_case "fraction_cow" `Quick (fun () ->
+        let ft = Memory.Frame_table.create () in
+        let a = Memory.Address_space.create_root ft ~name:"a" ~pages:4 in
+        let b = Memory.Address_space.create_root ft ~name:"b" ~pages:4 in
+        let c = Memory.Page.Content.of_int 1 in
+        ignore (Memory.Address_space.write a 0 c);
+        ignore (Memory.Address_space.write b 0 c);
+        Memory.Address_space.remap b 0 (Memory.Address_space.frame_at a 0);
+        let r = Sim.Rng.create 1 in
+        let probe = Memory.Write_probe.probe ~rng:r b ~offset:0 ~pages:4 in
+        Alcotest.(check (float 1e-9)) "1 of 4" 0.25 (Memory.Write_probe.fraction_cow probe));
+  ]
+
+let mem_props =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"refcounts never go negative through write storms" ~count:50
+         QCheck.(small_int)
+         (fun seed ->
+           let ft = Memory.Frame_table.create () in
+           let a = Memory.Address_space.create_root ft ~name:"a" ~pages:16 in
+           let b = Memory.Address_space.create_root ft ~name:"b" ~pages:16 in
+           let r = Sim.Rng.create seed in
+           (* randomly write equal contents, merge some, write again *)
+           for _ = 1 to 200 do
+             let i = Sim.Rng.int r 16 in
+             let c = Memory.Page.Content.of_int (Sim.Rng.int r 8) in
+             ignore (Memory.Address_space.write a i c);
+             ignore (Memory.Address_space.write b i c);
+             if Sim.Rng.bool r then
+               Memory.Address_space.remap b i (Memory.Address_space.frame_at a i);
+             if Sim.Rng.bool r then
+               ignore
+                 (Memory.Address_space.write b i (Memory.Page.Content.of_int (Sim.Rng.int r 8)))
+           done;
+           (* every page still readable and every frame refcount >= 1 *)
+           let ok = ref true in
+           for i = 0 to 15 do
+             let fa = Memory.Address_space.frame_at a i in
+             let fb = Memory.Address_space.frame_at b i in
+             if Memory.Frame_table.refcount ft fa < 1 || Memory.Frame_table.refcount ft fb < 1
+             then ok := false
+           done;
+           !ok));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"ksm merge preserves every space's contents" ~count:20
+         QCheck.(small_int)
+         (fun seed ->
+           let engine = Sim.Engine.create ~seed () in
+           let ft = Memory.Frame_table.create () in
+           let ksm = Memory.Ksm.create ~config:Memory.Ksm.fast_config engine ft in
+           let r = Sim.Rng.create seed in
+           let spaces =
+             List.init 3 (fun k ->
+                 Memory.Address_space.create_root ft ~name:(Printf.sprintf "s%d" k) ~pages:32)
+           in
+           List.iter
+             (fun s ->
+               for i = 0 to 31 do
+                 ignore
+                   (Memory.Address_space.write s i (Memory.Page.Content.of_int (Sim.Rng.int r 10)))
+               done;
+               Memory.Ksm.register ksm s)
+             spaces;
+           let before = List.map Memory.Address_space.contents spaces in
+           Memory.Ksm.start ksm;
+           ignore (Sim.Engine.run_for engine (Sim.Time.s 1.));
+           Memory.Ksm.stop ksm;
+           let after = List.map Memory.Address_space.contents spaces in
+           List.for_all2
+             (fun b a -> Array.for_all2 Memory.Page.Content.equal b a)
+             before after));
+  ]
+
+let () =
+  Alcotest.run "memory"
+    [
+      ("page", content_tests);
+      ("frame_table", frame_tests);
+      ("dirty", dirty_tests);
+      ("address_space", space_tests);
+      ("ksm", ksm_tests);
+      ("file_image", file_tests);
+      ("write_probe", probe_tests);
+      ("properties", mem_props);
+    ]

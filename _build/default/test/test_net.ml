@@ -1,0 +1,324 @@
+(* Tests for the network substrate: links, packet routing, taps,
+   port forwarding, and flows. *)
+
+let engine () = Sim.Engine.create ()
+
+let link_tests =
+  let open Net.Link in
+  [
+    Alcotest.test_case "transfer time = latency + serialisation" `Quick (fun () ->
+        let l = make ~latency:(Sim.Time.ms 1.) ~bandwidth_mbytes_per_s:1. in
+        (* 1 MiB at 1 MiB/s = 1 s, plus 1 ms latency *)
+        let t = transfer_time l (1024 * 1024) in
+        Alcotest.(check int64) "1.001 s" (Sim.Time.to_ns (Sim.Time.ms 1001.)) (Sim.Time.to_ns t));
+    Alcotest.test_case "zero bytes costs latency only" `Quick (fun () ->
+        let l = make ~latency:(Sim.Time.us 100.) ~bandwidth_mbytes_per_s:10. in
+        Alcotest.(check int64) "latency" (Sim.Time.to_ns (Sim.Time.us 100.))
+          (Sim.Time.to_ns (transfer_time l 0)));
+    Alcotest.test_case "scale_bandwidth derates" `Quick (fun () ->
+        let l = make ~latency:Sim.Time.zero ~bandwidth_mbytes_per_s:100. in
+        let slow = scale_bandwidth l 0.5 in
+        let fast_t = Sim.Time.to_s (transfer_time l (100 * 1024 * 1024)) in
+        let slow_t = Sim.Time.to_s (transfer_time slow (100 * 1024 * 1024)) in
+        Alcotest.(check (float 1e-6)) "double time" (2. *. fast_t) slow_t);
+    Alcotest.test_case "invalid bandwidth rejected" `Quick (fun () ->
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (make ~latency:Sim.Time.zero ~bandwidth_mbytes_per_s:0.);
+             false
+           with Invalid_argument _ -> true));
+  ]
+
+let packet_tests =
+  let open Net.Packet in
+  [
+    Alcotest.test_case "default size includes headers" `Quick (fun () ->
+        let p =
+          make ~id:1 ~src:(endpoint "a" 1) ~dst:(endpoint "b" 2) "hello"
+        in
+        Alcotest.(check int) "5 + 54" 59 p.size_bytes);
+    Alcotest.test_case "visible payload hides ciphertext" `Quick (fun () ->
+        let p =
+          make ~encrypted:true ~id:1 ~src:(endpoint "a" 1) ~dst:(endpoint "b" 2) "secret"
+        in
+        Alcotest.(check string) "hidden" "<ciphertext>" (visible_payload p);
+        let q = make ~id:2 ~src:(endpoint "a" 1) ~dst:(endpoint "b" 2) "open" in
+        Alcotest.(check string) "clear" "open" (visible_payload q));
+  ]
+
+let mk_world () =
+  let e = engine () in
+  let sw = Net.Fabric.Switch.create e ~name:"sw" ~link:Net.Link.loopback in
+  (e, sw)
+
+let send_and_run e sw packet =
+  Net.Fabric.Switch.send sw packet;
+  ignore (Sim.Engine.run e)
+
+let fabric_tests =
+  let open Net.Fabric in
+  [
+    Alcotest.test_case "delivery to listening port" `Quick (fun () ->
+        let e, sw = mk_world () in
+        let n = Node.create e ~name:"n" ~addr:"10.0.0.1" in
+        Node.attach n sw;
+        let got = ref None in
+        Node.listen n 80 (fun p -> got := Some p.Net.Packet.payload);
+        send_and_run e sw
+          (Net.Packet.make ~id:1
+             ~src:(Net.Packet.endpoint "x" 1)
+             ~dst:(Net.Packet.endpoint "10.0.0.1" 80)
+             "GET /");
+        Alcotest.(check (option string)) "received" (Some "GET /") !got);
+    Alcotest.test_case "unknown address counts as dropped" `Quick (fun () ->
+        let e, sw = mk_world () in
+        send_and_run e sw
+          (Net.Packet.make ~id:1
+             ~src:(Net.Packet.endpoint "x" 1)
+             ~dst:(Net.Packet.endpoint "10.9.9.9" 80)
+             "?");
+        Alcotest.(check int) "dropped" 1 (Switch.packets_dropped sw));
+    Alcotest.test_case "unhandled port counted" `Quick (fun () ->
+        let e, sw = mk_world () in
+        let n = Node.create e ~name:"n" ~addr:"10.0.0.1" in
+        Node.attach n sw;
+        send_and_run e sw
+          (Net.Packet.make ~id:1
+             ~src:(Net.Packet.endpoint "x" 1)
+             ~dst:(Net.Packet.endpoint "10.0.0.1" 81)
+             "?");
+        Alcotest.(check int) "unhandled" 1 (Node.packets_unhandled n));
+    Alcotest.test_case "port forward rewrites and relays" `Quick (fun () ->
+        let e, sw = mk_world () in
+        let gw = Node.create e ~name:"gw" ~addr:"192.168.1.100" in
+        let vm = Node.create e ~name:"vm" ~addr:"10.0.0.5" in
+        Node.attach gw sw;
+        Node.attach vm sw;
+        Node.add_forward gw ~from_port:2222 ~to_:(Net.Packet.endpoint "10.0.0.5" 22) ~via:sw;
+        let got = ref None in
+        Node.listen vm 22 (fun p -> got := Some p.Net.Packet.payload);
+        send_and_run e sw
+          (Net.Packet.make ~id:1
+             ~src:(Net.Packet.endpoint "user" 40000)
+             ~dst:(Net.Packet.endpoint "192.168.1.100" 2222)
+             "ssh");
+        Alcotest.(check (option string)) "reached vm:22" (Some "ssh") !got);
+    Alcotest.test_case "chained forwards (host -> guestx -> nested)" `Quick (fun () ->
+        (* The CloudSkulk path: the victim user's packets reach the
+           nested VM through two NAT hops without a client-side change. *)
+        let e = engine () in
+        let host_sw = Net.Fabric.Switch.create e ~name:"host" ~link:Net.Link.loopback in
+        let nested_sw = Net.Fabric.Switch.create e ~name:"nested" ~link:Net.Link.loopback in
+        let gw = Node.create e ~name:"gw" ~addr:"192.168.1.100" in
+        let guestx = Node.create e ~name:"guestx" ~addr:"10.0.0.7" in
+        let victim = Node.create e ~name:"victim" ~addr:"10.1.0.1" in
+        Node.attach gw host_sw;
+        Node.attach guestx host_sw;
+        Node.attach guestx nested_sw;
+        Node.attach victim nested_sw;
+        Node.add_forward gw ~from_port:2222 ~to_:(Net.Packet.endpoint "10.0.0.7" 2222)
+          ~via:host_sw;
+        Node.add_forward guestx ~from_port:2222 ~to_:(Net.Packet.endpoint "10.1.0.1" 22)
+          ~via:nested_sw;
+        let got = ref None in
+        Node.listen victim 22 (fun p -> got := Some p.Net.Packet.payload);
+        send_and_run e host_sw
+          (Net.Packet.make ~id:1
+             ~src:(Net.Packet.endpoint "user" 40000)
+             ~dst:(Net.Packet.endpoint "192.168.1.100" 2222)
+             "ssh login");
+        Alcotest.(check (option string)) "two hops" (Some "ssh login") !got);
+    Alcotest.test_case "tap observes, drop kills, rewrite alters" `Quick (fun () ->
+        let e, sw = mk_world () in
+        let n = Node.create e ~name:"n" ~addr:"10.0.0.1" in
+        Node.attach n sw;
+        let seen = ref [] in
+        let got = ref [] in
+        Node.add_tap n ~name:"spy" (fun p ->
+            seen := p.Net.Packet.payload :: !seen;
+            Forward);
+        Node.add_tap n ~name:"filter" (fun p ->
+            if p.Net.Packet.payload = "bad" then Drop
+            else if p.Net.Packet.payload = "fix" then
+              Rewrite { p with Net.Packet.payload = "fixed" }
+            else Forward);
+        Node.listen n 80 (fun p -> got := p.Net.Packet.payload :: !got);
+        let send payload =
+          send_and_run e sw
+            (Net.Packet.make ~id:1
+               ~src:(Net.Packet.endpoint "x" 1)
+               ~dst:(Net.Packet.endpoint "10.0.0.1" 80)
+               payload)
+        in
+        send "ok";
+        send "bad";
+        send "fix";
+        Alcotest.(check (list string)) "tap saw all" [ "ok"; "bad"; "fix" ] (List.rev !seen);
+        Alcotest.(check (list string)) "handler saw filtered" [ "ok"; "fixed" ] (List.rev !got));
+    Alcotest.test_case "remove_tap restores flow" `Quick (fun () ->
+        let e, sw = mk_world () in
+        let n = Node.create e ~name:"n" ~addr:"10.0.0.1" in
+        Node.attach n sw;
+        Node.add_tap n ~name:"dropper" (fun _ -> Drop);
+        let got = ref 0 in
+        Node.listen n 80 (fun _ -> incr got);
+        let send () =
+          send_and_run e sw
+            (Net.Packet.make ~id:1
+               ~src:(Net.Packet.endpoint "x" 1)
+               ~dst:(Net.Packet.endpoint "10.0.0.1" 80)
+               "p")
+        in
+        send ();
+        Alcotest.(check int) "dropped" 0 !got;
+        Node.remove_tap n ~name:"dropper";
+        send ();
+        Alcotest.(check int) "flows again" 1 !got);
+    Alcotest.test_case "detach stops delivery" `Quick (fun () ->
+        let e, sw = mk_world () in
+        let n = Node.create e ~name:"n" ~addr:"10.0.0.1" in
+        Node.attach n sw;
+        Node.detach n sw;
+        send_and_run e sw
+          (Net.Packet.make ~id:1
+             ~src:(Net.Packet.endpoint "x" 1)
+             ~dst:(Net.Packet.endpoint "10.0.0.1" 80)
+             "p");
+        Alcotest.(check int) "dropped" 1 (Switch.packets_dropped sw));
+    Alcotest.test_case "route_through applies taps without delivering" `Quick (fun () ->
+        let e, _ = mk_world () in
+        let n = Node.create e ~name:"mb" ~addr:"10.0.0.9" in
+        Node.add_tap n ~name:"rw" (fun p -> Rewrite { p with Net.Packet.payload = "X" });
+        let p =
+          Net.Packet.make ~id:1 ~src:(Net.Packet.endpoint "a" 1)
+            ~dst:(Net.Packet.endpoint "b" 2) "orig"
+        in
+        (match Node.route_through n p with
+        | Some q -> Alcotest.(check string) "rewritten" "X" q.Net.Packet.payload
+        | None -> Alcotest.fail "dropped");
+        Node.add_tap n ~name:"drop" (fun _ -> Drop);
+        Alcotest.(check bool) "dropped now" true (Node.route_through n p = None));
+    Alcotest.test_case "delivery takes link time" `Quick (fun () ->
+        let e = engine () in
+        let link = Net.Link.make ~latency:(Sim.Time.ms 10.) ~bandwidth_mbytes_per_s:1000. in
+        let sw = Net.Fabric.Switch.create e ~name:"slow" ~link in
+        let n = Node.create e ~name:"n" ~addr:"10.0.0.1" in
+        Node.attach n sw;
+        let at = ref Sim.Time.zero in
+        Node.listen n 80 (fun _ -> at := Sim.Engine.now e);
+        Net.Fabric.Switch.send sw
+          (Net.Packet.make ~id:1
+             ~src:(Net.Packet.endpoint "x" 1)
+             ~dst:(Net.Packet.endpoint "10.0.0.1" 80)
+             "p");
+        ignore (Sim.Engine.run e);
+        Alcotest.(check bool) "after latency" true Sim.Time.(!at >= Sim.Time.ms 10.));
+  ]
+
+let flow_tests =
+  [
+    Alcotest.test_case "throughput matches bandwidth" `Quick (fun () ->
+        let e = engine () in
+        let link = Net.Link.make ~latency:Sim.Time.zero ~bandwidth_mbytes_per_s:100. in
+        let r = Net.Flow.run e ~link ~bytes:(100 * 1024 * 1024) () in
+        (* 100 MiB at 100 MiB/s -> 1 s -> 838.8 Mbit/s *)
+        Alcotest.(check bool) "about 839 Mbit/s" true
+          (Float.abs (r.Net.Flow.throughput_mbit_s -. 838.9) < 5.));
+    Alcotest.test_case "derate slows the flow" `Quick (fun () ->
+        let e = engine () in
+        let link = Net.Link.make ~latency:Sim.Time.zero ~bandwidth_mbytes_per_s:100. in
+        let fast = Net.Flow.run e ~link ~bytes:(10 * 1024 * 1024) () in
+        let slow = Net.Flow.run e ~link ~derate:0.5 ~bytes:(10 * 1024 * 1024) () in
+        Alcotest.(check bool) "half throughput" true
+          (slow.Net.Flow.throughput_mbit_s < fast.Net.Flow.throughput_mbit_s *. 0.6));
+    Alcotest.test_case "zero bytes completes instantly" `Quick (fun () ->
+        let e = engine () in
+        let r = Net.Flow.run e ~link:Net.Link.loopback ~bytes:0 () in
+        Alcotest.(check int) "no bytes" 0 r.Net.Flow.bytes);
+    Alcotest.test_case "flow advances virtual time" `Quick (fun () ->
+        let e = engine () in
+        let link = Net.Link.make ~latency:Sim.Time.zero ~bandwidth_mbytes_per_s:10. in
+        let before = Sim.Engine.now e in
+        ignore (Net.Flow.run e ~link ~bytes:(10 * 1024 * 1024) ());
+        let elapsed = Sim.Time.diff (Sim.Engine.now e) before in
+        Alcotest.(check bool) "about 1s" true
+          (Float.abs (Sim.Time.to_s elapsed -. 1.) < 0.05));
+  ]
+
+let net_props =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"random NAT chains deliver to the final hop" ~count:100
+         QCheck.(pair small_int (int_range 1 6))
+         (fun (seed, hops) ->
+           (* build a chain of [hops] gateways, each forwarding port 1000
+              to the next node, ending at a listener *)
+           let e = Sim.Engine.create ~seed () in
+           let sw = Net.Fabric.Switch.create e ~name:"sw" ~link:Net.Link.loopback in
+           let nodes =
+             List.init (hops + 1) (fun i ->
+                 let n =
+                   Net.Fabric.Node.create e ~name:(Printf.sprintf "n%d" i)
+                     ~addr:(Printf.sprintf "10.0.0.%d" (i + 1))
+                 in
+                 Net.Fabric.Node.attach n sw;
+                 n)
+           in
+           let rec wire = function
+             | a :: (b :: _ as rest) ->
+               Net.Fabric.Node.add_forward a ~from_port:1000
+                 ~to_:(Net.Packet.endpoint (Net.Fabric.Node.addr b) 1000)
+                 ~via:sw;
+               wire rest
+             | [ _ ] | [] -> ()
+           in
+           wire nodes;
+           let got = ref false in
+           let last = List.nth nodes hops in
+           Net.Fabric.Node.listen last 1000 (fun _ -> got := true);
+           Net.Fabric.Switch.send sw
+             (Net.Packet.make ~id:1
+                ~src:(Net.Packet.endpoint "src" 1)
+                ~dst:(Net.Packet.endpoint "10.0.0.1" 1000)
+                "x");
+           ignore (Sim.Engine.run e);
+           !got));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"flow time scales linearly with bytes" ~count:100
+         QCheck.(int_range 1 64)
+         (fun mib ->
+           let e = Sim.Engine.create () in
+           let link = Net.Link.make ~latency:Sim.Time.zero ~bandwidth_mbytes_per_s:64. in
+           let r = Net.Flow.run e ~link ~bytes:(mib * 1024 * 1024) () in
+           Float.abs (Sim.Time.to_s r.Net.Flow.elapsed -. (float_of_int mib /. 64.)) < 0.01));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"taps never duplicate deliveries" ~count:100
+         QCheck.(int_range 0 5)
+         (fun n_taps ->
+           let e = Sim.Engine.create () in
+           let sw = Net.Fabric.Switch.create e ~name:"sw" ~link:Net.Link.loopback in
+           let node = Net.Fabric.Node.create e ~name:"n" ~addr:"10.0.0.1" in
+           Net.Fabric.Node.attach node sw;
+           for i = 1 to n_taps do
+             Net.Fabric.Node.add_tap node ~name:(string_of_int i) (fun _ -> Net.Fabric.Forward)
+           done;
+           let count = ref 0 in
+           Net.Fabric.Node.listen node 80 (fun _ -> incr count);
+           Net.Fabric.Switch.send sw
+             (Net.Packet.make ~id:1
+                ~src:(Net.Packet.endpoint "s" 1)
+                ~dst:(Net.Packet.endpoint "10.0.0.1" 80)
+                "x");
+           ignore (Sim.Engine.run e);
+           !count = 1));
+  ]
+
+let () =
+  Alcotest.run "net"
+    [
+      ("link", link_tests);
+      ("packet", packet_tests);
+      ("fabric", fabric_tests);
+      ("flow", flow_tests);
+      ("properties", net_props);
+    ]
