@@ -38,6 +38,12 @@ let repeat ?(runs = 5) f =
   done;
   Sim.Stats.summary stats
 
+(* Summarise floats produced elsewhere (e.g. by a parallel trial map). *)
+let summary_of_list values =
+  let stats = Sim.Stats.create () in
+  List.iter (Sim.Stats.add stats) values;
+  Sim.Stats.summary stats
+
 let pct_label from_ to_ =
   Printf.sprintf "%+.1f%%" (Sim.Stats.percent_change ~from_ ~to_)
 

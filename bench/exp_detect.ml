@@ -7,24 +7,33 @@ let verdict_of scenario =
   | Ok o -> Cloudskulk.Dedup_detector.verdict_to_string o.Cloudskulk.Dedup_detector.verdict
   | Error e -> "error: " ^ e
 
-let run ?(trials = 5) () =
+let run ?(trials = 5) ?(jobs = 1) () =
   Bench_util.section "Detection accuracy (Section VI-C): repeated trials";
+  (* Each trial is self-contained (own engine, own seed) and returns its
+     verdicts; printing happens afterwards in trial order, so the output
+     is byte-identical whatever [jobs] is. *)
+  let verdicts =
+    Sim.Parallel.map_seeds ~jobs ~root_seed:1 ~trials (fun ~seed ->
+        let v_clean = verdict_of (Cloudskulk.Scenarios.clean ~seed ()) in
+        let v_inf = verdict_of (Cloudskulk.Scenarios.infected ~seed ()) in
+        (v_clean, v_inf))
+  in
   let rows = ref [] in
   let correct = ref 0 in
-  for seed = 1 to trials do
-    let clean = Cloudskulk.Scenarios.clean ~seed () in
-    let v_clean = verdict_of clean in
-    if v_clean = Cloudskulk.Dedup_detector.verdict_to_string Cloudskulk.Dedup_detector.No_nested_vm
-    then incr correct;
-    rows := [ Printf.sprintf "clean #%d" seed; v_clean ] :: !rows;
-    let infected = Cloudskulk.Scenarios.infected ~seed () in
-    let v_inf = verdict_of infected in
-    if
-      v_inf
-      = Cloudskulk.Dedup_detector.verdict_to_string Cloudskulk.Dedup_detector.Nested_vm_detected
-    then incr correct;
-    rows := [ Printf.sprintf "infected #%d" seed; v_inf ] :: !rows
-  done;
+  List.iteri
+    (fun i (v_clean, v_inf) ->
+      let seed = i + 1 in
+      if
+        v_clean
+        = Cloudskulk.Dedup_detector.verdict_to_string Cloudskulk.Dedup_detector.No_nested_vm
+      then incr correct;
+      rows := [ Printf.sprintf "clean #%d" seed; v_clean ] :: !rows;
+      if
+        v_inf
+        = Cloudskulk.Dedup_detector.verdict_to_string Cloudskulk.Dedup_detector.Nested_vm_detected
+      then incr correct;
+      rows := [ Printf.sprintf "infected #%d" seed; v_inf ] :: !rows)
+    verdicts;
   Bench_util.table ~header:[ "trial"; "dedup detector verdict" ] ~rows:(List.rev !rows);
   Printf.printf "\n  accuracy: %d / %d\n" !correct (2 * trials);
   (* baselines on one representative pair *)

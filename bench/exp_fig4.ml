@@ -34,21 +34,37 @@ let migrate ~nested ~workload seed =
   Workload.Background.stop handle;
   result
 
-let run ?(runs = 5) () =
+let run ?(runs = 5) ?(jobs = 1) () =
   Bench_util.section
     "Fig 4: live migration end-to-end timing vs workload (L0-L0 and L0-L1)";
   let workloads = [ Idle; Filebench; Compile ] in
+  (* Every (workload, nesting, seed) migration is an independent trial on
+     its own engine: fan the full cross product out and regroup, keeping
+     the same seeds (1..runs) per series as the sequential loops used. *)
+  let trials =
+    Array.of_list
+      (List.concat_map
+         (fun wl ->
+           List.concat_map
+             (fun nested -> List.init runs (fun k -> (wl, nested, k + 1)))
+             [ false; true ])
+         workloads)
+  in
+  let times =
+    Array.of_list
+      (Sim.Parallel.map ~jobs (Array.length trials) (fun i ->
+           let wl, nested, seed = trials.(i) in
+           Sim.Time.to_s (migrate ~nested ~workload:wl seed).Migration.Precopy.total_time))
+  in
+  let series w nested_idx =
+    Bench_util.summary_of_list
+      (List.init runs (fun k -> times.((w * 2 * runs) + (nested_idx * runs) + k)))
+  in
   let rows =
-    List.map
-      (fun wl ->
-        let flat =
-          Bench_util.repeat ~runs (fun seed ->
-              Sim.Time.to_s (migrate ~nested:false ~workload:wl seed).Migration.Precopy.total_time)
-        in
-        let nested =
-          Bench_util.repeat ~runs (fun seed ->
-              Sim.Time.to_s (migrate ~nested:true ~workload:wl seed).Migration.Precopy.total_time)
-        in
+    List.mapi
+      (fun w wl ->
+        let flat = series w 0 in
+        let nested = series w 1 in
         [
           workload_name wl;
           Bench_util.fmt_s flat.Sim.Stats.mean;

@@ -5,40 +5,50 @@
 
 let experiments =
   [
-    ("table1", "Table I: VM escape CVEs 2015-2020", fun ~runs:_ -> Exp_table1.run ());
-    ("fig2", "Fig 2: kernel compile timing L0/L1/L2", fun ~runs -> Exp_fig2.run ~runs ());
-    ("fig3", "Fig 3: Netperf throughput L0/L1/L2", fun ~runs -> Exp_fig3.run ~runs ());
-    ("fig4", "Fig 4: live migration timing vs workload", fun ~runs -> Exp_fig4.run ~runs ());
-    ("table2", "Table II: lmbench arithmetic", fun ~runs:_ -> Exp_lmbench.table2 ());
-    ("table3", "Table III: lmbench processes", fun ~runs:_ -> Exp_lmbench.table3 ());
-    ("table4", "Table IV: lmbench file system", fun ~runs:_ -> Exp_lmbench.table4 ());
-    ("fig5", "Fig 5: t0/t1/t2, no nested VM", fun ~runs:_ -> Exp_fig56.fig5 ());
-    ("fig6", "Fig 6: t0/t1/t2, nested VM present", fun ~runs:_ -> Exp_fig56.fig6 ());
-    ("install", "Section V-A: installation walkthrough", fun ~runs:_ -> Exp_install.run ());
-    ("detect", "Section VI-C: detection accuracy", fun ~runs -> Exp_detect.run ~trials:runs ());
-    ("abl-ksm", "Ablation: ksmd pacing vs detector wait", fun ~runs:_ -> Exp_ablations.abl_ksm ());
-    ("abl-pages", "Ablation: probe size", fun ~runs:_ -> Exp_ablations.abl_pages ());
-    ("abl-sync", "Ablation: attacker sync evasion cost", fun ~runs:_ -> Exp_ablations.abl_sync ());
+    ("table1", "Table I: VM escape CVEs 2015-2020", fun ~runs:_ ~jobs:_ -> Exp_table1.run ());
+    ("fig2", "Fig 2: kernel compile timing L0/L1/L2", fun ~runs ~jobs:_ -> Exp_fig2.run ~runs ());
+    ("fig3", "Fig 3: Netperf throughput L0/L1/L2", fun ~runs ~jobs:_ -> Exp_fig3.run ~runs ());
+    ( "fig4",
+      "Fig 4: live migration timing vs workload",
+      fun ~runs ~jobs -> Exp_fig4.run ~runs ~jobs () );
+    ("table2", "Table II: lmbench arithmetic", fun ~runs:_ ~jobs:_ -> Exp_lmbench.table2 ());
+    ("table3", "Table III: lmbench processes", fun ~runs:_ ~jobs:_ -> Exp_lmbench.table3 ());
+    ("table4", "Table IV: lmbench file system", fun ~runs:_ ~jobs:_ -> Exp_lmbench.table4 ());
+    ("fig5", "Fig 5: t0/t1/t2, no nested VM", fun ~runs:_ ~jobs:_ -> Exp_fig56.fig5 ());
+    ("fig6", "Fig 6: t0/t1/t2, nested VM present", fun ~runs:_ ~jobs:_ -> Exp_fig56.fig6 ());
+    ("install", "Section V-A: installation walkthrough", fun ~runs:_ ~jobs:_ -> Exp_install.run ());
+    ( "detect",
+      "Section VI-C: detection accuracy",
+      fun ~runs ~jobs -> Exp_detect.run ~trials:runs ~jobs () );
+    ( "abl-ksm",
+      "Ablation: ksmd pacing vs detector wait",
+      fun ~runs:_ ~jobs:_ -> Exp_ablations.abl_ksm () );
+    ("abl-pages", "Ablation: probe size", fun ~runs:_ ~jobs:_ -> Exp_ablations.abl_pages ());
+    ( "abl-sync",
+      "Ablation: attacker sync evasion cost",
+      fun ~runs:_ ~jobs -> Exp_ablations.abl_sync ~jobs () );
     ( "abl-postcopy",
       "Ablation: pre-copy vs post-copy install",
-      fun ~runs:_ -> Exp_ablations.abl_postcopy () );
+      fun ~runs:_ ~jobs:_ -> Exp_ablations.abl_postcopy () );
     ( "abl-density",
       "Ablation: KSM savings across same-image tenants",
-      fun ~runs:_ -> Exp_ablations.abl_density () );
+      fun ~runs:_ ~jobs -> Exp_ablations.abl_density ~jobs () );
     ( "abl-autoconverge",
       "Ablation: auto-converge stealth trade-off",
-      fun ~runs:_ -> Exp_ablations.abl_autoconverge () );
+      fun ~runs:_ ~jobs:_ -> Exp_ablations.abl_autoconverge () );
     ( "abl-l2",
       "Extension: guest-side timing detection arms race",
-      fun ~runs:_ -> Exp_extensions.abl_l2 () );
-    ("audit", "Extension: host behavioral auditor", fun ~runs:_ -> Exp_extensions.audit ());
+      fun ~runs:_ ~jobs:_ -> Exp_extensions.abl_l2 () );
+    ("audit", "Extension: host behavioral auditor", fun ~runs:_ ~jobs:_ -> Exp_extensions.audit ());
     ( "abl-covert",
       "Extension: KSM covert channel bandwidth",
-      fun ~runs:_ -> Exp_extensions.abl_covert () );
-    ("bechamel", "Bechamel simulator micro-benchmarks", fun ~runs:_ -> Bechamel_suite.run ());
+      fun ~runs:_ ~jobs:_ -> Exp_extensions.abl_covert () );
+    ( "bechamel",
+      "Bechamel simulator micro-benchmarks",
+      fun ~runs:_ ~jobs:_ -> Bechamel_suite.run () );
   ]
 
-let run_experiments ~only ~runs ~list_only =
+let run_experiments ~only ~runs ~jobs ~list_only =
   if list_only then begin
     List.iter (fun (id, descr, _) -> Printf.printf "%-14s %s\n" id descr) experiments;
     `Ok ()
@@ -48,7 +58,7 @@ let run_experiments ~only ~runs ~list_only =
     | Some id -> (
       match List.find_opt (fun (eid, _, _) -> String.equal eid id) experiments with
       | Some (_, _, f) ->
-        f ~runs;
+        f ~runs ~jobs;
         `Ok ()
       | None ->
         `Error
@@ -57,7 +67,7 @@ let run_experiments ~only ~runs ~list_only =
     | None ->
       Printf.printf "CloudSkulk reproduction: regenerating every table and figure\n";
       Printf.printf "(simulated substrate; see DESIGN.md for the calibration story)\n";
-      List.iter (fun (_, _, f) -> f ~runs) experiments;
+      List.iter (fun (_, _, f) -> f ~runs ~jobs) experiments;
       `Ok ()
 
 open Cmdliner
@@ -70,6 +80,15 @@ let runs =
   let doc = "Repetitions per data point (the paper uses 5)." in
   Arg.(value & opt int 5 & info [ "runs" ] ~docv:"N" ~doc)
 
+let jobs =
+  let doc =
+    "Worker domains for experiments with independent trials (detect, fig4, abl-sync, \
+     abl-density). 1 = sequential; 0 = all available cores. Output is byte-identical \
+     whatever the value: trials are seeded independently and results are rendered in \
+     trial order."
+  in
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
 let list_only =
   let doc = "List experiment ids and exit." in
   Arg.(value & flag & info [ "list" ] ~doc)
@@ -79,7 +98,7 @@ let cmd =
   let info = Cmd.info "cloudskulk-bench" ~doc in
   Cmd.v info
     Term.(
-      ret (const (fun only runs list_only -> run_experiments ~only ~runs ~list_only)
-           $ only $ runs $ list_only))
+      ret (const (fun only runs jobs list_only -> run_experiments ~only ~runs ~jobs ~list_only)
+           $ only $ runs $ jobs $ list_only))
 
 let () = exit (Cmd.eval cmd)

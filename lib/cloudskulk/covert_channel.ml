@@ -23,8 +23,9 @@ type transfer = {
 
 (* Both parties derive slot contents deterministically from the shared
    seed; a fresh nonce per call keeps frames from colliding with a
-   previous frame's residue. *)
-let frame_nonce = ref 0
+   previous frame's residue (atomic: nonces must stay unique even when
+   trials run concurrently across domains). *)
+let frame_nonce = Atomic.make 0
 
 let codebook config ~nonce ~bits =
   let rng = Sim.Rng.create (config.codebook_seed lxor (nonce * 0x9E37)) in
@@ -38,8 +39,7 @@ let transmit ?(config = default_config) ~host ~sender ~receiver bits =
   match Vmm.Hypervisor.ksm host with
   | None -> Error "host has no ksmd: the channel needs memory deduplication"
   | Some ksm ->
-    incr frame_nonce;
-    let nonce = !frame_nonce in
+    let nonce = Atomic.fetch_and_add frame_nonce 1 + 1 in
     let engine = Vmm.Vm.engine sender in
     let started = Sim.Engine.now engine in
     let book = codebook config ~nonce ~bits:(List.length bits) in

@@ -91,12 +91,11 @@ let load_wait_probe config env ~label image =
 (* Each protocol run works with a fresh file: real deployments generate
    a new random File-A per check (Section VI-D-1), and reusing a name
    would collide with a previous run's copy still sitting in the
-   guest. *)
-let run_counter = ref 0
+   guest. Atomic, because trials may run concurrently across domains
+   and a duplicated "fresh" name would silently change behaviour. *)
+let run_counter = Atomic.make 0
 
-let fresh_name prefix =
-  incr run_counter;
-  Printf.sprintf "%s-%d" prefix !run_counter
+let fresh_name prefix = Printf.sprintf "%s-%d" prefix (Atomic.fetch_and_add run_counter 1 + 1)
 
 let measure_t0 ?(config = default_config) env =
   let rng = Sim.Engine.fork_rng env.engine in

@@ -151,16 +151,17 @@ let stop_active_service ritm ~name = Net.Fabric.Node.remove_tap (Ritm.guestx_nod
 
 (* {2 Victim-side traffic helper} *)
 
-let packet_counter = ref 0
+(* Atomic so concurrent trials keep packet ids globally unique. *)
+let packet_counter = Atomic.make 0
 
 let victim_send ritm ~dst ?(encrypted = false) payload =
   let victim = ritm.Ritm.victim in
   (* The application's write syscall happens inside the guest, in the
      clear - an L1 write trap sees it here. *)
   Vmm.Vm.emit_write victim payload;
-  incr packet_counter;
+  let id = Atomic.fetch_and_add packet_counter 1 + 1 in
   let src = Net.Packet.endpoint (Vmm.Vm.addr victim) 48000 in
-  let packet = Net.Packet.make ~encrypted ~id:!packet_counter ~src ~dst payload in
+  let packet = Net.Packet.make ~encrypted ~id ~src ~dst payload in
   let io = Vmm.Vm.io victim in
   io.Vmm.Vm.net_tx_bytes <- io.Vmm.Vm.net_tx_bytes + packet.Net.Packet.size_bytes;
   (* Outbound path: the packet transits GuestX (the victim's hypervisor

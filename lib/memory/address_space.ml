@@ -45,13 +45,26 @@ let root_frames t =
   | Root r -> r.frames
   | Window _ -> assert false
 
+(* Root spaces answer directly - no (root, index) tuple - because the
+   KSM scan loop reads and resolves frames for every page of every
+   registered (always root) space. *)
 let frame_at t i =
-  let root, ri = resolve t i in
-  (root_frames root).(ri)
+  match t.backing with
+  | Root r ->
+    check t i;
+    r.frames.(i)
+  | Window _ ->
+    let root, ri = resolve t i in
+    (root_frames root).(ri)
 
 let read t i =
-  let root, ri = resolve t i in
-  Frame_table.content (frame_table t) (root_frames root).(ri)
+  match t.backing with
+  | Root r ->
+    check t i;
+    Frame_table.content r.table r.frames.(i)
+  | Window _ ->
+    let root, ri = resolve t i in
+    Frame_table.content (frame_table root) (root_frames root).(ri)
 
 type write_kind = Private_write | Cow_break
 

@@ -1,39 +1,70 @@
+(* Bits live in an int array, 32 bits per word, so iteration can skip a
+   whole word of clean pages with one compare and never needs a per-bit
+   bounds check: bits >= [length] are never set, by construction. *)
+
 type t = {
-  bits : Bytes.t;
+  words : int array;
   length : int;
   mutable count : int;
 }
 
-let create n = { bits = Bytes.make ((n + 7) / 8) '\000'; length = n; count = 0 }
+let bits_per_word = 32
+
+let create n =
+  { words = Array.make ((n + bits_per_word - 1) / bits_per_word) 0; length = n; count = 0 }
+
 let length t = t.length
 
 let check t i = if i < 0 || i >= t.length then invalid_arg "Dirty: index out of range"
 
 let is_dirty t i =
   check t i;
-  Char.code (Bytes.get t.bits (i / 8)) land (1 lsl (i mod 8)) <> 0
+  (t.words.(i lsr 5) lsr (i land 31)) land 1 <> 0
 
 let set t i =
   check t i;
-  if not (is_dirty t i) then begin
-    let byte = Char.code (Bytes.get t.bits (i / 8)) in
-    Bytes.set t.bits (i / 8) (Char.chr (byte lor (1 lsl (i mod 8))));
+  let w = i lsr 5 in
+  let mask = 1 lsl (i land 31) in
+  let old = t.words.(w) in
+  if old land mask = 0 then begin
+    t.words.(w) <- old lor mask;
     t.count <- t.count + 1
   end
 
 let dirty_count t = t.count
 
 let clear t =
-  Bytes.fill t.bits 0 (Bytes.length t.bits) '\000';
+  Array.fill t.words 0 (Array.length t.words) 0;
   t.count <- 0
 
-let iter_dirty t f =
-  for i = 0 to t.length - 1 do
-    if is_dirty t i then f i
-  done
+let drain t ~into =
+  if into.length <> t.length then invalid_arg "Dirty.drain: length mismatch";
+  Array.blit t.words 0 into.words 0 (Array.length t.words);
+  into.count <- t.count;
+  clear t
+
+let fold_dirty t f init =
+  let acc = ref init in
+  let words = t.words in
+  for w = 0 to Array.length words - 1 do
+    let word = Array.unsafe_get words w in
+    if word <> 0 then begin
+      let base = w lsl 5 in
+      (* shift the word down as bits are consumed so a word with few
+         dirty pages exits early *)
+      let rest = ref word and bit = ref 0 in
+      while !rest <> 0 do
+        if !rest land 1 <> 0 then acc := f !acc (base + !bit);
+        rest := !rest lsr 1;
+        incr bit
+      done
+    end
+  done;
+  !acc
+
+let iter_dirty t f = fold_dirty t (fun () i -> f i) ()
 
 let collect_and_clear t =
-  let acc = ref [] in
-  iter_dirty t (fun i -> acc := i :: !acc);
+  let acc = fold_dirty t (fun acc i -> i :: acc) [] in
   clear t;
-  List.rev !acc
+  List.rev acc

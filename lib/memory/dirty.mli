@@ -1,8 +1,10 @@
 (** Dirty-page bitmap.
 
     Live migration tracks which guest pages were written since the last
-    pre-copy round; the bitmap supports atomically collecting and
-    clearing the dirty set, which is exactly what each round does. *)
+    pre-copy round. The bitmap is stored 32 pages to a word and iterated
+    word-at-a-time, so walking a mostly-clean bitmap costs one compare
+    per 32 pages; migration rounds move the dirty set with {!drain} and
+    walk it with {!fold_dirty}, neither of which allocates. *)
 
 type t
 
@@ -15,8 +17,19 @@ val is_dirty : t -> int -> bool
 val dirty_count : t -> int
 val clear : t -> unit
 
-val collect_and_clear : t -> int list
-(** Indices that were dirty, in increasing order; the bitmap is clean
-    afterwards. *)
+val drain : t -> into:t -> unit
+(** [drain t ~into] moves [t]'s dirty set into [into] (whose previous
+    contents are discarded) and clears [t] - the atomic
+    collect-and-clear a pre-copy round needs, without building a list.
+    Raises [Invalid_argument] on a length mismatch. *)
+
+val fold_dirty : t -> ('a -> int -> 'a) -> 'a -> 'a
+(** [fold_dirty t f init] folds [f] over the dirty indices in increasing
+    order. Allocation-free apart from what [f] does. *)
 
 val iter_dirty : t -> (int -> unit) -> unit
+
+val collect_and_clear : t -> int list
+(** Indices that were dirty, in increasing order; the bitmap is clean
+    afterwards. Allocates the list: hot paths should prefer
+    {!drain} + {!fold_dirty}. *)

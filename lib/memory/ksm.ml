@@ -6,25 +6,53 @@ type config = {
 let default_config = { pages_to_scan = 100; sleep = Sim.Time.ms 20. }
 let fast_config = { pages_to_scan = 4096; sleep = Sim.Time.ms 1. }
 
-module Content_tbl = Hashtbl.Make (struct
-  type t = Page.Content.t
+(* Both trees are keyed by the page's integer content hash - computed
+   once per scan and reused - rather than the boxed content itself.
+   Every hit is re-validated by full content equality before it is acted
+   on, so a hash collision can only cost a missed merge opportunity,
+   never a wrong one. *)
+module Int_tbl = Hashtbl.Make (struct
+  type t = int
 
-  let equal = Page.Content.equal
-  let hash = Page.Content.hash
+  let equal = Int.equal
+  let hash h = h
 end)
+
+(* One registered space plus its per-page checksum memory. [checksums.(i)]
+   is the content hash seen at the previous scan of page [i], or
+   [never_scanned]: like real ksmd's rmap_item checksum, it gates
+   unstable-tree insertion so pages that churn between passes stop
+   thrashing the tree. Content hashes are non-negative (top bits of the
+   digest), so -1 cannot collide. *)
+type slot = {
+  space : Address_space.t;
+  checksums : int array;
+}
+
+let never_scanned = -1
 
 type t = {
   engine : Sim.Engine.t;
   table : Frame_table.t;
   config : config;
   trace : Sim.Trace.t option;
-  mutable spaces : Address_space.t list;
-  stable : Frame_table.frame Content_tbl.t;
-  unstable : (Address_space.t * int) Content_tbl.t;
-  mutable cursor_space : int;  (* index into [spaces] *)
+  (* registration-ordered slots, [slots.(0 .. n_slots - 1)]; kept as a
+     doubling array so [register] is amortized O(1) and the scan cursor
+     indexes it without rebuilding anything per page *)
+  mutable slots : slot array;
+  mutable n_slots : int;
+  stable : Frame_table.frame Int_tbl.t;
+  (* unstable values pack (slot index, page index) into one immediate
+     int, so a pass's candidate insertions never allocate a block beyond
+     the hashtable bucket itself. Slot indices can drift when a space is
+     unregistered mid-pass; entries are re-validated by content on every
+     hit, which makes the drift harmless. *)
+  unstable : int Int_tbl.t;
+  mutable cursor_space : int;  (* index into [slots] *)
   mutable cursor_page : int;
   mutable full_scans : int;
   mutable merges : int;
+  mutable volatile_skips : int;
   mutable active : bool;
 }
 
@@ -34,13 +62,15 @@ let create ?(config = default_config) ?trace engine table =
     table;
     config;
     trace;
-    spaces = [];
-    stable = Content_tbl.create 4096;
-    unstable = Content_tbl.create 4096;
+    slots = [||];
+    n_slots = 0;
+    stable = Int_tbl.create 4096;
+    unstable = Int_tbl.create 4096;
     cursor_space = 0;
     cursor_page = 0;
     full_scans = 0;
     merges = 0;
+    volatile_skips = 0;
     active = false;
   }
 
@@ -49,24 +79,60 @@ let emit t fmt =
   | None -> Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
   | Some tr -> Sim.Trace.emitf tr (Sim.Engine.now t.engine) Sim.Trace.Info ~component:"ksm" fmt
 
+let slot_index t space =
+  let rec go i =
+    if i >= t.n_slots then None
+    else if t.slots.(i).space == space then Some i
+    else go (i + 1)
+  in
+  go 0
+
 let register t space =
   if not (Address_space.is_root space) then
     invalid_arg "Ksm.register: only root address spaces are mergeable";
-  if not (List.memq space t.spaces) then begin
-    t.spaces <- t.spaces @ [ space ];
+  if slot_index t space = None then begin
+    let slot = { space; checksums = Array.make (Address_space.pages space) never_scanned } in
+    if t.n_slots = Array.length t.slots then begin
+      let grown = Array.make (max 4 (2 * t.n_slots)) slot in
+      Array.blit t.slots 0 grown 0 t.n_slots;
+      t.slots <- grown
+    end;
+    t.slots.(t.n_slots) <- slot;
+    t.n_slots <- t.n_slots + 1;
     emit t "registered %s (%d pages)" (Address_space.name space) (Address_space.pages space)
   end
 
 let unregister t space =
-  t.spaces <- List.filter (fun s -> not (s == space)) t.spaces;
-  t.cursor_space <- 0;
-  t.cursor_page <- 0
+  match slot_index t space with
+  | None -> ()
+  | Some idx ->
+    (* drop this pass's unstable candidates that point into the removed
+       space; the rest of the pass's progress is kept (entries for later
+       slots drift one index and are caught by content re-validation) *)
+    let stale =
+      Int_tbl.fold
+        (fun key enc acc -> if enc lsr 32 = idx then key :: acc else acc)
+        t.unstable []
+    in
+    List.iter (Int_tbl.remove t.unstable) stale;
+    for i = idx to t.n_slots - 2 do
+      t.slots.(i) <- t.slots.(i + 1)
+    done;
+    t.n_slots <- t.n_slots - 1;
+    (* the cursor only steps over the removed space: scanning resumes at
+       the same point of the pass, not at the start of a new one *)
+    if idx < t.cursor_space then t.cursor_space <- t.cursor_space - 1
+    else if idx = t.cursor_space then t.cursor_page <- 0;
+    if t.cursor_space >= t.n_slots then begin
+      t.cursor_space <- 0;
+      t.cursor_page <- 0
+    end
 
 (* A stable-tree entry is valid only while its frame is still live,
    flagged stable, and holding the content it was indexed under (CoW can
    have recycled it). Invalid entries are pruned on lookup. *)
-let stable_lookup t content =
-  match Content_tbl.find_opt t.stable content with
+let stable_lookup t content checksum =
+  match Int_tbl.find_opt t.stable checksum with
   | None -> None
   | Some f ->
     let valid =
@@ -76,19 +142,7 @@ let stable_lookup t content =
     in
     if valid then Some f
     else begin
-      Content_tbl.remove t.stable content;
-      None
-    end
-
-(* An unstable-tree entry is a (space, index) recorded earlier in this
-   pass; it is only useful if the page still holds the same content. *)
-let unstable_lookup t content =
-  match Content_tbl.find_opt t.unstable content with
-  | None -> None
-  | Some (space, i) ->
-    if Page.Content.equal (Address_space.read space i) content then Some (space, i)
-    else begin
-      Content_tbl.remove t.unstable content;
+      Int_tbl.remove t.stable checksum;
       None
     end
 
@@ -99,61 +153,90 @@ let merge_into_stable t space i stable_frame =
 let promote_to_stable t space i =
   let f = Address_space.frame_at space i in
   Frame_table.mark_stable t.table f;
-  Content_tbl.replace t.stable (Frame_table.content t.table f) f;
+  Int_tbl.replace t.stable (Page.Content.hash (Frame_table.content t.table f)) f;
   f
 
-let scan_page t space i =
-  let content = Address_space.read space i in
-  let f = Address_space.frame_at space i in
-  if Frame_table.is_stable t.table f then
-    (* Already merged; nothing to do this pass. *)
-    ()
-  else
-    match stable_lookup t content with
-    | Some s when s <> f -> merge_into_stable t space i s
-    | Some _ -> ()
-    | None -> (
-      match unstable_lookup t content with
-      | Some (space', i') when not (space' == space && i' = i) ->
+(* The unstable tree holds one candidate per content recorded earlier in
+   this pass; an entry is only useful while its slot/page still exists
+   and still holds that content. *)
+let scan_unstable t slot_idx space i content checksum f =
+  let self = (slot_idx lsl 32) lor i in
+  match Int_tbl.find_opt t.unstable checksum with
+  | None -> Int_tbl.replace t.unstable checksum self
+  | Some enc ->
+    let idx' = enc lsr 32 and i' = enc land 0xFFFF_FFFF in
+    let valid =
+      idx' < t.n_slots
+      &&
+      let space' = t.slots.(idx').space in
+      i' < Address_space.pages space'
+      && Page.Content.equal (Address_space.read space' i') content
+    in
+    if not valid then Int_tbl.replace t.unstable checksum self
+    else
+      let space' = t.slots.(idx').space in
+      if not (space' == space && i' = i) then begin
         let f' = Address_space.frame_at space' i' in
         if f' <> f then begin
           (* Two distinct frames with equal content: promote the earlier
              candidate to the stable tree and merge this page into it. *)
           let s = promote_to_stable t space' i' in
           merge_into_stable t space i s;
-          Content_tbl.remove t.unstable content
+          Int_tbl.remove t.unstable checksum
         end
-      | Some _ -> ()
-      | None -> Content_tbl.replace t.unstable content (space, i))
+      end
+
+let scan_page t slot_idx slot i =
+  let space = slot.space in
+  let content = Address_space.read space i in
+  let checksum = Page.Content.hash content in
+  let previous = slot.checksums.(i) in
+  slot.checksums.(i) <- checksum;
+  let f = Address_space.frame_at space i in
+  if Frame_table.is_stable t.table f then
+    (* Already merged; nothing to do this pass. *)
+    ()
+  else
+    match stable_lookup t content checksum with
+    | Some s when s <> f -> merge_into_stable t space i s
+    | Some _ -> ()
+    | None ->
+      (* Volatile page: the content moved since the previous scan, so it
+         would only pollute the unstable tree (real ksmd's checksum
+         skip). A page seen for the first time is taken at face value. *)
+      if previous <> never_scanned && previous <> checksum then
+        t.volatile_skips <- t.volatile_skips + 1
+      else scan_unstable t slot_idx space i content checksum f
 
 let total_pages t =
-  List.fold_left (fun acc s -> acc + Address_space.pages s) 0 t.spaces
+  let acc = ref 0 in
+  for i = 0 to t.n_slots - 1 do
+    acc := !acc + Address_space.pages t.slots.(i).space
+  done;
+  !acc
 
 let advance_cursor t =
-  let spaces = Array.of_list t.spaces in
-  let n = Array.length spaces in
-  if n = 0 then ()
-  else begin
+  if t.n_slots > 0 then begin
     t.cursor_page <- t.cursor_page + 1;
-    if t.cursor_page >= Address_space.pages spaces.(t.cursor_space) then begin
+    if t.cursor_page >= Address_space.pages t.slots.(t.cursor_space).space then begin
       t.cursor_page <- 0;
       t.cursor_space <- t.cursor_space + 1;
-      if t.cursor_space >= n then begin
+      if t.cursor_space >= t.n_slots then begin
         t.cursor_space <- 0;
         t.full_scans <- t.full_scans + 1;
-        Content_tbl.reset t.unstable;
+        Int_tbl.reset t.unstable;
         emit t "full pass %d complete (%d merges so far)" t.full_scans t.merges
       end
     end
   end
 
 let scan_once t =
-  let spaces = Array.of_list t.spaces in
-  if Array.length spaces > 0 then
+  if t.n_slots > 0 then
     for _ = 1 to t.config.pages_to_scan do
-      if t.cursor_space < Array.length spaces then begin
-        let space = spaces.(t.cursor_space) in
-        if t.cursor_page < Address_space.pages space then scan_page t space t.cursor_page;
+      if t.cursor_space < t.n_slots then begin
+        let slot = t.slots.(t.cursor_space) in
+        if t.cursor_page < Address_space.pages slot.space then
+          scan_page t t.cursor_space slot t.cursor_page;
         advance_cursor t
       end
     done
@@ -170,14 +253,15 @@ let stop t = t.active <- false
 let running t = t.active
 let full_scans t = t.full_scans
 let pages_merged t = t.merges
+let pages_volatile_skipped t = t.volatile_skips
 
 let pages_shared t =
-  Content_tbl.fold
-    (fun content f acc ->
+  Int_tbl.fold
+    (fun checksum f acc ->
       let live =
         Frame_table.is_live t.table f
         && Frame_table.is_stable t.table f
-        && Page.Content.equal (Frame_table.content t.table f) content
+        && Page.Content.hash (Frame_table.content t.table f) = checksum
       in
       if live then acc + 1 else acc)
     t.stable 0

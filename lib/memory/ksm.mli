@@ -4,9 +4,11 @@
     pages of registered (madvise-MERGEABLE) address spaces and merges
     pages with identical content into a single copy-on-write-protected
     frame. Follows the real ksmd structure: a {e stable tree} of already
-    merged frames and an {e unstable tree} of candidate pages that is
-    rebuilt on every full pass, with the [pages_to_scan] /
-    [sleep_millisecs] pacing knobs from [/sys/kernel/mm/ksm]. *)
+    merged frames, an {e unstable tree} of candidate pages that is
+    rebuilt on every full pass, a per-page {e checksum} that keeps
+    volatile (churning) pages out of the unstable tree, and the
+    [pages_to_scan] / [sleep_millisecs] pacing knobs from
+    [/sys/kernel/mm/ksm]. The scan hot path is allocation-free. *)
 
 type config = {
   pages_to_scan : int;  (** pages examined per wakeup (Linux default 100) *)
@@ -25,9 +27,13 @@ val create :
 
 val register : t -> Address_space.t -> unit
 (** Offer a root address space for merging. Raises [Invalid_argument] on
-    a window: nested spaces are scanned through their root ancestor. *)
+    a window: nested spaces are scanned through their root ancestor.
+    Amortized O(1); scanning order is registration order. *)
 
 val unregister : t -> Address_space.t -> unit
+(** Withdraw a space. The scan cursor steps over the removed space but
+    keeps its position in the current pass, and unstable-tree candidates
+    recorded from other spaces this pass are preserved. *)
 
 val start : t -> unit
 (** Begin periodic scanning on the engine's clock. Idempotent. *)
@@ -45,6 +51,11 @@ val full_scans : t -> int
 
 val pages_merged : t -> int
 (** Merge operations performed since creation. *)
+
+val pages_volatile_skipped : t -> int
+(** Scans that skipped the unstable tree because the page's content had
+    changed since its previous scan (the checksum gate; cf. Linux's
+    [pages_volatile]). *)
 
 val pages_shared : t -> int
 (** Stable-tree frames currently live (Linux's [pages_shared]). *)

@@ -73,9 +73,35 @@ let validate ~source ~dest =
       if sp <> dp then Error (Printf.sprintf "RAM size mismatch: %d vs %d pages" sp dp)
       else Ok ()
 
-let wire_bytes config ~source ~sent_before pages_idx =
+(* A round's page set, exposed as a fold so dirty rounds can walk a
+   drained bitmap directly instead of materialising an index list. *)
+type page_set = {
+  page_count : int;
+  fold : 'a. ('a -> int -> 'a) -> 'a -> 'a;
+}
+
+let all_pages ram =
+  let n = Memory.Address_space.pages ram in
+  {
+    page_count = n;
+    fold =
+      (fun f init ->
+        let acc = ref init in
+        for i = 0 to n - 1 do
+          acc := f !acc i
+        done;
+        !acc);
+  }
+
+let dirty_pages bitmap =
+  {
+    page_count = Memory.Dirty.dirty_count bitmap;
+    fold = (fun f init -> Memory.Dirty.fold_dirty bitmap f init);
+  }
+
+let wire_bytes config ~source ~sent_before pages =
   let ram = Vmm.Vm.ram source in
-  List.fold_left
+  pages.fold
     (fun acc i ->
       let payload =
         if
@@ -88,15 +114,13 @@ let wire_bytes config ~source ~sent_before pages_idx =
         else Memory.Page.size_bytes
       in
       acc + config.page_header_bytes + payload)
-    0 pages_idx
+    0
 
-let copy_pages ~source ~dest pages_idx =
+let copy_pages ~source ~dest pages =
   let sram = Vmm.Vm.ram source and dram = Vmm.Vm.ram dest in
-  List.iter
-    (fun i -> ignore (Memory.Address_space.write dram i (Memory.Address_space.read sram i)))
-    pages_idx
-
-let all_page_indices ram = List.init (Memory.Address_space.pages ram) Fun.id
+  pages.fold
+    (fun () i -> ignore (Memory.Address_space.write dram i (Memory.Address_space.read sram i)))
+    ()
 
 let migrate ?(config = default_config) engine ~source ~dest () =
   match validate ~source ~dest with
@@ -118,17 +142,20 @@ let migrate ?(config = default_config) engine ~source ~dest () =
       if per_page_s <= 0. then max_int
       else int_of_float (Sim.Time.to_s config.max_downtime /. per_page_s)
     in
-    let run_round ~round pages_idx =
-      let bytes = wire_bytes config ~source ~sent_before pages_idx in
+    (* Scratch bitmap a round's dirty set is drained into, so the live
+       bitmap can keep collecting re-dirtying while the round runs. *)
+    let round_set = Memory.Dirty.create (Memory.Address_space.pages sram) in
+    let run_round ~round pages =
+      let bytes = wire_bytes config ~source ~sent_before pages in
       let duration = Net.Link.transfer_time link bytes in
       (* Let the guest (and everything else) run while the data is on
          the wire: this is where re-dirtying happens. *)
       ignore (Sim.Engine.run_for engine duration);
-      copy_pages ~source ~dest pages_idx;
-      List.iter (Memory.Dirty.set sent_before) pages_idx;
+      copy_pages ~source ~dest pages;
+      pages.fold (fun () i -> Memory.Dirty.set sent_before i) ();
       {
         round;
-        pages_sent = List.length pages_idx;
+        pages_sent = pages.page_count;
         bytes_sent = bytes;
         duration;
         dirtied_during = Memory.Dirty.dirty_count dirty;
@@ -136,7 +163,7 @@ let migrate ?(config = default_config) engine ~source ~dest () =
     in
     (* Round 1: the full RAM; later rounds: what got dirtied. *)
     Memory.Dirty.clear dirty;
-    let first = run_round ~round:1 (all_page_indices sram) in
+    let first = run_round ~round:1 (all_pages sram) in
     let max_throttle = ref 0. in
     let throttle_source round =
       (* QEMU's schedule: engage at 20 %, then +10 % per further
@@ -154,8 +181,8 @@ let migrate ?(config = default_config) engine ~source ~dest () =
       else if round > config.max_rounds then (acc, false)
       else begin
         throttle_source round;
-        let pages_idx = Memory.Dirty.collect_and_clear dirty in
-        let stat = run_round ~round pages_idx in
+        Memory.Dirty.drain dirty ~into:round_set;
+        let stat = run_round ~round (dirty_pages round_set) in
         iterate (stat :: acc) (round + 1)
       end
     in
@@ -170,12 +197,13 @@ let migrate ?(config = default_config) engine ~source ~dest () =
     (match pause_result with
     | Ok () -> ()
     | Error e -> invalid_arg ("precopy: pausing source: " ^ e));
-    let final_idx = Memory.Dirty.collect_and_clear dirty in
-    let final_bytes = wire_bytes config ~source ~sent_before final_idx in
+    Memory.Dirty.drain dirty ~into:round_set;
+    let final_set = dirty_pages round_set in
+    let final_bytes = wire_bytes config ~source ~sent_before final_set in
     let device_state_bytes = 512 * 1024 in
     let downtime = Net.Link.transfer_time link (final_bytes + device_state_bytes) in
     ignore (Sim.Engine.run_for engine downtime);
-    copy_pages ~source ~dest final_idx;
+    copy_pages ~source ~dest final_set;
     (* The destination takes over the guest's identity. *)
     Vmm.Vm.adopt_guest_state dest ~from:source;
     (match Vmm.Vm.complete_incoming dest with
@@ -186,7 +214,7 @@ let migrate ?(config = default_config) engine ~source ~dest () =
       @ [
           {
             round = List.length later + 2;
-            pages_sent = List.length final_idx;
+            pages_sent = final_set.page_count;
             bytes_sent = final_bytes;
             duration = downtime;
             dirtied_during = 0;

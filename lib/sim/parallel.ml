@@ -1,0 +1,47 @@
+let available_cores () = Domain.recommended_domain_count ()
+
+type 'a outcome =
+  | Value of 'a
+  | Raised of exn * Printexc.raw_backtrace
+
+let map ?(jobs = 1) n f =
+  if n < 0 then invalid_arg "Parallel.map: negative trial count";
+  let jobs = if jobs = 0 then available_cores () else jobs in
+  let workers = min jobs n in
+  if workers <= 1 then List.init n f
+  else begin
+    (* Work-stealing by index: each worker pulls the next unclaimed trial.
+       Slots are disjoint per trial, and Domain.join publishes the
+       writes, so the array needs no lock of its own. *)
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let rec worker () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        let outcome =
+          try Value (f i) with e -> Raised (e, Printexc.get_raw_backtrace ())
+        in
+        results.(i) <- Some outcome;
+        worker ()
+      end
+    in
+    let domains = Array.init (workers - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join domains;
+    (* trial order, lowest failing index wins: identical to sequential.
+       The failure scan is an explicit ascending loop because List.init
+       does not promise an application order. *)
+    for i = 0 to n - 1 do
+      match results.(i) with
+      | Some (Raised (e, bt)) -> Printexc.raise_with_backtrace e bt
+      | Some (Value _) -> ()
+      | None -> assert false
+    done;
+    List.init n (fun i ->
+        match results.(i) with
+        | Some (Value v) -> v
+        | Some (Raised _) | None -> assert false)
+  end
+
+let map_seeds ?jobs ~root_seed ~trials f =
+  map ?jobs trials (fun i -> f ~seed:(root_seed + i))

@@ -1,0 +1,30 @@
+(** Deterministic multicore fan-out of independent trials.
+
+    Experiments repeat independent trials - each trial builds its own
+    {!Engine} from its own seed - so they parallelise perfectly: this
+    module fans trial bodies across OCaml 5 domains and returns the
+    results in trial order, making the output bit-identical to a
+    sequential run regardless of the number of workers.
+
+    Trial functions must be self-contained: build every engine, RNG and
+    substrate object inside the call, share nothing mutable with other
+    trials, and return data instead of printing (the caller renders
+    results in order afterwards). All code under [lib/] follows this
+    discipline already - nothing in the simulator has global mutable
+    state. *)
+
+val available_cores : unit -> int
+(** The runtime's recommended domain count for this machine. *)
+
+val map : ?jobs:int -> int -> (int -> 'a) -> 'a list
+(** [map ~jobs n f] is [List.init n f], computed by up to [jobs] worker
+    domains pulling trial indices from a shared counter. Results are
+    returned in index order. [jobs <= 1] (the default) runs sequentially
+    in the calling domain; [jobs = 0] means {!available_cores}. If any
+    trial raises, the exception of the lowest-indexed failing trial is
+    re-raised after all workers finish. *)
+
+val map_seeds : ?jobs:int -> root_seed:int -> trials:int -> (seed:int -> 'a) -> 'a list
+(** [map_seeds ~root_seed ~trials f] runs [f ~seed:(root_seed + i)] for
+    [i] in [0 .. trials - 1] via {!map}: the canonical seed-derivation
+    scheme for repeated-trial experiments. *)

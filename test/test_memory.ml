@@ -113,6 +113,68 @@ let dirty_tests =
         set d 8;
         set d 16;
         Alcotest.(check (list int)) "all kept" [ 0; 7; 8; 16 ] (collect_and_clear d));
+    Alcotest.test_case "fold/iter match a naive bit walk at awkward lengths" `Quick (fun () ->
+        List.iter
+          (fun n ->
+            let d = create n in
+            for i = 0 to n - 1 do
+              if i mod 3 = 0 || i = n - 1 then set d i
+            done;
+            let naive = ref [] in
+            for i = length d - 1 downto 0 do
+              if is_dirty d i then naive := i :: !naive
+            done;
+            Alcotest.(check (list int))
+              (Printf.sprintf "fold, %d pages" n)
+              !naive
+              (List.rev (fold_dirty d (fun acc i -> i :: acc) []));
+            let seen = ref [] in
+            iter_dirty d (fun i -> seen := i :: !seen);
+            Alcotest.(check (list int)) (Printf.sprintf "iter, %d pages" n) !naive (List.rev !seen))
+          [ 1; 7; 8; 9; 31; 32; 33; 63; 64; 65 ]);
+    Alcotest.test_case "fold sees every page when all are dirty" `Quick (fun () ->
+        List.iter
+          (fun n ->
+            let d = create n in
+            for i = 0 to n - 1 do
+              set d i
+            done;
+            Alcotest.(check (list int))
+              (Printf.sprintf "all dirty, %d pages" n)
+              (List.init n Fun.id)
+              (List.rev (fold_dirty d (fun acc i -> i :: acc) [])))
+          [ 1; 7; 8; 9; 63; 64; 65 ]);
+    Alcotest.test_case "fold sees nothing when none are dirty" `Quick (fun () ->
+        List.iter
+          (fun n ->
+            let d = create n in
+            Alcotest.(check int)
+              (Printf.sprintf "none dirty, %d pages" n)
+              0
+              (fold_dirty d (fun acc _ -> acc + 1) 0))
+          [ 1; 7; 8; 9; 63; 64; 65 ]);
+    Alcotest.test_case "drain moves the bits and clears the source" `Quick (fun () ->
+        let d = create 70 in
+        let scratch = create 70 in
+        List.iter (set d) [ 0; 31; 32; 64; 69 ];
+        drain d ~into:scratch;
+        Alcotest.(check int) "source cleared" 0 (dirty_count d);
+        Alcotest.(check int) "count moved" 5 (dirty_count scratch);
+        Alcotest.(check (list int)) "bits moved" [ 0; 31; 32; 64; 69 ]
+          (List.rev (fold_dirty scratch (fun acc i -> i :: acc) []));
+        (* drain overwrites the destination, it does not accumulate *)
+        set d 5;
+        drain d ~into:scratch;
+        Alcotest.(check (list int)) "overwritten" [ 5 ]
+          (List.rev (fold_dirty scratch (fun acc i -> i :: acc) [])));
+    Alcotest.test_case "drain into a differently sized bitmap raises" `Quick (fun () ->
+        let d = create 64 in
+        let scratch = create 65 in
+        Alcotest.(check bool) "raises" true
+          (try
+             drain d ~into:scratch;
+             false
+           with Invalid_argument _ -> true));
   ]
 
 let space_tests =
@@ -322,6 +384,113 @@ let ksm_tests =
         Memory.Ksm.register ksm a;
         Alcotest.(check int64) "10 wakeups" (Sim.Time.to_ns (Sim.Time.ms 10.))
           (Sim.Time.to_ns (Memory.Ksm.time_for_full_pass ksm)));
+    Alcotest.test_case "unregister mid-pass keeps the cursor position" `Quick (fun () ->
+        (* Three 4-page spaces; one scan_once of 6 pages stops mid-b.
+           Unregistering c (not yet scanned) must not restart the pass:
+           the next 6 pages finish it, and the candidate recorded for a0
+           earlier in the pass still merges with b2. *)
+        let _, ft, ksm =
+          make_ksm_world ~config:{ pages_to_scan = 6; sleep = Sim.Time.ms 1. } ()
+        in
+        let mk name base =
+          let s = Memory.Address_space.create_root ft ~name ~pages:4 in
+          for i = 0 to 3 do
+            ignore (Memory.Address_space.write s i (Memory.Page.Content.of_int (base + i)))
+          done;
+          Memory.Ksm.register ksm s;
+          s
+        in
+        let a = mk "a" 100 and b = mk "b" 200 and c = mk "c" 300 in
+        let x = Memory.Page.Content.of_int 7777 in
+        ignore (Memory.Address_space.write a 0 x);
+        ignore (Memory.Address_space.write b 2 x);
+        Memory.Ksm.scan_once ksm;
+        (* cursor is at b, page 2 *)
+        Memory.Ksm.unregister ksm c;
+        Memory.Ksm.scan_once ksm;
+        Alcotest.(check int) "exactly one full pass" 1 (Memory.Ksm.full_scans ksm);
+        Alcotest.(check int) "a0/b2 merged" (Memory.Address_space.frame_at a 0)
+          (Memory.Address_space.frame_at b 2);
+        Alcotest.(check bool) "merge counted" true (Memory.Ksm.pages_merged ksm > 0));
+    Alcotest.test_case "unregister of the space under the cursor resumes at its successor" `Quick
+      (fun () ->
+        let _, ft, ksm =
+          make_ksm_world ~config:{ pages_to_scan = 6; sleep = Sim.Time.ms 1. } ()
+        in
+        let mk name base =
+          let s = Memory.Address_space.create_root ft ~name ~pages:4 in
+          for i = 0 to 3 do
+            ignore (Memory.Address_space.write s i (Memory.Page.Content.of_int (base + i)))
+          done;
+          Memory.Ksm.register ksm s;
+          s
+        in
+        let a = mk "a" 100 and b = mk "b" 200 and c = mk "c" 300 in
+        let x = Memory.Page.Content.of_int 8888 in
+        ignore (Memory.Address_space.write a 0 x);
+        ignore (Memory.Address_space.write c 0 x);
+        Memory.Ksm.scan_once ksm;
+        (* cursor is at b, page 2; removing b moves it to the start of c *)
+        Memory.Ksm.unregister ksm b;
+        Memory.Ksm.scan_once ksm;
+        Alcotest.(check int) "exactly one full pass" 1 (Memory.Ksm.full_scans ksm);
+        Alcotest.(check int) "a0/c0 merged" (Memory.Address_space.frame_at a 0)
+          (Memory.Address_space.frame_at c 0));
+    Alcotest.test_case "a space registered mid-pass is scanned before the pass completes" `Quick
+      (fun () ->
+        let _, ft, ksm =
+          make_ksm_world ~config:{ pages_to_scan = 2; sleep = Sim.Time.ms 1. } ()
+        in
+        let a = Memory.Address_space.create_root ft ~name:"a" ~pages:4 in
+        for i = 0 to 3 do
+          ignore (Memory.Address_space.write a i (Memory.Page.Content.of_int (100 + i)))
+        done;
+        Memory.Ksm.register ksm a;
+        let x = Memory.Page.Content.of_int 9999 in
+        ignore (Memory.Address_space.write a 0 x);
+        Memory.Ksm.scan_once ksm;
+        (* mid-pass: a0 is already in the unstable tree *)
+        let b = Memory.Address_space.create_root ft ~name:"b" ~pages:2 in
+        ignore (Memory.Address_space.write b 0 (Memory.Page.Content.of_int 200));
+        ignore (Memory.Address_space.write b 1 x);
+        Memory.Ksm.register ksm b;
+        Memory.Ksm.scan_once ksm;
+        Memory.Ksm.scan_once ksm;
+        Alcotest.(check int) "pass covered the late space" 1 (Memory.Ksm.full_scans ksm);
+        Alcotest.(check int) "a0/b1 merged" (Memory.Address_space.frame_at a 0)
+          (Memory.Address_space.frame_at b 1));
+    Alcotest.test_case "churning pages stay out of the unstable tree until quiescent" `Quick
+      (fun () ->
+        (* pages_to_scan = population, so each scan_once is one full
+           pass. Pass 2 sees a0 and b0 holding identical new content,
+           but both changed since pass 1, so the checksum gate keeps
+           them out of the unstable tree: no merge until they hold
+           still for a pass (pass 3). *)
+        let _, ft, ksm =
+          make_ksm_world ~config:{ pages_to_scan = 4; sleep = Sim.Time.ms 1. } ()
+        in
+        let a = Memory.Address_space.create_root ft ~name:"a" ~pages:2 in
+        let b = Memory.Address_space.create_root ft ~name:"b" ~pages:2 in
+        ignore (Memory.Address_space.write a 0 (Memory.Page.Content.of_int 10));
+        ignore (Memory.Address_space.write a 1 (Memory.Page.Content.of_int 11));
+        ignore (Memory.Address_space.write b 0 (Memory.Page.Content.of_int 20));
+        ignore (Memory.Address_space.write b 1 (Memory.Page.Content.of_int 21));
+        Memory.Ksm.register ksm a;
+        Memory.Ksm.register ksm b;
+        Memory.Ksm.scan_once ksm;
+        Alcotest.(check int) "no skips on first sight" 0 (Memory.Ksm.pages_volatile_skipped ksm);
+        let y = Memory.Page.Content.of_int 5555 in
+        ignore (Memory.Address_space.write a 0 y);
+        ignore (Memory.Address_space.write b 0 y);
+        Memory.Ksm.scan_once ksm;
+        Alcotest.(check int) "both churners skipped" 2 (Memory.Ksm.pages_volatile_skipped ksm);
+        Alcotest.(check int) "no merge while volatile" 0 (Memory.Ksm.pages_merged ksm);
+        Alcotest.(check bool) "frames still distinct" true
+          (Memory.Address_space.frame_at a 0 <> Memory.Address_space.frame_at b 0);
+        Memory.Ksm.scan_once ksm;
+        Alcotest.(check int) "quiescent pages merge" (Memory.Address_space.frame_at a 0)
+          (Memory.Address_space.frame_at b 0);
+        Alcotest.(check int) "no further skips" 2 (Memory.Ksm.pages_volatile_skipped ksm));
   ]
 
 let file_tests =
