@@ -200,7 +200,7 @@ let abl_autoconverge ?(seed = 5) () =
     in
     let result =
       match Migration.Precopy.migrate ~config engine ~source ~dest:mp.Vmm.Layers.mp_dest () with
-      | Ok r -> r
+      | Ok o -> Migration.Outcome.stats_exn o
       | Error e -> failwith e
     in
     Workload.Background.stop handle;

@@ -28,7 +28,7 @@ let migrate ~nested ~workload seed =
   ignore (Sim.Engine.run_for engine (Sim.Time.s 2.));
   let result =
     match Migration.Precopy.migrate engine ~source ~dest:mp.Vmm.Layers.mp_dest () with
-    | Ok r -> r
+    | Ok o -> Migration.Outcome.stats_exn o
     | Error e -> failwith ("fig4 migration: " ^ e)
   in
   Workload.Background.stop handle;

@@ -5,70 +5,93 @@
 
 let experiments =
   [
-    ("table1", "Table I: VM escape CVEs 2015-2020", fun ~runs:_ ~jobs:_ -> Exp_table1.run ());
-    ("fig2", "Fig 2: kernel compile timing L0/L1/L2", fun ~runs ~jobs:_ -> Exp_fig2.run ~runs ());
-    ("fig3", "Fig 3: Netperf throughput L0/L1/L2", fun ~runs ~jobs:_ -> Exp_fig3.run ~runs ());
+    ( "table1",
+      "Table I: VM escape CVEs 2015-2020",
+      fun ~runs:_ ~jobs:_ ~faults:_ -> Exp_table1.run () );
+    ( "fig2",
+      "Fig 2: kernel compile timing L0/L1/L2",
+      fun ~runs ~jobs:_ ~faults:_ -> Exp_fig2.run ~runs () );
+    ( "fig3",
+      "Fig 3: Netperf throughput L0/L1/L2",
+      fun ~runs ~jobs:_ ~faults:_ -> Exp_fig3.run ~runs () );
     ( "fig4",
       "Fig 4: live migration timing vs workload",
-      fun ~runs ~jobs -> Exp_fig4.run ~runs ~jobs () );
-    ("table2", "Table II: lmbench arithmetic", fun ~runs:_ ~jobs:_ -> Exp_lmbench.table2 ());
-    ("table3", "Table III: lmbench processes", fun ~runs:_ ~jobs:_ -> Exp_lmbench.table3 ());
-    ("table4", "Table IV: lmbench file system", fun ~runs:_ ~jobs:_ -> Exp_lmbench.table4 ());
-    ("fig5", "Fig 5: t0/t1/t2, no nested VM", fun ~runs:_ ~jobs:_ -> Exp_fig56.fig5 ());
-    ("fig6", "Fig 6: t0/t1/t2, nested VM present", fun ~runs:_ ~jobs:_ -> Exp_fig56.fig6 ());
-    ("install", "Section V-A: installation walkthrough", fun ~runs:_ ~jobs:_ -> Exp_install.run ());
+      fun ~runs ~jobs ~faults:_ -> Exp_fig4.run ~runs ~jobs () );
+    ( "table2",
+      "Table II: lmbench arithmetic",
+      fun ~runs:_ ~jobs:_ ~faults:_ -> Exp_lmbench.table2 () );
+    ( "table3",
+      "Table III: lmbench processes",
+      fun ~runs:_ ~jobs:_ ~faults:_ -> Exp_lmbench.table3 () );
+    ( "table4",
+      "Table IV: lmbench file system",
+      fun ~runs:_ ~jobs:_ ~faults:_ -> Exp_lmbench.table4 () );
+    ("fig5", "Fig 5: t0/t1/t2, no nested VM", fun ~runs:_ ~jobs:_ ~faults:_ -> Exp_fig56.fig5 ());
+    ( "fig6",
+      "Fig 6: t0/t1/t2, nested VM present",
+      fun ~runs:_ ~jobs:_ ~faults:_ -> Exp_fig56.fig6 () );
+    ( "install",
+      "Section V-A: installation walkthrough",
+      fun ~runs:_ ~jobs:_ ~faults:_ -> Exp_install.run () );
     ( "detect",
-      "Section VI-C: detection accuracy",
-      fun ~runs ~jobs -> Exp_detect.run ~trials:runs ~jobs () );
+      "Section VI-C: detection accuracy (honours --faults)",
+      fun ~runs ~jobs ~faults -> Exp_detect.run ~trials:runs ~jobs ~faults () );
     ( "abl-ksm",
       "Ablation: ksmd pacing vs detector wait",
-      fun ~runs:_ ~jobs:_ -> Exp_ablations.abl_ksm () );
-    ("abl-pages", "Ablation: probe size", fun ~runs:_ ~jobs:_ -> Exp_ablations.abl_pages ());
+      fun ~runs:_ ~jobs:_ ~faults:_ -> Exp_ablations.abl_ksm () );
+    ( "abl-pages",
+      "Ablation: probe size",
+      fun ~runs:_ ~jobs:_ ~faults:_ -> Exp_ablations.abl_pages () );
     ( "abl-sync",
       "Ablation: attacker sync evasion cost",
-      fun ~runs:_ ~jobs -> Exp_ablations.abl_sync ~jobs () );
+      fun ~runs:_ ~jobs ~faults:_ -> Exp_ablations.abl_sync ~jobs () );
     ( "abl-postcopy",
       "Ablation: pre-copy vs post-copy install",
-      fun ~runs:_ ~jobs:_ -> Exp_ablations.abl_postcopy () );
+      fun ~runs:_ ~jobs:_ ~faults:_ -> Exp_ablations.abl_postcopy () );
     ( "abl-density",
       "Ablation: KSM savings across same-image tenants",
-      fun ~runs:_ ~jobs -> Exp_ablations.abl_density ~jobs () );
+      fun ~runs:_ ~jobs ~faults:_ -> Exp_ablations.abl_density ~jobs () );
     ( "abl-autoconverge",
       "Ablation: auto-converge stealth trade-off",
-      fun ~runs:_ ~jobs:_ -> Exp_ablations.abl_autoconverge () );
+      fun ~runs:_ ~jobs:_ ~faults:_ -> Exp_ablations.abl_autoconverge () );
     ( "abl-l2",
       "Extension: guest-side timing detection arms race",
-      fun ~runs:_ ~jobs:_ -> Exp_extensions.abl_l2 () );
-    ("audit", "Extension: host behavioral auditor", fun ~runs:_ ~jobs:_ -> Exp_extensions.audit ());
+      fun ~runs:_ ~jobs:_ ~faults:_ -> Exp_extensions.abl_l2 () );
+    ( "audit",
+      "Extension: host behavioral auditor",
+      fun ~runs:_ ~jobs:_ ~faults:_ -> Exp_extensions.audit () );
     ( "abl-covert",
       "Extension: KSM covert channel bandwidth",
-      fun ~runs:_ ~jobs:_ -> Exp_extensions.abl_covert () );
+      fun ~runs:_ ~jobs:_ ~faults:_ -> Exp_extensions.abl_covert () );
     ( "bechamel",
       "Bechamel simulator micro-benchmarks",
-      fun ~runs:_ ~jobs:_ -> Bechamel_suite.run () );
+      fun ~runs:_ ~jobs:_ ~faults:_ -> Bechamel_suite.run () );
   ]
 
-let run_experiments ~only ~runs ~jobs ~list_only =
+let run_experiments ~only ~runs ~jobs ~faults ~list_only =
   if list_only then begin
     List.iter (fun (id, descr, _) -> Printf.printf "%-14s %s\n" id descr) experiments;
     `Ok ()
   end
   else
-    match only with
-    | Some id -> (
-      match List.find_opt (fun (eid, _, _) -> String.equal eid id) experiments with
-      | Some (_, _, f) ->
-        f ~runs ~jobs;
-        `Ok ()
+    match Sim.Fault.profile_of_string faults with
+    | Error e -> `Error (false, e)
+    | Ok faults -> (
+      match only with
+      | Some id -> (
+        match List.find_opt (fun (eid, _, _) -> String.equal eid id) experiments with
+        | Some (_, _, f) ->
+          f ~runs ~jobs ~faults;
+          `Ok ()
+        | None ->
+          `Error
+            ( false,
+              Printf.sprintf "unknown experiment %S; use --list to see the available ids" id ))
       | None ->
-        `Error
-          ( false,
-            Printf.sprintf "unknown experiment %S; use --list to see the available ids" id ))
-    | None ->
-      Printf.printf "CloudSkulk reproduction: regenerating every table and figure\n";
-      Printf.printf "(simulated substrate; see DESIGN.md for the calibration story)\n";
-      List.iter (fun (_, _, f) -> f ~runs ~jobs) experiments;
-      `Ok ()
+        Printf.printf "CloudSkulk reproduction: regenerating every table and figure\n";
+        Printf.printf "(simulated substrate; see DESIGN.md for the calibration story)\n";
+        List.iter (fun (_, _, f) -> f ~runs ~jobs ~faults) experiments;
+        `Ok ())
 
 open Cmdliner
 
@@ -89,6 +112,15 @@ let jobs =
   in
   Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
+let faults =
+  let doc =
+    "Channel fault profile injected into migrations (experiments that honour it: detect). \
+     One of none, lossy, degraded, flaky. Fault schedules are seeded per trial, so output \
+     is still byte-identical across --jobs levels; 'none' reproduces the fault-free runs \
+     exactly."
+  in
+  Arg.(value & opt string "none" & info [ "faults" ] ~docv:"PROFILE" ~doc)
+
 let list_only =
   let doc = "List experiment ids and exit." in
   Arg.(value & flag & info [ "list" ] ~doc)
@@ -98,7 +130,9 @@ let cmd =
   let info = Cmd.info "cloudskulk-bench" ~doc in
   Cmd.v info
     Term.(
-      ret (const (fun only runs jobs list_only -> run_experiments ~only ~runs ~jobs ~list_only)
-           $ only $ runs $ jobs $ list_only))
+      ret
+        (const (fun only runs jobs faults list_only ->
+             run_experiments ~only ~runs ~jobs ~faults ~list_only)
+        $ only $ runs $ jobs $ faults $ list_only))
 
 let () = exit (Cmd.eval cmd)

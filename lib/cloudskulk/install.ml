@@ -8,6 +8,7 @@ type config = {
   use_vtx : bool;
   impersonate : bool;
   spoof_pid : bool;
+  faults : Sim.Fault.profile;
 }
 
 let default_config ~target_name =
@@ -21,6 +22,7 @@ let default_config ~target_name =
     use_vtx = true;
     impersonate = true;
     spoof_pid = true;
+    faults = Sim.Fault.none;
   }
 
 type step =
@@ -49,6 +51,7 @@ type report = {
   steps : step_report list;
   precopy : Migration.Precopy.result option;
   postcopy : Migration.Postcopy.result option;
+  migration_outcome : string;
   old_pid : Vmm.Process_table.pid;
   new_pid : Vmm.Process_table.pid;
   total_time : Sim.Time.t;
@@ -130,9 +133,17 @@ let run ?config engine ~host ~registry ~target_name =
       record Nested_destination s
         (Printf.sprintf "destination %s incoming on %s:%d (via host:%d)" (Vmm.Vm.name dest)
            guestx_addr cfg.ritm_port cfg.host_port);
-      (* Step 4: drive the target's monitor to migrate. *)
+      (* Step 4: drive the target's monitor to migrate. The fault
+         injector only forks an RNG stream when a real profile is
+         selected, so zero-fault installs draw the exact historical
+         random sequence. *)
       let s = Sim.Engine.now engine in
-      Migration.Wiring.wire_monitor ~strategy:cfg.strategy engine ~registry ~source:target ();
+      let fault =
+        if Sim.Fault.is_none cfg.faults then None
+        else Some (Sim.Fault.create cfg.faults (Sim.Engine.fork_rng engine))
+      in
+      Migration.Wiring.wire_monitor ~strategy:cfg.strategy ?fault engine ~registry
+        ~source:target ();
       let migrate_cmd = Printf.sprintf "migrate tcp:%s:%d" host_addr cfg.host_port in
       match Vmm.Monitor.execute target migrate_cmd with
       | Vmm.Monitor.Error_text e ->
@@ -141,10 +152,18 @@ let run ?config engine ~host ~registry ~target_name =
       | Vmm.Monitor.Quit ->
         teardown_guestx "monitor migrate: unexpected quit"
       | Vmm.Monitor.Ok_text _ -> (
-        let precopy, postcopy =
+        let pre_outcome, post_outcome =
           match Migration.Wiring.last_result target with
           | Some (p, q) -> (p, q)
           | None -> (None, None)
+        in
+        let precopy = Option.bind pre_outcome Migration.Outcome.stats in
+        let postcopy = Option.bind post_outcome Migration.Outcome.stats in
+        let migration_outcome =
+          match (pre_outcome, post_outcome) with
+          | Some o, _ -> Migration.Outcome.describe o
+          | None, Some o -> Migration.Outcome.describe o
+          | None, None -> "completed"
         in
         record Live_migration s migrate_cmd;
         (* Clean-up: kill the husk, re-point forwards, spoof, blend in. *)
@@ -208,6 +227,7 @@ let run ?config engine ~host ~registry ~target_name =
               steps = List.rev !steps;
               precopy;
               postcopy;
+              migration_outcome;
               old_pid;
               new_pid = Vmm.Vm.qemu_pid guestx;
               total_time = Sim.Time.diff (Sim.Engine.now engine) t0;
@@ -224,8 +244,12 @@ let pp_report fmt r =
     r.steps;
   (match r.precopy with
   | Some p ->
-    Format.fprintf fmt "  migration: %d rounds, %a total, %a downtime@\n"
+    (* the outcome suffix only appears under fault injection, keeping
+       zero-fault report text identical to pre-fault builds *)
+    Format.fprintf fmt "  migration: %d rounds, %a total, %a downtime%s@\n"
       (List.length p.Migration.Precopy.rounds)
       Sim.Time.pp p.Migration.Precopy.total_time Sim.Time.pp p.Migration.Precopy.downtime
+      (if String.equal r.migration_outcome "completed" then ""
+       else " (" ^ r.migration_outcome ^ ")")
   | None -> ());
   Format.fprintf fmt "  pid: %d -> %d (spoofed back)@\n" r.old_pid r.new_pid

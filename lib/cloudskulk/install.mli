@@ -28,6 +28,12 @@ type config = {
   use_vtx : bool;  (** hardware-assisted nesting (leaves VMCS traces) *)
   impersonate : bool;  (** run the {!Stealth} OS/file impersonation *)
   spoof_pid : bool;
+  faults : Sim.Fault.profile;
+      (** fault-injection profile for the live-migration channel
+          (default {!Sim.Fault.none}: the exact historical code path).
+          Under faults the migration may be [Recovered] - the install
+          still succeeds, slower - or aborted, which fails the install
+          at the live-migration step and tears the RITM down. *)
 }
 
 val default_config : target_name:string -> config
@@ -53,6 +59,10 @@ type report = {
   steps : step_report list;
   precopy : Migration.Precopy.result option;
   postcopy : Migration.Postcopy.result option;
+  migration_outcome : string;
+      (** {!Migration.Outcome.describe} of the install's migration:
+          "completed" on the fault-free path, recovery counters under
+          fault injection *)
   old_pid : Vmm.Process_table.pid;
   new_pid : Vmm.Process_table.pid;
   total_time : Sim.Time.t;  (** recon start to clean-up end *)

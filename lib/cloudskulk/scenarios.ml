@@ -62,11 +62,25 @@ let clean ?seed ?ksm_config () =
     description = "clean host: customer VM at L1";
   }
 
-let infected ?seed ?ksm_config ?(attacker_syncs_changes = false) ?install_config () =
+let infected ?seed ?ksm_config ?(attacker_syncs_changes = false) ?install_config
+    ?(faults = Sim.Fault.none) () =
   let engine, trace, host = make_host ?seed ?ksm_config () in
   let registry = Migration.Registry.create () in
   let guest0 = get_ok "infected(launch)" (Vmm.Hypervisor.launch host (customer_config ())) in
   ignore guest0;
+  let install_config =
+    (* a non-trivial profile overrides whatever the caller's config
+       carries; the default keeps the caller's (or the zero-fault
+       default) untouched *)
+    if Sim.Fault.is_none faults then install_config
+    else
+      let base =
+        match install_config with
+        | Some c -> c
+        | None -> Install.default_config ~target_name:"guest0"
+      in
+      Some { base with Install.faults }
+  in
   let report =
     get_ok "infected(install)"
       (Install.run ?config:install_config engine ~host ~registry ~target_name:"guest0")

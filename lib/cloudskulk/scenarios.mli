@@ -28,6 +28,7 @@ val infected :
   ?ksm_config:Memory.Ksm.config ->
   ?attacker_syncs_changes:bool ->
   ?install_config:Install.config ->
+  ?faults:Sim.Fault.profile ->
   unit ->
   t
 (** Scenario 2: the same host after a CloudSkulk installation. The
@@ -35,8 +36,11 @@ val infected :
     the attacker, watching the delivery cross the RITM, mirrors the file
     into GuestX to keep impersonating. [attacker_syncs_changes] (default
     false) models the evasion of Section VI-D: the attacker also
-    propagates the customer's page changes into the mirror. Raises
-    [Invalid_argument] if the installation fails (it cannot in the
-    default topology). *)
+    propagates the customer's page changes into the mirror. [faults]
+    (default {!Sim.Fault.none}) injects channel faults into the install's
+    live migration; a non-trivial profile overrides the one in
+    [install_config]. Raises [Invalid_argument] if the installation
+    fails - impossible in the default topology, but possible under an
+    aggressive fault profile (the caller should be ready for it). *)
 
 val is_infected : t -> bool

@@ -268,6 +268,54 @@ let pages_shared t =
 
 let pages_sharing t = Frame_table.sharing_savings_pages t.table
 
+(* An unstable entry is "current" while its packed (slot, page) still
+   exists and the page still hashes to the entry's key; anything else is
+   drift the scan re-validates away on its next hit. *)
+let fold_current_unstable t f init =
+  Int_tbl.fold
+    (fun checksum enc acc ->
+      let idx = enc lsr 32 and i = enc land 0xFFFF_FFFF in
+      if
+        idx < t.n_slots
+        && i < Address_space.pages t.slots.(idx).space
+        && Page.Content.hash (Address_space.read t.slots.(idx).space i) = checksum
+      then f acc t.slots.(idx).space i
+      else acc)
+    t.unstable init
+
+let unstable_candidates t = fold_current_unstable t (fun acc _ _ -> acc + 1) 0
+
+let check_invariants t =
+  let err = ref None in
+  let fail fmt = Printf.ksprintf (fun s -> if !err = None then err := Some s) fmt in
+  (* No page lives in both trees: a current unstable candidate must not
+     sit on a frame the stable tree owns (merged pages either leave the
+     unstable tree or go stale, never both). *)
+  fold_current_unstable t
+    (fun () space i ->
+      let f = Address_space.frame_at space i in
+      if Frame_table.is_stable t.table f then
+        fail "unstable candidate %s[%d] references a stable frame" (Address_space.name space) i)
+    ();
+  (* Every still-valid stable-tree entry is flagged stable under the
+     content it is keyed by. *)
+  Int_tbl.iter
+    (fun checksum f ->
+      if
+        Frame_table.is_live t.table f
+        && Page.Content.hash (Frame_table.content t.table f) = checksum
+        && not (Frame_table.is_stable t.table f)
+      then fail "stable-tree frame %d is not flagged stable" f)
+    t.stable;
+  (* Sharing accounting: merging is the only source of frame sharing, so
+     the references saved can never exceed the merges performed. *)
+  if pages_sharing t > t.merges then
+    fail "pages_sharing (%d) exceeds pages_merged (%d)" (pages_sharing t) t.merges;
+  if pages_shared t > Int_tbl.length t.stable then
+    fail "pages_shared (%d) exceeds the stable table (%d entries)" (pages_shared t)
+      (Int_tbl.length t.stable);
+  match !err with None -> Ok () | Some e -> Error e
+
 let time_for_full_pass t =
   let pages = total_pages t in
   if pages = 0 then Sim.Time.zero

@@ -63,6 +63,21 @@ val pages_shared : t -> int
 val pages_sharing : t -> int
 (** Extra page references saved by sharing (Linux's [pages_sharing]). *)
 
+val unstable_candidates : t -> int
+(** Current unstable-tree candidates: entries whose (space, page) still
+    exists and still hashes to the entry's key. Stale entries (drifted
+    slots, rewritten pages) are excluded, mirroring the re-validation
+    the scan applies on every hit. *)
+
+val check_invariants : t -> (unit, string) result
+(** Structural sanity of the daemon's state, checkable at any point
+    between scans: no page is current in both trees, still-valid
+    stable-tree entries are flagged stable, and the sharing counters are
+    consistent ([pages_sharing <= pages_merged],
+    [pages_shared <=] stable-table size). [Error] describes the first
+    violation; the property suites call this after every random
+    operation. *)
+
 val time_for_full_pass : t -> Sim.Time.t
 (** Lower bound on the virtual time one full pass takes with the current
     configuration and registered population - what a detector must wait

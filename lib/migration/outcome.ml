@@ -1,0 +1,49 @@
+type reason =
+  | Round_timeout of int
+  | Channel_down of int
+  | Cancelled of int
+  | Postcopy_paused
+
+let reason_to_string = function
+  | Round_timeout r -> Printf.sprintf "round %d exceeded its timeout" r
+  | Channel_down r -> Printf.sprintf "channel down in round %d, retries exhausted" r
+  | Cancelled r -> Printf.sprintf "cancelled at round %d" r
+  | Postcopy_paused -> "postcopy page pull lost its channel (recoverable)"
+
+type recovery = {
+  retransmissions : int;
+  outages : int;
+  stalled : Sim.Time.t;
+}
+
+type 'a t =
+  | Completed of 'a
+  | Recovered of 'a * recovery
+  | Aborted of {
+      reason : reason;
+      source_resumed : bool;
+      retransmissions : int;
+      stalled : Sim.Time.t;
+    }
+
+let stats = function
+  | Completed s | Recovered (s, _) -> Some s
+  | Aborted _ -> None
+
+let completed = function Completed _ | Recovered _ -> true | Aborted _ -> false
+
+let stats_exn = function
+  | Completed s | Recovered (s, _) -> s
+  | Aborted a -> invalid_arg ("Outcome.stats_exn: aborted: " ^ reason_to_string a.reason)
+
+let describe = function
+  | Completed _ -> "completed"
+  | Recovered (_, r) ->
+    Printf.sprintf "recovered after %d outage%s, %d retransmission%s (%s stalled)" r.outages
+      (if r.outages = 1 then "" else "s")
+      r.retransmissions
+      (if r.retransmissions = 1 then "" else "s")
+      (Sim.Time.to_string r.stalled)
+  | Aborted a ->
+    Printf.sprintf "aborted: %s%s" (reason_to_string a.reason)
+      (if a.source_resumed then " (source resumed)" else "")

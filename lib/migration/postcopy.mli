@@ -16,6 +16,18 @@ type config = {
   demand_fault_rate : float;
       (** fraction of background pages that arrive via a demand fault
           (network round-trip each) rather than the streaming pull *)
+  max_retransmits : int;
+      (** phase-1 (working-set push) retransmission allowance before the
+          migration aborts with [Channel_down] (default 5) *)
+  pull_chunk_pages : int;
+      (** granularity of the faulted background pull; an outage severs
+          the stream at a chunk boundary (default 256) *)
+  auto_recover : bool;
+      (** when an outage severs the background pull: [true] (default)
+          waits it out and resumes the pull itself ([Recovered]);
+          [false] reproduces QEMU's manual flow - the destination guest
+          stays paused in postcopy-paused and a [migrate_recover]
+          handler is installed on it ({!Vmm.Vm.set_recover_handler}) *)
 }
 
 val default_config : config
@@ -30,6 +42,26 @@ type result = {
 }
 
 val migrate :
-  ?config:config -> Sim.Engine.t -> source:Vmm.Vm.t -> dest:Vmm.Vm.t -> unit ->
-  (result, string) Stdlib.result
-(** Same preconditions and postconditions as {!Precopy.migrate}. *)
+  ?config:config ->
+  ?fault:Sim.Fault.t ->
+  Sim.Engine.t ->
+  source:Vmm.Vm.t ->
+  dest:Vmm.Vm.t ->
+  unit ->
+  (result Outcome.t, string) Stdlib.result
+(** Same preconditions as {!Precopy.migrate}; [Error] is reserved for
+    precondition failures and has no side effects.
+
+    Failure semantics differ by phase. A channel failure during the
+    phase-1 working-set push (the destination has not resumed yet)
+    aborts like pre-copy: source resumed, destination left [Incoming].
+    An outage during the phase-2 background pull happens {e after} the
+    handover - the destination guest stalls on its missing pages; with
+    [auto_recover] the driver waits out the outage and finishes
+    ([Recovered]), otherwise it returns [Aborted Postcopy_paused] with
+    the destination [Paused] and a recover closure installed for the
+    monitor's [migrate_recover]. Invoking the closure resumes the guest
+    and pulls the remaining pages (exactly once each - no page is lost
+    or duplicated across the pause).
+
+    Without [?fault] the driver takes the exact historical code path. *)

@@ -8,6 +8,9 @@ type config = {
   auto_converge : bool;
   xbzrle : bool;
   xbzrle_ratio : float;
+  round_timeout : Sim.Time.t option;
+  max_retransmits : int;
+  retransmit_backoff : Sim.Time.t;
 }
 
 let default_config =
@@ -21,6 +24,9 @@ let default_config =
     auto_converge = false;
     xbzrle = false;
     xbzrle_ratio = 0.3;
+    round_timeout = None;
+    max_retransmits = 5;
+    retransmit_backoff = Sim.Time.ms 100.;
   }
 
 type round_stat = {
@@ -122,13 +128,64 @@ let copy_pages ~source ~dest pages =
     (fun () i -> ignore (Memory.Address_space.write dram i (Memory.Address_space.read sram i)))
     ()
 
-let migrate ?(config = default_config) engine ~source ~dest () =
+(* Channel failure mid-migration; carries the QEMU-style abort reason. *)
+exception Abort of Outcome.reason
+
+let migrate ?(config = default_config) ?fault engine ~source ~dest () =
   match validate ~source ~dest with
   | Error e -> Error e
   | Ok () ->
     let link = effective_link config ~dest_level:(Vmm.Vm.level dest) in
     let sram = Vmm.Vm.ram source in
     let dirty = Memory.Address_space.dirty sram in
+    (* drop any stale cancel left over from before this migration *)
+    ignore (Vmm.Vm.take_migrate_cancel source);
+    let retransmissions = ref 0 and outages = ref 0 in
+    let stalled = ref Sim.Time.zero in
+    let we_paused = ref false in
+    let check_cancel round =
+      if Vmm.Vm.take_migrate_cancel source then raise (Abort (Outcome.Cancelled round))
+    in
+    (* Put [base] worth of data on the wire. Without an injector this is
+       exactly [run_for base] - the historical assume-success path, same
+       virtual time, zero extra RNG draws. With one, the transmission is
+       jittered/degraded and may be severed; a severed transmission
+       waits out the outage, backs off exponentially, and retransmits,
+       up to [max_retransmits] times and bounded by [round_timeout]. *)
+    let transmit ~round base =
+      match fault with
+      | None -> ignore (Sim.Engine.run_for engine base)
+      | Some f ->
+        let deadline =
+          Option.map (fun d -> Sim.Time.add (Sim.Engine.now engine) d) config.round_timeout
+        in
+        let check_deadline () =
+          match deadline with
+          | Some d when Sim.Time.(Sim.Engine.now engine > d) ->
+            raise (Abort (Outcome.Round_timeout round))
+          | Some _ | None -> ()
+        in
+        let rec attempt retry =
+          let duration = Sim.Time.mul base (Sim.Fault.transmission_factor f) in
+          match Sim.Fault.cut f ~now:(Sim.Engine.now engine) ~during:duration with
+          | None -> ignore (Sim.Engine.run_for engine duration)
+          | Some (after, outage) ->
+            incr outages;
+            stalled := Sim.Time.add !stalled outage;
+            (* the wire died [after] into the transmission; sit out the
+               repair, then back off before the retransmit *)
+            ignore (Sim.Engine.run_for engine (Sim.Time.add after outage));
+            if retry >= config.max_retransmits then raise (Abort (Outcome.Channel_down round));
+            check_deadline ();
+            incr retransmissions;
+            let backoff = Sim.Time.mul config.retransmit_backoff (pow 2. retry) in
+            stalled := Sim.Time.add !stalled backoff;
+            ignore (Sim.Engine.run_for engine backoff);
+            check_deadline ();
+            attempt (retry + 1)
+        in
+        attempt 0
+    in
     (* pages the destination has already received at least once - the
        XBZRLE cache's reach *)
     let sent_before = Memory.Dirty.create (Memory.Address_space.pages sram) in
@@ -147,10 +204,11 @@ let migrate ?(config = default_config) engine ~source ~dest () =
     let round_set = Memory.Dirty.create (Memory.Address_space.pages sram) in
     let run_round ~round pages =
       let bytes = wire_bytes config ~source ~sent_before pages in
-      let duration = Net.Link.transfer_time link bytes in
+      let round_started = Sim.Engine.now engine in
       (* Let the guest (and everything else) run while the data is on
          the wire: this is where re-dirtying happens. *)
-      ignore (Sim.Engine.run_for engine duration);
+      transmit ~round (Net.Link.transfer_time link bytes);
+      let duration = Sim.Time.diff (Sim.Engine.now engine) round_started in
       copy_pages ~source ~dest pages;
       pages.fold (fun () i -> Memory.Dirty.set sent_before i) ();
       {
@@ -161,78 +219,111 @@ let migrate ?(config = default_config) engine ~source ~dest () =
         dirtied_during = Memory.Dirty.dirty_count dirty;
       }
     in
-    (* Round 1: the full RAM; later rounds: what got dirtied. *)
-    Memory.Dirty.clear dirty;
-    let first = run_round ~round:1 (all_pages sram) in
-    let max_throttle = ref 0. in
-    let throttle_source round =
-      (* QEMU's schedule: engage at 20 %, then +10 % per further
-         non-converging round, capped at 99 % *)
-      if config.auto_converge && round >= 3 then begin
-        let step = 0.2 +. (0.1 *. float_of_int (round - 3)) in
-        let value = Float.min 0.99 step in
-        Vmm.Vm.set_cpu_throttle source value;
-        if value > !max_throttle then max_throttle := value
-      end
-    in
-    let rec iterate acc round =
-      let dirty_now = Memory.Dirty.dirty_count dirty in
-      if dirty_now <= downtime_page_budget then (acc, true)
-      else if round > config.max_rounds then (acc, false)
-      else begin
-        throttle_source round;
-        Memory.Dirty.drain dirty ~into:round_set;
-        let stat = run_round ~round (dirty_pages round_set) in
-        iterate (stat :: acc) (round + 1)
-      end
-    in
-    let later, converged = iterate [] 2 in
-    Vmm.Vm.set_cpu_throttle source 0.;
-    (* Stop-and-copy: pause the source, move the final dirty set. *)
-    let pause_result =
-      match Vmm.Vm.state source with
-      | Vmm.Vm.Running -> Vmm.Vm.pause source
-      | Vmm.Vm.Paused | Vmm.Vm.Created | Vmm.Vm.Incoming | Vmm.Vm.Stopped -> Ok ()
-    in
-    (match pause_result with
-    | Ok () -> ()
-    | Error e -> invalid_arg ("precopy: pausing source: " ^ e));
-    Memory.Dirty.drain dirty ~into:round_set;
-    let final_set = dirty_pages round_set in
-    let final_bytes = wire_bytes config ~source ~sent_before final_set in
-    let device_state_bytes = 512 * 1024 in
-    let downtime = Net.Link.transfer_time link (final_bytes + device_state_bytes) in
-    ignore (Sim.Engine.run_for engine downtime);
-    copy_pages ~source ~dest final_set;
-    (* The destination takes over the guest's identity. *)
-    Vmm.Vm.adopt_guest_state dest ~from:source;
-    (match Vmm.Vm.complete_incoming dest with
-    | Ok () -> ()
-    | Error e -> invalid_arg ("precopy: completing incoming: " ^ e));
-    let rounds =
-      first :: List.rev later
-      @ [
-          {
-            round = List.length later + 2;
-            pages_sent = final_set.page_count;
-            bytes_sent = final_bytes;
-            duration = downtime;
-            dirtied_during = 0;
-          };
-        ]
-    in
-    let total_pages_sent = List.fold_left (fun a r -> a + r.pages_sent) 0 rounds in
-    let total_bytes_sent = List.fold_left (fun a r -> a + r.bytes_sent) 0 rounds in
-    Ok
-      {
-        rounds;
-        total_pages_sent;
-        total_bytes_sent;
-        downtime;
-        total_time = Sim.Time.diff (Sim.Engine.now engine) started;
-        converged;
-        max_throttle = !max_throttle;
-      }
+    (try
+       (* Round 1: the full RAM; later rounds: what got dirtied. *)
+       Memory.Dirty.clear dirty;
+       let first = run_round ~round:1 (all_pages sram) in
+       let max_throttle = ref 0. in
+       let throttle_source round =
+         (* QEMU's schedule: engage at 20 %, then +10 % per further
+            non-converging round, capped at 99 % *)
+         if config.auto_converge && round >= 3 then begin
+           let step = 0.2 +. (0.1 *. float_of_int (round - 3)) in
+           let value = Float.min 0.99 step in
+           Vmm.Vm.set_cpu_throttle source value;
+           if value > !max_throttle then max_throttle := value
+         end
+       in
+       let rec iterate acc round =
+         check_cancel round;
+         let dirty_now = Memory.Dirty.dirty_count dirty in
+         if dirty_now <= downtime_page_budget then (acc, true)
+         else if round > config.max_rounds then (acc, false)
+         else begin
+           throttle_source round;
+           Memory.Dirty.drain dirty ~into:round_set;
+           let stat = run_round ~round (dirty_pages round_set) in
+           iterate (stat :: acc) (round + 1)
+         end
+       in
+       let later, converged = iterate [] 2 in
+       let final_round = List.length later + 2 in
+       Vmm.Vm.set_cpu_throttle source 0.;
+       (* Stop-and-copy: pause the source, move the final dirty set. *)
+       let pause_result =
+         match Vmm.Vm.state source with
+         | Vmm.Vm.Running ->
+           we_paused := true;
+           Vmm.Vm.pause source
+         | Vmm.Vm.Paused | Vmm.Vm.Created | Vmm.Vm.Incoming | Vmm.Vm.Stopped -> Ok ()
+       in
+       (match pause_result with
+       | Ok () -> ()
+       | Error e -> invalid_arg ("precopy: pausing source: " ^ e));
+       Memory.Dirty.drain dirty ~into:round_set;
+       let final_set = dirty_pages round_set in
+       let final_bytes = wire_bytes config ~source ~sent_before final_set in
+       let device_state_bytes = 512 * 1024 in
+       let downtime_started = Sim.Engine.now engine in
+       transmit ~round:final_round
+         (Net.Link.transfer_time link (final_bytes + device_state_bytes));
+       let downtime = Sim.Time.diff (Sim.Engine.now engine) downtime_started in
+       copy_pages ~source ~dest final_set;
+       (* The destination takes over the guest's identity. *)
+       Vmm.Vm.adopt_guest_state dest ~from:source;
+       (match Vmm.Vm.complete_incoming dest with
+       | Ok () -> ()
+       | Error e -> invalid_arg ("precopy: completing incoming: " ^ e));
+       let rounds =
+         first :: List.rev later
+         @ [
+             {
+               round = final_round;
+               pages_sent = final_set.page_count;
+               bytes_sent = final_bytes;
+               duration = downtime;
+               dirtied_during = 0;
+             };
+           ]
+       in
+       let total_pages_sent = List.fold_left (fun a r -> a + r.pages_sent) 0 rounds in
+       let total_bytes_sent = List.fold_left (fun a r -> a + r.bytes_sent) 0 rounds in
+       let stats =
+         {
+           rounds;
+           total_pages_sent;
+           total_bytes_sent;
+           downtime;
+           total_time = Sim.Time.diff (Sim.Engine.now engine) started;
+           converged;
+           max_throttle = !max_throttle;
+         }
+       in
+       Ok
+         (if !retransmissions = 0 && !outages = 0 then Outcome.Completed stats
+          else
+            Outcome.Recovered
+              ( stats,
+                {
+                  Outcome.retransmissions = !retransmissions;
+                  outages = !outages;
+                  stalled = !stalled;
+                } ))
+     with Abort reason ->
+       (* QEMU failure semantics: the migration is torn down, the source
+          resumes (it still owns the guest), the destination stays
+          parked in [Incoming] and never adopts the identity. *)
+       Vmm.Vm.set_cpu_throttle source 0.;
+       if !we_paused && Vmm.Vm.state source = Vmm.Vm.Paused then
+         ignore (Vmm.Vm.resume source);
+       Ok
+         (Outcome.Aborted
+            {
+              reason;
+              source_resumed = Vmm.Vm.state source = Vmm.Vm.Running;
+              retransmissions = !retransmissions;
+              stalled = !stalled;
+            }))
 
 let estimated_idle_time ?(config = default_config) ~pages () =
   let bytes = pages * (Memory.Page.size_bytes + config.page_header_bytes) in

@@ -37,6 +37,16 @@ type config = {
           default. *)
   xbzrle_ratio : float;
       (** delta size as a fraction of a full page (default 0.3) *)
+  round_timeout : Sim.Time.t option;
+      (** wall-clock (virtual) budget per round under fault injection;
+          a round still stalled past it aborts with [Round_timeout].
+          [None] (the default) never times out. *)
+  max_retransmits : int;
+      (** severed transmissions are retried this many times before the
+          migration aborts with [Channel_down] (default 5) *)
+  retransmit_backoff : Sim.Time.t;
+      (** base of the exponential backoff between retransmissions
+          (default 100 ms; doubles per retry) *)
 }
 
 val default_config : config
@@ -62,14 +72,35 @@ type result = {
 }
 
 val migrate :
-  ?config:config -> Sim.Engine.t -> source:Vmm.Vm.t -> dest:Vmm.Vm.t -> unit ->
-  (result, string) Stdlib.result
-(** Run a migration to completion. Fails without side effects when the
-    source is not running/paused, the destination is not [Incoming], the
-    configurations are not migration-compatible, or RAM sizes differ.
-    On success the source is left [Paused] (the post-migrated husk the
-    attacker must clean up) and the destination [Running] with the
-    source's RAM contents and OS identity. *)
+  ?config:config ->
+  ?fault:Sim.Fault.t ->
+  Sim.Engine.t ->
+  source:Vmm.Vm.t ->
+  dest:Vmm.Vm.t ->
+  unit ->
+  (result Outcome.t, string) Stdlib.result
+(** Run a migration. [Error] is reserved for precondition failures
+    (source not running/paused, destination not [Incoming],
+    incompatible configurations, RAM size mismatch) and has no side
+    effects. Otherwise the QEMU-style outcome is reported through
+    {!Outcome.t}:
+
+    - [Completed r]: the fault-free path. The source is left [Paused]
+      (the post-migrated husk the attacker must clean up) and the
+      destination [Running] with the source's RAM contents and OS
+      identity.
+    - [Recovered (r, recovery)]: same final states, but [?fault]
+      injected retransmissions and/or outages along the way; [recovery]
+      counts them.
+    - [Aborted _]: a round timed out, the channel stayed down past
+      [max_retransmits], or [migrate_cancel] was honoured at a round
+      boundary. The destination remains parked in [Incoming]; the
+      source is resumed iff this driver paused it (QEMU's
+      source-resume-on-abort).
+
+    Without [?fault] the driver takes the exact historical code path -
+    identical virtual-time advancement and RNG usage - so zero-fault
+    runs are byte-identical to pre-fault builds. *)
 
 val estimated_idle_time : ?config:config -> pages:int -> unit -> Sim.Time.t
 (** Analytic single-round estimate: what an idle-guest migration should

@@ -4,10 +4,47 @@ type strategy =
 
 (* Keyed weakly by VM name; one live wiring per source VM at a time is
    all the attack needs. *)
-let results : (string, Precopy.result option * Postcopy.result option) Hashtbl.t =
+let results :
+    (string, Precopy.result Outcome.t option * Postcopy.result Outcome.t option) Hashtbl.t =
   Hashtbl.create 8
 
-let wire_monitor ?(strategy = Pre_copy Precopy.default_config) engine ~registry ~source () =
+let fault_counters outcome =
+  match outcome with
+  | Outcome.Completed _ -> ""
+  | Outcome.Recovered (_, r) ->
+    Printf.sprintf "\nretransmissions: %d\noutages: %d\nstalled: %s" r.Outcome.retransmissions
+      r.Outcome.outages
+      (Sim.Time.to_string r.Outcome.stalled)
+  | Outcome.Aborted a ->
+    Printf.sprintf "\nretransmissions: %d\nstalled: %s" a.retransmissions
+      (Sim.Time.to_string a.stalled)
+
+let render_precopy outcome =
+  match Outcome.stats outcome with
+  | Some (r : Precopy.result) ->
+    Printf.sprintf
+      "Migration status: %s\nrounds: %d\ntransferred ram: %d bytes\ndowntime: %s\n\
+       total time: %s%s"
+      (Outcome.describe outcome) (List.length r.rounds) r.total_bytes_sent
+      (Sim.Time.to_string r.downtime)
+      (Sim.Time.to_string r.total_time)
+      (fault_counters outcome)
+  | None -> Printf.sprintf "Migration status: %s%s" (Outcome.describe outcome) (fault_counters outcome)
+
+let render_postcopy outcome =
+  match Outcome.stats outcome with
+  | Some (r : Postcopy.result) ->
+    Printf.sprintf
+      "Migration status: %s (postcopy)\ntransferred pages: %d\ndowntime: %s\n\
+       total time: %s\ndemand faults: %d%s"
+      (Outcome.describe outcome) r.total_pages_sent
+      (Sim.Time.to_string r.downtime)
+      (Sim.Time.to_string r.total_time)
+      r.demand_faults (fault_counters outcome)
+  | None -> Printf.sprintf "Migration status: %s%s" (Outcome.describe outcome) (fault_counters outcome)
+
+let wire_monitor ?(strategy = Pre_copy Precopy.default_config) ?fault engine ~registry ~source
+    () =
   Vmm.Vm.set_migrate_handler source (fun ~host ~port ->
       match Registry.resolve registry ~addr:host ~port with
       | Error e -> Error e
@@ -15,19 +52,56 @@ let wire_monitor ?(strategy = Pre_copy Precopy.default_config) engine ~registry 
         let outcome =
           match strategy with
           | Pre_copy config -> (
-            match Precopy.migrate ~config engine ~source ~dest () with
-            | Ok r -> Ok (Some r, None)
+            match Precopy.migrate ~config ?fault engine ~source ~dest () with
+            | Ok o ->
+              Vmm.Vm.set_migration_stats source (render_precopy o);
+              Ok (Some o, None, o |> Outcome.completed)
             | Error e -> Error e)
           | Post_copy config -> (
-            match Postcopy.migrate ~config engine ~source ~dest () with
-            | Ok r -> Ok (None, Some r)
+            match Postcopy.migrate ~config ?fault engine ~source ~dest () with
+            | Ok o ->
+              Vmm.Vm.set_migration_stats source (render_postcopy o);
+              (* a postcopy-paused destination carries its own status,
+                 and its recover closure refreshes it on success *)
+              (match o with
+              | Outcome.Aborted { reason = Outcome.Postcopy_paused; _ } ->
+                Vmm.Vm.set_migration_stats dest
+                  "Migration status: postcopy-paused (migrate_recover to resume)";
+                (match Vmm.Vm.recover_handler dest with
+                | None -> ()
+                | Some h ->
+                  Vmm.Vm.set_recover_handler dest
+                    (Some
+                       (fun () ->
+                         match h () with
+                         | Error e -> Error e
+                         | Ok () ->
+                           Vmm.Vm.set_migration_stats dest
+                             "Migration status: completed (via migrate_recover)";
+                           Ok ())))
+              | Outcome.Completed _ | Outcome.Recovered _ | Outcome.Aborted _ -> ());
+              let handed_over =
+                Outcome.completed o
+                ||
+                match o with
+                | Outcome.Aborted { reason = Outcome.Postcopy_paused; _ } -> true
+                | _ -> false
+              in
+              Ok (None, Some o, handed_over)
             | Error e -> Error e)
         in
         match outcome with
         | Error e -> Error e
-        | Ok pair ->
-          Hashtbl.replace results (Vmm.Vm.name source) pair;
-          Registry.unregister registry ~addr:host ~port;
-          Ok ()))
+        | Ok (pre, post, handed_over) ->
+          Hashtbl.replace results (Vmm.Vm.name source) (pre, post);
+          if handed_over then Registry.unregister registry ~addr:host ~port;
+          let aborted =
+            match (pre, post) with
+            | Some (Outcome.Aborted a), _ | _, Some (Outcome.Aborted a) -> Some a.reason
+            | _ -> None
+          in
+          (match aborted with
+          | Some reason -> Error (Outcome.reason_to_string reason)
+          | None -> Ok ())))
 
 let last_result vm = Hashtbl.find_opt results (Vmm.Vm.name vm)

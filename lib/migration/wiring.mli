@@ -11,15 +11,26 @@ type strategy =
 
 val wire_monitor :
   ?strategy:strategy ->
+  ?fault:Sim.Fault.t ->
   Sim.Engine.t ->
   registry:Registry.t ->
   source:Vmm.Vm.t ->
   unit ->
   unit
 (** After this, [Monitor.execute source "migrate tcp:H:P"] performs the
-    migration. Default strategy: pre-copy with {!Precopy.default_config}.
-    The registry entry for the destination is removed on success. *)
+    migration. Default strategy: pre-copy with {!Precopy.default_config};
+    [?fault] is threaded through to the chosen driver. The registry
+    entry for the destination is removed once the destination has taken
+    over the guest ([Completed], [Recovered], or postcopy-paused).
 
-val last_result : Vmm.Vm.t -> (Precopy.result option * Postcopy.result option) option
-(** Result of the most recent migration initiated from this VM's
+    The handler reports an aborted migration as [Error] to the monitor
+    (QEMU prints "migration failed"), and records a rendered summary -
+    outcome, rounds, fault counters - on the source VM via
+    {!Vmm.Vm.set_migration_stats} so [info migrate] can show it. A
+    postcopy-paused destination gets its own status line, and its
+    [migrate_recover] closure is wrapped to refresh it on success. *)
+
+val last_result :
+  Vmm.Vm.t -> (Precopy.result Outcome.t option * Postcopy.result Outcome.t option) option
+(** Outcome of the most recent migration initiated from this VM's
     monitor, if any ([fst] set for pre-copy, [snd] for post-copy). *)

@@ -2,18 +2,23 @@ type result = {
   bytes : int;
   elapsed : Sim.Time.t;
   throughput_mbit_s : float;
+  retransmits : int;
+  link_downtime : Sim.Time.t;
 }
 
 let throughput_mbit_s ~bytes ~elapsed =
   let secs = Sim.Time.to_s elapsed in
   if secs <= 0. then 0. else float_of_int bytes *. 8. /. 1e6 /. secs
 
-let run engine ~link ?(derate = 1.) ?(chunk_bytes = 65536) ?(noise_rsd = 0.) ?rng ~bytes () =
+let run engine ~link ?(derate = 1.) ?(chunk_bytes = 65536) ?(noise_rsd = 0.) ?rng ?fault
+    ~bytes () =
   if bytes < 0 then invalid_arg "Flow.run: negative byte count";
   let link = Link.scale_bandwidth link derate in
   let rng = match rng with Some r -> r | None -> Sim.Engine.fork_rng engine in
   let started = Sim.Engine.now engine in
   let finished = ref None in
+  let retransmits = ref 0 in
+  let link_downtime = ref Sim.Time.zero in
   (* TCP pipelines chunks, so propagation latency is paid once (the
      handshake), and afterwards the stream is serialisation-bound. *)
   let serialisation this =
@@ -23,10 +28,33 @@ let run engine ~link ?(derate = 1.) ?(chunk_bytes = 65536) ?(noise_rsd = 0.) ?rn
     if remaining <= 0 then finished := Some (Sim.Engine.now engine)
     else begin
       let this = min chunk_bytes remaining in
-      let delay =
+      let base =
         Sim.Time.mul (serialisation this) (Sim.Rng.lognormal_noise rng ~rsd:noise_rsd)
       in
-      ignore (Sim.Engine.schedule_after engine delay (fun () -> send_chunk (remaining - this)))
+      match fault with
+      | None ->
+        ignore (Sim.Engine.schedule_after engine base (fun () -> send_chunk (remaining - this)))
+      | Some f ->
+        let delay = Sim.Time.mul base (Sim.Fault.chunk_jitter f) in
+        if Sim.Fault.drops_chunk f then begin
+          (* the chunk's serialisation time is spent, the loss is noticed
+             one RTO (2x latency) later, and the chunk goes again *)
+          incr retransmits;
+          let stall = Sim.Time.add delay (Sim.Time.mul link.Link.latency 2.) in
+          ignore (Sim.Engine.schedule_after engine stall (fun () -> send_chunk remaining))
+        end
+        else begin
+          match Sim.Fault.cut f ~now:(Sim.Engine.now engine) ~during:delay with
+          | Some (after, outage) ->
+            (* the link died mid-chunk: wait out the repair, resend *)
+            incr retransmits;
+            link_downtime := Sim.Time.add !link_downtime outage;
+            let stall = Sim.Time.add after outage in
+            ignore (Sim.Engine.schedule_after engine stall (fun () -> send_chunk remaining))
+          | None ->
+            ignore
+              (Sim.Engine.schedule_after engine delay (fun () -> send_chunk (remaining - this)))
+        end
     end
   in
   ignore (Sim.Engine.schedule_after engine link.Link.latency (fun () -> send_chunk bytes));
@@ -40,4 +68,10 @@ let run engine ~link ?(derate = 1.) ?(chunk_bytes = 65536) ?(noise_rsd = 0.) ?rn
   in
   let at = drive () in
   let elapsed = Sim.Time.diff at started in
-  { bytes; elapsed; throughput_mbit_s = throughput_mbit_s ~bytes ~elapsed }
+  {
+    bytes;
+    elapsed;
+    throughput_mbit_s = throughput_mbit_s ~bytes ~elapsed;
+    retransmits = !retransmits;
+    link_downtime = !link_downtime;
+  }

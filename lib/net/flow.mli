@@ -5,12 +5,17 @@
     {!Link}. Virtualization overhead enters as a bandwidth derating
     factor per virtio traversal, so L0/L1/L2 senders see slightly
     different goodput - the effect Fig 3 measures (and finds to be within
-    noise for TCP bulk transfer). *)
+    noise for TCP bulk transfer). An optional {!Sim.Fault} injector
+    perturbs the stream chunk by chunk: lost chunks are retransmitted
+    after an RTO stall, jittered chunks serialise slower, and a link
+    outage stalls the whole stream until repair. *)
 
 type result = {
   bytes : int;
   elapsed : Sim.Time.t;
   throughput_mbit_s : float;
+  retransmits : int;  (** chunks resent after a loss or an outage (0 without faults) *)
+  link_downtime : Sim.Time.t;  (** injected outage time the flow sat through *)
 }
 
 val run :
@@ -20,6 +25,7 @@ val run :
   ?chunk_bytes:int ->
   ?noise_rsd:float ->
   ?rng:Sim.Rng.t ->
+  ?fault:Sim.Fault.t ->
   bytes:int ->
   unit ->
   result
@@ -27,6 +33,9 @@ val run :
     [link.bandwidth * derate] (default derate 1.0). The transfer is
     executed on the engine's virtual clock in [chunk_bytes] units
     (default 64 KiB); per-chunk jitter [noise_rsd] (default 0) models
-    scheduling noise. The engine is run until the flow completes. *)
+    scheduling noise. [fault] (default absent: the exact fault-free
+    behaviour, no extra RNG draws) injects loss, jitter, degradation,
+    and outages per chunk. The engine is run until the flow completes -
+    every byte always arrives; faults only cost time. *)
 
 val throughput_mbit_s : bytes:int -> elapsed:Sim.Time.t -> float

@@ -10,6 +10,12 @@ type t = {
 }
 
 val make : latency:Sim.Time.t -> bandwidth_mbytes_per_s:float -> t
+(** Raises [Invalid_argument] on a non-positive bandwidth or negative
+    latency. *)
+
+val min_bandwidth_bytes_per_s : float
+(** The floor (1 B/s) any derating clamps to; below it serialisation
+    times overflow the nanosecond clock and stop meaning anything. *)
 
 val loopback : t
 (** Same-host virtio/loopback path: 50 µs latency, ~2 GB/s. This is why
@@ -27,10 +33,17 @@ val migration_loopback : t
     (after the per-level nested-destination derate). *)
 
 val transfer_time : t -> int -> Sim.Time.t
-(** [transfer_time t bytes] = latency + bytes/bandwidth. *)
+(** [transfer_time t bytes] = latency + bytes/bandwidth. Zero bytes cost
+    exactly the latency; a negative byte count raises
+    [Invalid_argument]. The result is always a finite, non-negative
+    duration because bandwidth never drops below
+    {!min_bandwidth_bytes_per_s}. *)
 
 val scale_bandwidth : t -> float -> t
 (** Derate (factor < 1) or upgrade the bandwidth. Nested virtualization
-    derates the effective channel. *)
+    derates the effective channel. Raises [Invalid_argument] on a
+    non-positive or NaN factor; repeated derating saturates at
+    {!min_bandwidth_bytes_per_s} rather than producing unbounded
+    transfer times. *)
 
 val pp : Format.formatter -> t -> unit

@@ -22,6 +22,8 @@ let help_text =
       "info uuid          -- show the current VM UUID";
       "info kvm           -- show KVM information";
       "migrate [-d] uri   -- migrate to uri (tcp:host:port)";
+      "migrate_cancel     -- cancel the current VM migration";
+      "migrate_recover    -- continue a paused incoming postcopy migration";
       "migrate_set_speed  -- set maximum migration speed";
       "stop               -- pause emulation";
       "cont               -- resume emulation";
@@ -102,9 +104,10 @@ let info_cpus vm =
   String.concat "\n" (lines @ [ Printf.sprintf "(vm exits: %d)" io.Vm.vm_exits ])
 
 let info_migrate vm =
-  match Vm.state vm with
-  | Vm.Incoming -> "Migration status: waiting for incoming migration"
-  | Vm.Running | Vm.Paused | Vm.Created | Vm.Stopped -> "Migration status: none"
+  match (Vm.state vm, Vm.migration_stats vm) with
+  | Vm.Incoming, _ -> "Migration status: waiting for incoming migration"
+  | _, Some stats -> stats
+  | (Vm.Running | Vm.Paused | Vm.Created | Vm.Stopped), None -> "Migration status: none"
 
 let parse_migrate_uri uri =
   match String.split_on_char ':' uri with
@@ -154,6 +157,19 @@ let execute vm line =
   | [ "info"; topic ] -> Error_text (Printf.sprintf "info: unknown topic '%s'" topic)
   | [ "migrate"; uri ] -> do_migrate vm uri
   | [ "migrate"; "-d"; uri ] -> do_migrate vm uri
+  | [ "migrate_cancel" ] ->
+    (* sets a flag the migration driver honours at its next round
+       boundary; a no-op (like real QEMU) when nothing is in flight *)
+    Vm.request_migrate_cancel vm;
+    Ok_text ""
+  | [ "migrate_recover" ] | [ "migrate_recover"; _ ] -> (
+    match Vm.recover_handler vm with
+    | None -> Error_text "no postcopy migration in postcopy-paused state"
+    | Some recover -> (
+      Vm.set_recover_handler vm None;
+      match recover () with
+      | Ok () -> Ok_text "postcopy migration recovered"
+      | Error e -> Error_text ("migrate_recover: " ^ e)))
   | [ "migrate_set_speed"; _speed ] -> Ok_text ""
   | [ "stop" ] -> (
     match Vm.pause vm with Ok () -> Ok_text "" | Error e -> Error_text e)

@@ -4,7 +4,16 @@
     subset of the QEMU human monitor protocol the paper's attack and
     introspection rely on (Section IV-A): [info
     status/qtree/blockstats/mtree/mem/network/cpus/migrate], [migrate],
-    [migrate_set_speed], [stop], [cont], and [quit].
+    [migrate_cancel], [migrate_recover], [migrate_set_speed], [stop],
+    [cont], and [quit].
+
+    [migrate_cancel] flags the in-flight migration for abort at its
+    next round boundary (honoured by {!Migration.Precopy});
+    [migrate_recover], issued on a destination parked in the
+    postcopy-paused state, resumes the interrupted page pull. [info
+    migrate] additionally renders the stored statistics of the most
+    recent migration (rounds, outcome, fault counters) when the
+    migration library has recorded them via {!Vm.set_migration_stats}.
 
     [migrate] delegates to the handler installed with
     {!Vm.set_migrate_handler} (wired up by the migration library), just

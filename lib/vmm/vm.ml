@@ -38,6 +38,9 @@ type t = {
   mutable loaded_files : (string, int * int) Hashtbl.t;  (* name -> (offset, pages) *)
   mutable next_file_page : int;
   mutable migrate_handler : (host:string -> port:int -> (unit, string) result) option;
+  mutable migrate_cancel_requested : bool;
+  mutable recover_handler : (unit -> (unit, string) result) option;
+  mutable migration_stats : string option;
   mutable write_taps : (string * (string -> unit)) list;
   mutable guest_time_scale : float;
   mutable cpu_throttle : float;
@@ -80,6 +83,9 @@ let make ~engine ~config ~level ~ram ~disk ~qemu_pid ~addr ?trace () =
        anonymous memory; file loads go above it. *)
     next_file_page = Memory.Address_space.pages ram / 4;
     migrate_handler = None;
+    migrate_cancel_requested = false;
+    recover_handler = None;
+    migration_stats = None;
     write_taps = [];
     guest_time_scale = 1.0;
     cpu_throttle = 0.;
@@ -205,6 +211,20 @@ let emit_write t data = List.iter (fun (_, f) -> f data) t.write_taps
 
 let set_migrate_handler t f = t.migrate_handler <- Some f
 let migrate_handler t = t.migrate_handler
+
+let request_migrate_cancel t = t.migrate_cancel_requested <- true
+let migrate_cancel_requested t = t.migrate_cancel_requested
+
+let take_migrate_cancel t =
+  let r = t.migrate_cancel_requested in
+  t.migrate_cancel_requested <- false;
+  r
+
+let set_recover_handler t h = t.recover_handler <- h
+let recover_handler t = t.recover_handler
+
+let set_migration_stats t s = t.migration_stats <- Some s
+let migration_stats t = t.migration_stats
 
 let pp fmt t =
   Format.fprintf fmt "%s[%a,%s,pid=%d]" (name t) Level.pp t.level (state_to_string t.state)

@@ -175,4 +175,33 @@ val set_migrate_handler :
 val migrate_handler :
   t -> (host:string -> port:int -> (unit, string) result) option
 
+(** {2 Migration control plane}
+
+    State the monitor's [migrate_cancel] / [migrate_recover] commands
+    and the migration drivers share. The VM layer only stores it; the
+    migration library gives it meaning. *)
+
+val request_migrate_cancel : t -> unit
+(** Ask the in-flight migration (if any) to abort at its next round
+    boundary - the monitor's [migrate_cancel]. Callable from an engine
+    event scheduled mid-migration. *)
+
+val migrate_cancel_requested : t -> bool
+
+val take_migrate_cancel : t -> bool
+(** Read and clear the cancel request (the migration driver's side). *)
+
+val set_recover_handler : t -> (unit -> (unit, string) result) option -> unit
+(** Installed by a post-copy migration that parked this (destination)
+    VM in the postcopy-paused state; invoking it pulls the remaining
+    pages and resumes the guest - the monitor's [migrate_recover]. *)
+
+val recover_handler : t -> (unit -> (unit, string) result) option
+
+val set_migration_stats : t -> string -> unit
+(** Rendered summary of the most recent migration involving this VM
+    (outcome, rounds, fault counters); shown by [info migrate]. *)
+
+val migration_stats : t -> string option
+
 val pp : Format.formatter -> t -> unit

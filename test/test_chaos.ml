@@ -1,0 +1,125 @@
+(* Chaos harness: random fault schedules thrown at the migration stack,
+   checking the safety invariants the failure model promises. Faults may
+   stretch, stall, or abort a migration - they must never lose or
+   duplicate guest state, corrupt the dirty-bitmap accounting, or change
+   what the detector concludes in the absence of faults. *)
+
+let small_config ?(name = "guest0") ?(memory_mb = 8) () =
+  { (Vmm.Qemu_config.default ~name) with Vmm.Qemu_config.memory_mb }
+
+let mk_pair ?(nested = false) () =
+  Vmm.Layers.migration_pair ~ksm_config:Memory.Ksm.fast_config ~config:(small_config ())
+    ~nested_dest:nested ()
+
+let contents_equal a b =
+  let ca = Memory.Address_space.contents a and cb = Memory.Address_space.contents b in
+  Array.length ca = Array.length cb && Array.for_all2 Memory.Page.Content.equal ca cb
+
+let profiles = [| Sim.Fault.lossy; Sim.Fault.degraded; Sim.Fault.flaky |]
+
+let chaos_props =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:"precopy chaos: no page lost or duplicated, dirty accounting conserved"
+         ~count:15
+         QCheck.(pair small_int (int_range 0 2))
+         (fun (seed, pidx) ->
+           let mp = mk_pair ~nested:(seed mod 2 = 0) () in
+           let engine = mp.Vmm.Layers.mp_engine in
+           let source = mp.Vmm.Layers.mp_source and dest = mp.Vmm.Layers.mp_dest in
+           let env =
+             Workload.Exec_env.make ~vm:source ~engine ~level:(Vmm.Vm.level source)
+               ~ram:(Vmm.Vm.ram source)
+               ~rng:(Sim.Rng.create seed) ()
+           in
+           let rate = 100. +. float_of_int (seed mod 5) *. 500. in
+           let wl =
+             Workload.Background.start env
+               (Workload.Kernel_compile.background ~pages_per_second:rate ())
+           in
+           let fault = Sim.Fault.create profiles.(pidx) (Sim.Rng.create seed) in
+           let r = Migration.Precopy.migrate ~fault engine ~source ~dest () in
+           Workload.Background.stop wl;
+           match r with
+           | Error _ -> false
+           | Ok o -> (
+             let pages = Memory.Address_space.pages (Vmm.Vm.ram source) in
+             match o with
+             | Migration.Outcome.Completed r | Migration.Outcome.Recovered (r, _) ->
+               let sum f = List.fold_left (fun a x -> a + f x) 0 r.Migration.Precopy.rounds in
+               (* the guest moved whole: both sides identical, dest owns it *)
+               contents_equal (Vmm.Vm.ram source) (Vmm.Vm.ram dest)
+               && Vmm.Vm.state dest = Vmm.Vm.Running
+               && Vmm.Vm.state source = Vmm.Vm.Paused
+               (* dirty-bitmap conservation: every page went at least
+                  once, the per-round stats add up to the totals, and a
+                  re-send can only be caused by a recorded dirtying *)
+               && r.Migration.Precopy.total_pages_sent >= pages
+               && sum (fun x -> x.Migration.Precopy.pages_sent)
+                  = r.Migration.Precopy.total_pages_sent
+               && sum (fun x -> x.Migration.Precopy.bytes_sent)
+                  = r.Migration.Precopy.total_bytes_sent
+               && r.Migration.Precopy.total_pages_sent - pages
+                  <= sum (fun x -> x.Migration.Precopy.dirtied_during)
+             | Migration.Outcome.Aborted { source_resumed; _ } ->
+               (* an abort hands the guest back: source runs, the
+                  destination never leaves Incoming *)
+               source_resumed = (Vmm.Vm.state source = Vmm.Vm.Running)
+               && Vmm.Vm.state source = Vmm.Vm.Running
+               && Vmm.Vm.state dest = Vmm.Vm.Incoming)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:"postcopy chaos: auto-recovery pulls every remaining page exactly once"
+         ~count:12 QCheck.small_int
+         (fun seed ->
+           let mp = mk_pair ~nested:(seed mod 2 = 1) () in
+           let engine = mp.Vmm.Layers.mp_engine in
+           let source = mp.Vmm.Layers.mp_source and dest = mp.Vmm.Layers.mp_dest in
+           let rng = Sim.Rng.create seed in
+           for _ = 1 to 200 do
+             let i = Sim.Rng.int rng (Memory.Address_space.pages (Vmm.Vm.ram source)) in
+             ignore
+               (Memory.Address_space.write (Vmm.Vm.ram source) i (Memory.Page.Content.random rng))
+           done;
+           (* a small working set leaves most pages to the outage-prone
+              background pull; auto-recovery must wait outages out *)
+           let config =
+             { Migration.Postcopy.default_config with
+               Migration.Postcopy.working_set_pages = 256;
+               auto_recover = true;
+             }
+           in
+           let profile =
+             { Sim.Fault.lossy with
+               Sim.Fault.mtbf = Some (Sim.Time.ms 150.);
+               mttr = Sim.Time.ms 100.;
+             }
+           in
+           let fault = Sim.Fault.create profile (Sim.Rng.create seed) in
+           match Migration.Postcopy.migrate ~config ~fault engine ~source ~dest () with
+           | Error _ -> false
+           | Ok (Migration.Outcome.Completed r) | Ok (Migration.Outcome.Recovered (r, _)) ->
+             (* exactly-once delivery: the page counter equals the RAM
+                size - an outage resumes the pull where it stopped *)
+             contents_equal (Vmm.Vm.ram source) (Vmm.Vm.ram dest)
+             && Vmm.Vm.state dest = Vmm.Vm.Running
+             && r.Migration.Postcopy.total_pages_sent
+                = Memory.Address_space.pages (Vmm.Vm.ram source)
+           | Ok (Migration.Outcome.Aborted { reason = Migration.Outcome.Channel_down _; _ }) ->
+             (* the push died before handover: ordinary abort semantics *)
+             Vmm.Vm.state source = Vmm.Vm.Running && Vmm.Vm.state dest = Vmm.Vm.Incoming
+           | Ok (Migration.Outcome.Aborted _) -> false));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"zero-fault detector false-positive rate is zero" ~count:5
+         QCheck.small_int
+         (fun seed ->
+           (* the fault subsystem must not perturb clean scenarios: a
+              host with no nested VM is never flagged, at any seed *)
+           let sc = Cloudskulk.Scenarios.clean ~seed () in
+           match Cloudskulk.Dedup_detector.run sc.Cloudskulk.Scenarios.detector_env with
+           | Ok o -> o.Cloudskulk.Dedup_detector.verdict = Cloudskulk.Dedup_detector.No_nested_vm
+           | Error _ -> false));
+  ]
+
+let () = Alcotest.run "chaos" [ ("properties", chaos_props) ]

@@ -587,6 +587,134 @@ let probe_tests =
 let mem_props =
   [
     QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:"dirty bitset agrees with a naive bool-array model under random interleavings"
+         ~count:100
+         QCheck.(pair small_int (int_range 1 130))
+         (fun (seed, n) ->
+           (* Drive the word-skipping bitset and a bool array through the
+              same random set/clear/fold/drain/collect schedule and demand
+              they never disagree. Lengths around the 32-bit word boundary
+              are the interesting ones; [n] ranges across several words. *)
+           let open Memory.Dirty in
+           let d = create n in
+           let scratch = create n in
+           let model = Array.make n false in
+           let r = Sim.Rng.create seed in
+           let agree () =
+             dirty_count d = Array.fold_left (fun a b -> if b then a + 1 else a) 0 model
+             && (let ok = ref true in
+                 for i = 0 to n - 1 do
+                   if is_dirty d i <> model.(i) then ok := false
+                 done;
+                 !ok)
+             && List.rev (fold_dirty d (fun acc i -> i :: acc) [])
+                = List.filter (fun i -> model.(i)) (List.init n Fun.id)
+           in
+           let ok = ref true in
+           for _ = 1 to 300 do
+             (match Sim.Rng.int r 5 with
+             | 0 ->
+               let i = Sim.Rng.int r n in
+               set d i;
+               model.(i) <- true
+             | 1 ->
+               clear d;
+               Array.fill model 0 n false
+             | 2 ->
+               (* drain moves the set into scratch and clears the source *)
+               drain d ~into:scratch;
+               let moved = List.filter (fun i -> model.(i)) (List.init n Fun.id) in
+               Array.fill model 0 n false;
+               if List.rev (fold_dirty scratch (fun acc i -> i :: acc) []) <> moved then
+                 ok := false
+             | 3 ->
+               let collected = collect_and_clear d in
+               let expected = List.filter (fun i -> model.(i)) (List.init n Fun.id) in
+               Array.fill model 0 n false;
+               if collected <> expected then ok := false
+             | _ ->
+               let i = Sim.Rng.int r n in
+               if is_dirty d i <> model.(i) then ok := false);
+             if not (agree ()) then ok := false
+           done;
+           !ok));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:"ksm tree invariants hold under random register/write/unregister sequences"
+         ~count:40
+         QCheck.(small_int)
+         (fun seed ->
+           let engine = Sim.Engine.create ~seed () in
+           let ft = Memory.Frame_table.create () in
+           let ksm = Memory.Ksm.create ~config:Memory.Ksm.fast_config engine ft in
+           let r = Sim.Rng.create seed in
+           let next_space = ref 0 in
+           let registered = ref [] in
+           let fresh_space () =
+             let s =
+               Memory.Address_space.create_root ft
+                 ~name:(Printf.sprintf "s%d" !next_space)
+                 ~pages:24
+             in
+             incr next_space;
+             (* a small content alphabet so cross-space duplicates are
+                common and merges actually happen *)
+             for i = 0 to 23 do
+               ignore
+                 (Memory.Address_space.write s i (Memory.Page.Content.of_int (Sim.Rng.int r 6)))
+             done;
+             s
+           in
+           registered := [ fresh_space (); fresh_space () ];
+           List.iter (Memory.Ksm.register ksm) !registered;
+           let ok = ref true in
+           let volatile_floor = ref 0 in
+           let check () =
+             (match Memory.Ksm.check_invariants ksm with
+             | Ok () -> ()
+             | Error e ->
+               QCheck.Test.fail_reportf "invariant violated (seed %d): %s" seed e);
+             (* checksum gate monotonicity: the volatile-skip counter
+                never goes backwards *)
+             let v = Memory.Ksm.pages_volatile_skipped ksm in
+             if v < !volatile_floor then ok := false;
+             volatile_floor := v
+           in
+           for _ = 1 to 120 do
+             (match Sim.Rng.int r 6 with
+             | 0 ->
+               let s = fresh_space () in
+               Memory.Ksm.register ksm s;
+               registered := s :: !registered
+             | 1 -> (
+               match !registered with
+               | [] -> ()
+               | s :: rest ->
+                 Memory.Ksm.unregister ksm s;
+                 registered := rest)
+             | 2 | 3 -> (
+               (* random writes churn pages between scans: the checksum
+                  gate's food *)
+               match !registered with
+               | [] -> ()
+               | spaces ->
+                 let s = List.nth spaces (Sim.Rng.int r (List.length spaces)) in
+                 let i = Sim.Rng.int r 24 in
+                 ignore
+                   (Memory.Address_space.write s i
+                      (Memory.Page.Content.of_int (Sim.Rng.int r 6))))
+             | _ -> Memory.Ksm.scan_once ksm);
+             check ()
+           done;
+           (* a few full passes at the end settle the merge state, and the
+              invariants must survive that too *)
+           for _ = 1 to 20 do
+             Memory.Ksm.scan_once ksm;
+             check ()
+           done;
+           !ok));
+    QCheck_alcotest.to_alcotest
       (QCheck.Test.make ~name:"refcounts never go negative through write storms" ~count:50
          QCheck.(small_int)
          (fun seed ->

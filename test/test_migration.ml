@@ -9,9 +9,9 @@ let mk_pair ?(nested = false) ?(memory_mb = 8) () =
   Vmm.Layers.migration_pair ~ksm_config:Memory.Ksm.fast_config
     ~config:(small_config ~memory_mb ()) ~nested_dest:nested ()
 
-let migrate_exn ?config engine ~source ~dest =
-  match Migration.Precopy.migrate ?config engine ~source ~dest () with
-  | Ok r -> r
+let migrate_exn ?config ?fault engine ~source ~dest =
+  match Migration.Precopy.migrate ?config ?fault engine ~source ~dest () with
+  | Ok o -> Migration.Outcome.stats_exn o
   | Error e -> Alcotest.fail e
 
 let registry_tests =
@@ -325,7 +325,8 @@ let postcopy_tests =
              ~dest:mp.mp_dest ()
          with
         | Error e -> Alcotest.fail e
-        | Ok r ->
+        | Ok o ->
+          let r = Migration.Outcome.stats_exn o in
           Alcotest.(check bool) "downtime < 1s" true
             Sim.Time.(r.Migration.Postcopy.downtime < Sim.Time.s 1.);
           Alcotest.(check bool) "dest running" true
@@ -340,12 +341,173 @@ let postcopy_tests =
         let pre = migrate_exn mp1.Vmm.Layers.mp_engine ~source:mp1.mp_source ~dest:mp1.mp_dest in
         let mp2 = mk_pair () in
         let post =
-          Result.get_ok
-            (Migration.Postcopy.migrate mp2.Vmm.Layers.mp_engine ~source:mp2.mp_source
-               ~dest:mp2.mp_dest ())
+          Migration.Outcome.stats_exn
+            (Result.get_ok
+               (Migration.Postcopy.migrate mp2.Vmm.Layers.mp_engine ~source:mp2.mp_source
+                  ~dest:mp2.mp_dest ()))
         in
         Alcotest.(check bool) "resume beats total" true
           Sim.Time.(post.Migration.Postcopy.resume_time < pre.Migration.Precopy.total_time));
+  ]
+
+let fault_tests =
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    m = 0 || go 0
+  in
+  (* outage-only profiles: no loss/jitter, so any behaviour change is
+     attributable to the link going down *)
+  let outages ~mtbf_ms ~mttr_ms =
+    { Sim.Fault.none with
+      Sim.Fault.mtbf = Some (Sim.Time.ms mtbf_ms);
+      mttr = Sim.Time.ms mttr_ms;
+    }
+  in
+  [
+    Alcotest.test_case "fault-free migration is Completed" `Quick (fun () ->
+        let mp = mk_pair () in
+        match
+          Migration.Precopy.migrate mp.Vmm.Layers.mp_engine ~source:mp.mp_source
+            ~dest:mp.mp_dest ()
+        with
+        | Ok (Migration.Outcome.Completed _ as o) ->
+          Alcotest.(check string) "described" "completed" (Migration.Outcome.describe o)
+        | Ok o -> Alcotest.fail ("unexpected outcome: " ^ Migration.Outcome.describe o)
+        | Error e -> Alcotest.fail e);
+    Alcotest.test_case "precopy aborts when the channel stays down" `Quick (fun () ->
+        let mp = mk_pair () in
+        let engine = mp.Vmm.Layers.mp_engine in
+        (* the link dies ~1 ms into every transmission and no retries
+           are allowed: the first round must abort the migration *)
+        let fault =
+          Sim.Fault.create (outages ~mtbf_ms:1. ~mttr_ms:2000.) (Sim.Engine.fork_rng engine)
+        in
+        let config =
+          { Migration.Precopy.default_config with Migration.Precopy.max_retransmits = 0 }
+        in
+        match
+          Migration.Precopy.migrate ~config ~fault engine ~source:mp.mp_source
+            ~dest:mp.mp_dest ()
+        with
+        | Ok
+            (Migration.Outcome.Aborted
+               { reason = Migration.Outcome.Channel_down _; source_resumed; _ }) ->
+          Alcotest.(check bool) "source still owns the guest" true source_resumed;
+          Alcotest.(check bool) "source running" true
+            (Vmm.Vm.state mp.mp_source = Vmm.Vm.Running);
+          Alcotest.(check bool) "dest parked in Incoming" true
+            (Vmm.Vm.state mp.mp_dest = Vmm.Vm.Incoming)
+        | Ok o -> Alcotest.fail ("expected channel-down abort, got " ^ Migration.Outcome.describe o)
+        | Error e -> Alcotest.fail e);
+    Alcotest.test_case "recovered precopy counts its outages" `Quick (fun () ->
+        let mp = mk_pair () in
+        let engine = mp.Vmm.Layers.mp_engine in
+        (* a seed whose fault schedule cuts the first round once and
+           then lets the retransmission through (fault schedules are a
+           pure function of the RNG, so this is stable) *)
+        let fault =
+          Sim.Fault.create (outages ~mtbf_ms:100. ~mttr_ms:50.) (Sim.Rng.create 21)
+        in
+        match Migration.Precopy.migrate ~fault engine ~source:mp.mp_source ~dest:mp.mp_dest () with
+        | Ok (Migration.Outcome.Recovered (r, rc)) ->
+          Alcotest.(check bool) "outages counted" true (rc.Migration.Outcome.outages > 0);
+          Alcotest.(check bool) "retransmissions counted" true
+            (rc.Migration.Outcome.retransmissions > 0);
+          Alcotest.(check bool) "stall time accounted" true
+            Sim.Time.(rc.Migration.Outcome.stalled > Sim.Time.zero);
+          Alcotest.(check bool) "guest still moved" true
+            (Vmm.Vm.state mp.mp_dest = Vmm.Vm.Running && r.Migration.Precopy.converged)
+        | Ok o -> Alcotest.fail ("expected recovery, got " ^ Migration.Outcome.describe o)
+        | Error e -> Alcotest.fail e);
+    Alcotest.test_case "migrate_cancel aborts at a round boundary" `Quick (fun () ->
+        let mp = mk_pair () in
+        let engine = mp.Vmm.Layers.mp_engine in
+        let source = mp.mp_source in
+        (* keep the migration iterating so the cancel lands mid-flight *)
+        let env =
+          Workload.Exec_env.make ~vm:source ~engine ~level:(Vmm.Vm.level source)
+            ~ram:(Vmm.Vm.ram source)
+            ~rng:(Sim.Engine.fork_rng engine) ()
+        in
+        let wl = Workload.Background.start env (Workload.Kernel_compile.background ()) in
+        let config =
+          { Migration.Precopy.default_config with
+            Migration.Precopy.max_downtime = Sim.Time.ms 2. }
+        in
+        ignore
+          (Sim.Engine.schedule_after engine (Sim.Time.ms 30.) (fun () ->
+               Vmm.Vm.request_migrate_cancel source));
+        let r = Migration.Precopy.migrate ~config engine ~source ~dest:mp.mp_dest () in
+        Workload.Background.stop wl;
+        (match r with
+        | Ok (Migration.Outcome.Aborted { reason = Migration.Outcome.Cancelled n; _ }) ->
+          Alcotest.(check bool) "cancelled at a positive round" true (n >= 1);
+          Alcotest.(check bool) "source running" true (Vmm.Vm.state source = Vmm.Vm.Running);
+          Alcotest.(check bool) "dest untouched" true
+            (Vmm.Vm.state mp.mp_dest = Vmm.Vm.Incoming)
+        | Ok o -> Alcotest.fail ("expected cancel, got " ^ Migration.Outcome.describe o)
+        | Error e -> Alcotest.fail e);
+        (* a stale cancel must not poison the next migration *)
+        Alcotest.(check bool) "flag consumed" false (Vmm.Vm.migrate_cancel_requested source));
+    Alcotest.test_case "postcopy pause and monitor recovery" `Quick (fun () ->
+        let mp = mk_pair () in
+        let engine = mp.Vmm.Layers.mp_engine in
+        let source = mp.mp_source and dest = mp.mp_dest in
+        let rng = Sim.Rng.create 42 in
+        for _ = 1 to 200 do
+          let i = Sim.Rng.int rng (Memory.Address_space.pages (Vmm.Vm.ram source)) in
+          ignore
+            (Memory.Address_space.write (Vmm.Vm.ram source) i (Memory.Page.Content.random rng))
+        done;
+        (* a small working set leaves most pages to the background pull,
+           and this seed's schedule severs that pull mid-stream *)
+        let fault =
+          Sim.Fault.create (outages ~mtbf_ms:100. ~mttr_ms:100.) (Sim.Rng.create 1)
+        in
+        let config =
+          { Migration.Postcopy.default_config with
+            Migration.Postcopy.working_set_pages = 256;
+            auto_recover = false;
+          }
+        in
+        match Migration.Postcopy.migrate ~config ~fault engine ~source ~dest () with
+        | Ok (Migration.Outcome.Aborted { reason = Migration.Outcome.Postcopy_paused; _ }) ->
+          Alcotest.(check bool) "dest postcopy-paused" true
+            (Vmm.Vm.state dest = Vmm.Vm.Paused);
+          (match Vmm.Monitor.execute dest "migrate_recover" with
+          | Vmm.Monitor.Ok_text _ -> ()
+          | Vmm.Monitor.Error_text e -> Alcotest.fail e
+          | Vmm.Monitor.Quit -> Alcotest.fail "quit");
+          Alcotest.(check bool) "dest running after recover" true
+            (Vmm.Vm.state dest = Vmm.Vm.Running);
+          (* the pull resumed where it stopped: every page moved exactly
+             once, none lost, none overwritten twice *)
+          let ca = Memory.Address_space.contents (Vmm.Vm.ram source) in
+          let cb = Memory.Address_space.contents (Vmm.Vm.ram dest) in
+          Alcotest.(check bool) "no page lost or duplicated" true
+            (Array.for_all2 Memory.Page.Content.equal ca cb);
+          (* the handler is one-shot *)
+          (match Vmm.Monitor.execute dest "migrate_recover" with
+          | Vmm.Monitor.Error_text _ -> ()
+          | _ -> Alcotest.fail "second recover should refuse")
+        | Ok o -> Alcotest.fail ("expected postcopy-paused, got " ^ Migration.Outcome.describe o)
+        | Error e -> Alcotest.fail e);
+    Alcotest.test_case "info migrate reports the wired migration" `Quick (fun () ->
+        let mp = mk_pair () in
+        let engine = mp.Vmm.Layers.mp_engine in
+        let reg = Migration.Registry.create () in
+        Migration.Registry.register_incoming reg ~addr:"10.0.0.2" ~port:5601 mp.mp_dest;
+        Migration.Wiring.wire_monitor engine ~registry:reg ~source:mp.mp_source ();
+        (match Vmm.Monitor.execute mp.mp_source "migrate tcp:10.0.0.2:5601" with
+        | Vmm.Monitor.Ok_text _ -> ()
+        | Vmm.Monitor.Error_text e -> Alcotest.fail e
+        | Vmm.Monitor.Quit -> Alcotest.fail "quit");
+        match Vmm.Monitor.execute mp.mp_source "info migrate" with
+        | Vmm.Monitor.Ok_text s ->
+          Alcotest.(check bool) "status line" true (contains s "Migration status: completed");
+          Alcotest.(check bool) "transferred bytes line" true (contains s "transferred ram")
+        | _ -> Alcotest.fail "info migrate failed");
   ]
 
 let wiring_tests =
@@ -398,6 +560,7 @@ let () =
       ("precopy", precopy_tests);
       ("auto_converge", auto_converge_tests);
       ("postcopy", postcopy_tests);
+      ("faults", fault_tests);
       ("wiring", wiring_tests);
       ("properties", migration_props);
     ]

@@ -27,6 +27,35 @@ let link_tests =
              ignore (make ~latency:Sim.Time.zero ~bandwidth_mbytes_per_s:0.);
              false
            with Invalid_argument _ -> true));
+    Alcotest.test_case "negative byte count rejected" `Quick (fun () ->
+        let l = make ~latency:Sim.Time.zero ~bandwidth_mbytes_per_s:1. in
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (transfer_time l (-1));
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "derating saturates at the bandwidth floor" `Quick (fun () ->
+        (* repeated aggressive derates must clamp, not underflow to a
+           bandwidth whose serialisation times overflow the clock *)
+        let l = ref (make ~latency:Sim.Time.zero ~bandwidth_mbytes_per_s:100.) in
+        for _ = 1 to 64 do
+          l := scale_bandwidth !l 1e-6
+        done;
+        Alcotest.(check (float 1e-9)) "clamped to the floor" min_bandwidth_bytes_per_s
+          !l.bandwidth_bytes_per_s;
+        (* at the 1 B/s floor, one byte serialises in exactly one second *)
+        Alcotest.(check (float 1e-6)) "still finite" 1. (Sim.Time.to_s (transfer_time !l 1)));
+    Alcotest.test_case "invalid derate factors rejected" `Quick (fun () ->
+        let l = make ~latency:Sim.Time.zero ~bandwidth_mbytes_per_s:1. in
+        let rejects f =
+          try
+            ignore (scale_bandwidth l f);
+            false
+          with Invalid_argument _ -> true
+        in
+        Alcotest.(check bool) "zero" true (rejects 0.);
+        Alcotest.(check bool) "negative" true (rejects (-2.));
+        Alcotest.(check bool) "nan" true (rejects Float.nan));
   ]
 
 let packet_tests =
@@ -243,6 +272,36 @@ let flow_tests =
         let elapsed = Sim.Time.diff (Sim.Engine.now e) before in
         Alcotest.(check bool) "about 1s" true
           (Float.abs (Sim.Time.to_s elapsed -. 1.) < 0.05));
+    Alcotest.test_case "no injector means no fault accounting" `Quick (fun () ->
+        let e = engine () in
+        let link = Net.Link.make ~latency:Sim.Time.zero ~bandwidth_mbytes_per_s:100. in
+        let r = Net.Flow.run e ~link ~bytes:(8 * 1024 * 1024) () in
+        Alcotest.(check int) "no retransmits" 0 r.Net.Flow.retransmits;
+        Alcotest.(check int64) "no downtime" 0L (Sim.Time.to_ns r.Net.Flow.link_downtime));
+    Alcotest.test_case "lossy flow delivers every byte, later" `Quick (fun () ->
+        let bytes = 16 * 1024 * 1024 in
+        let link = Net.Link.make ~latency:Sim.Time.zero ~bandwidth_mbytes_per_s:100. in
+        let clean = Net.Flow.run (engine ()) ~link ~bytes () in
+        let e = engine () in
+        let fault = Sim.Fault.create Sim.Fault.lossy (Sim.Engine.fork_rng e) in
+        let r = Net.Flow.run e ~link ~fault ~bytes () in
+        Alcotest.(check int) "all bytes arrive" bytes r.Net.Flow.bytes;
+        Alcotest.(check bool) "no faster than fault-free" true
+          (Sim.Time.to_ns r.Net.Flow.elapsed >= Sim.Time.to_ns clean.Net.Flow.elapsed));
+    Alcotest.test_case "an outage shows up as link downtime" `Quick (fun () ->
+        let e = engine () in
+        (* mean 50 ms between failures over a ~1 s stream: the cut is
+           certain for this seed, and the schedule is deterministic *)
+        let profile =
+          { Sim.Fault.lossy with Sim.Fault.mtbf = Some (Sim.Time.ms 50.); mttr = Sim.Time.ms 200. }
+        in
+        let fault = Sim.Fault.create profile (Sim.Engine.fork_rng e) in
+        let link = Net.Link.make ~latency:Sim.Time.zero ~bandwidth_mbytes_per_s:10. in
+        let r = Net.Flow.run e ~link ~fault ~bytes:(10 * 1024 * 1024) () in
+        Alcotest.(check bool) "downtime recorded" true
+          (Sim.Time.to_ns r.Net.Flow.link_downtime > 0L);
+        Alcotest.(check bool) "interrupted chunks were resent" true
+          (r.Net.Flow.retransmits > 0));
   ]
 
 let net_props =
@@ -311,6 +370,21 @@ let net_props =
                 "x");
            ignore (Sim.Engine.run e);
            !count = 1));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"faulted flows deliver every byte under any seed" ~count:50
+         QCheck.(pair small_int (int_range 1 16))
+         (fun (seed, mib) ->
+           let bytes = mib * 1024 * 1024 in
+           let link = Net.Link.make ~latency:Sim.Time.zero ~bandwidth_mbytes_per_s:64. in
+           let e = Sim.Engine.create ~seed () in
+           let fault = Sim.Fault.create Sim.Fault.flaky (Sim.Engine.fork_rng e) in
+           let r = Net.Flow.run e ~link ~fault ~bytes () in
+           (* faults cost time, never data: the full payload lands, the
+              stream sat through at least the injected downtime, and a
+              recorded outage always implies a resent chunk *)
+           r.Net.Flow.bytes = bytes
+           && Sim.Time.to_ns r.Net.Flow.elapsed >= Sim.Time.to_ns r.Net.Flow.link_downtime
+           && (Sim.Time.to_ns r.Net.Flow.link_downtime = 0L || r.Net.Flow.retransmits > 0)));
   ]
 
 let () =

@@ -56,6 +56,28 @@ let detect_trial ~seed =
   let infected = verdict (Cloudskulk.Scenarios.infected ~seed ()) in
   (clean, infected)
 
+(* The faulted variant of the same trial: channel faults injected into
+   the install's migration. Everything observable is returned - verdict,
+   migration outcome string, install wall time - so the comparison below
+   catches any divergence in the fault schedule, not just the verdict. *)
+let faulted_trial ~seed =
+  match Cloudskulk.Scenarios.infected ~seed ~faults:Sim.Fault.flaky () with
+  | sc ->
+    let verdict =
+      match Cloudskulk.Dedup_detector.run sc.Cloudskulk.Scenarios.detector_env with
+      | Ok o -> Cloudskulk.Dedup_detector.verdict_to_string o.Cloudskulk.Dedup_detector.verdict
+      | Error e -> "error: " ^ e
+    in
+    let outcome, total =
+      match sc.Cloudskulk.Scenarios.install_report with
+      | Some r ->
+        ( r.Cloudskulk.Install.migration_outcome,
+          Sim.Time.to_string r.Cloudskulk.Install.total_time )
+      | None -> ("no report", "-")
+    in
+    (verdict, outcome ^ " / " ^ total)
+  | exception Invalid_argument e -> ("install failed", e)
+
 let determinism_tests =
   [
     Alcotest.test_case "detect verdicts at --jobs 8 equal --jobs 1" `Slow (fun () ->
@@ -63,6 +85,13 @@ let determinism_tests =
         let parallel = Sim.Parallel.map_seeds ~jobs:8 ~root_seed:1 ~trials:4 detect_trial in
         Alcotest.(check (list (pair string string))) "identical" sequential parallel;
         Alcotest.(check int) "all trials ran" 4 (List.length parallel));
+    Alcotest.test_case "fault-injected trials at --jobs 8 equal --jobs 1" `Slow (fun () ->
+        (* each trial owns a private fault RNG forked from its own
+           engine, so the injected outages/jitter - and therefore the
+           outcome strings and timings - must not depend on scheduling *)
+        let sequential = Sim.Parallel.map_seeds ~jobs:1 ~root_seed:1 ~trials:4 faulted_trial in
+        let parallel = Sim.Parallel.map_seeds ~jobs:8 ~root_seed:1 ~trials:4 faulted_trial in
+        Alcotest.(check (list (pair string string))) "identical" sequential parallel);
   ]
 
 let () =
