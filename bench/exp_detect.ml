@@ -10,13 +10,14 @@ let verdict_of scenario =
 (* Fault-profile variant: the same accuracy protocol with channel
    faults injected into the install's live migration. An install that
    aborts under the profile is reported, not counted as a verdict. *)
-let run_with_faults ~faults ~trials ~jobs =
+let run_with_faults ~faults ~trials ~jobs ~telemetry =
   Bench_util.section
     (Printf.sprintf "Detection accuracy under channel faults (profile: %s)"
        (Sim.Fault.profile_name faults));
   let results =
-    Sim.Parallel.map_seeds ~jobs ~root_seed:1 ~trials (fun ~seed ->
-        match Cloudskulk.Scenarios.infected ~seed ~faults () with
+    Sim.Parallel.map_seeds_instrumented ~jobs ?telemetry ~root_seed:1 ~trials
+      (fun ~telemetry ~seed ->
+        match Cloudskulk.Scenarios.infected ~seed ?telemetry ~faults () with
         | sc ->
           let outcome =
             match sc.Cloudskulk.Scenarios.install_report with
@@ -50,17 +51,20 @@ let run_with_faults ~faults ~trials ~jobs =
     "faults only stretch the install (or abort it); a landed rootkit is detected exactly \
      as in the fault-free runs - the detector keys on merge state, not timing"
 
-let run ?(trials = 5) ?(jobs = 1) ?(faults = Sim.Fault.none) () =
-  if not (Sim.Fault.is_none faults) then run_with_faults ~faults ~trials ~jobs
+let run ?(trials = 5) ?(jobs = 1) ?(faults = Sim.Fault.none) ?telemetry () =
+  if not (Sim.Fault.is_none faults) then run_with_faults ~faults ~trials ~jobs ~telemetry
   else begin
   Bench_util.section "Detection accuracy (Section VI-C): repeated trials";
   (* Each trial is self-contained (own engine, own seed) and returns its
      verdicts; printing happens afterwards in trial order, so the output
-     is byte-identical whatever [jobs] is. *)
+     is byte-identical whatever [jobs] is. Per-trial telemetry lands in
+     child sinks that are merged in trial order, so exports are
+     byte-identical across [jobs] too. *)
   let verdicts =
-    Sim.Parallel.map_seeds ~jobs ~root_seed:1 ~trials (fun ~seed ->
-        let v_clean = verdict_of (Cloudskulk.Scenarios.clean ~seed ()) in
-        let v_inf = verdict_of (Cloudskulk.Scenarios.infected ~seed ()) in
+    Sim.Parallel.map_seeds_instrumented ~jobs ?telemetry ~root_seed:1 ~trials
+      (fun ~telemetry ~seed ->
+        let v_clean = verdict_of (Cloudskulk.Scenarios.clean ~seed ?telemetry ()) in
+        let v_inf = verdict_of (Cloudskulk.Scenarios.infected ~seed ?telemetry ()) in
         (v_clean, v_inf))
   in
   let rows = ref [] in
@@ -83,10 +87,10 @@ let run ?(trials = 5) ?(jobs = 1) ?(faults = Sim.Fault.none) () =
   Printf.printf "\n  accuracy: %d / %d\n" !correct (2 * trials);
   (* baselines on one representative pair *)
   Bench_util.subsection "baseline detectors on the same scenarios";
-  let clean = Cloudskulk.Scenarios.clean ~seed:1 () in
-  let infected = Cloudskulk.Scenarios.infected ~seed:1 () in
+  let clean = Cloudskulk.Scenarios.clean ~seed:1 ?telemetry () in
+  let infected = Cloudskulk.Scenarios.infected ~seed:1 ?telemetry () in
   let infected_soft =
-    Cloudskulk.Scenarios.infected ~seed:1
+    Cloudskulk.Scenarios.infected ~seed:1 ?telemetry
       ~install_config:
         { (Cloudskulk.Install.default_config ~target_name:"guest0") with
           Cloudskulk.Install.use_vtx = false }

@@ -32,11 +32,12 @@ let run ?(runs = 5) () =
           Vmm.Level.to_string level;
           Bench_util.fmt_s s.Sim.Stats.mean;
           Bench_util.fmt_rsd s;
+          Bench_util.fmt_s s.Sim.Stats.p95;
           label;
         ])
       summaries
   in
-  Bench_util.table ~header:[ "level"; "compile time"; "rsd"; "vs layer below" ] ~rows;
+  Bench_util.table ~header:[ "level"; "compile time"; "rsd"; "p95"; "vs layer below" ] ~rows;
   Bench_util.paper_vs_measured
     ~paper:"+280% L0->L1 (ccache on L0 only), +25.7% L1->L2"
     ~measured:

@@ -32,11 +32,12 @@ let run ?(runs = 5) () =
           Vmm.Level.to_string level;
           Printf.sprintf "%.1f Mbit/s" s.Sim.Stats.mean;
           Bench_util.fmt_rsd s;
+          Printf.sprintf "%.1f Mbit/s" s.Sim.Stats.p95;
           label;
         ])
       summaries
   in
-  Bench_util.table ~header:[ "level"; "throughput"; "rsd"; "vs layer below" ] ~rows;
+  Bench_util.table ~header:[ "level"; "throughput"; "rsd"; "p95"; "vs layer below" ] ~rows;
   let spread =
     let means = List.map (fun (_, (s : Sim.Stats.summary)) -> s.Sim.Stats.mean) summaries in
     let mx = List.fold_left Float.max 0. means and mn = List.fold_left Float.min 1e12 means in

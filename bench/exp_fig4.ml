@@ -12,8 +12,8 @@ let spec_of = function
   | Filebench -> Workload.Filebench.background ()
   | Compile -> Workload.Kernel_compile.background ()
 
-let migrate ~nested ~workload seed =
-  let mp = Vmm.Layers.migration_pair ~seed ~nested_dest:nested () in
+let migrate ?telemetry ~nested ~workload seed =
+  let mp = Vmm.Layers.migration_pair ~seed ?telemetry ~nested_dest:nested () in
   let engine = mp.Vmm.Layers.mp_engine in
   let source = mp.Vmm.Layers.mp_source in
   let wenv =
@@ -34,7 +34,7 @@ let migrate ~nested ~workload seed =
   Workload.Background.stop handle;
   result
 
-let run ?(runs = 5) ?(jobs = 1) () =
+let run ?(runs = 5) ?(jobs = 1) ?telemetry () =
   Bench_util.section
     "Fig 4: live migration end-to-end timing vs workload (L0-L0 and L0-L1)";
   let workloads = [ Idle; Filebench; Compile ] in
@@ -52,9 +52,11 @@ let run ?(runs = 5) ?(jobs = 1) () =
   in
   let times =
     Array.of_list
-      (Sim.Parallel.map ~jobs (Array.length trials) (fun i ->
+      (Sim.Parallel.map_instrumented ~jobs ?telemetry (Array.length trials)
+         (fun ~telemetry i ->
            let wl, nested, seed = trials.(i) in
-           Sim.Time.to_s (migrate ~nested ~workload:wl seed).Migration.Precopy.total_time))
+           Sim.Time.to_s
+             (migrate ?telemetry ~nested ~workload:wl seed).Migration.Precopy.total_time))
   in
   let series w nested_idx =
     Bench_util.summary_of_list

@@ -11,8 +11,11 @@ let sparkline values =
       glyphs.(min 7 (int_of_float (v *. 8.))))
 
 let print_measurement (m : Cloudskulk.Dedup_detector.measurement) =
-  Printf.printf "  %-3s mean %7.0f ns  stddev %6.0f ns  merged pages %3.0f%%  |%s|\n"
+  Printf.printf
+    "  %-3s mean %7.0f ns  stddev %6.0f ns  p50 %7.0f ns  p95 %7.0f ns  merged pages \
+     %3.0f%%  |%s|\n"
     m.Cloudskulk.Dedup_detector.label m.summary.Sim.Stats.mean m.summary.Sim.Stats.stddev
+    m.summary.Sim.Stats.p50 m.summary.Sim.Stats.p95
     (m.cow_fraction *. 100.)
     (sparkline (Array.sub m.per_page_ns 0 (min 60 (Array.length m.per_page_ns))))
 

@@ -7,68 +7,73 @@ let experiments =
   [
     ( "table1",
       "Table I: VM escape CVEs 2015-2020",
-      fun ~runs:_ ~jobs:_ ~faults:_ -> Exp_table1.run () );
+      fun ~runs:_ ~jobs:_ ~faults:_ ~telemetry:_ -> Exp_table1.run () );
     ( "fig2",
       "Fig 2: kernel compile timing L0/L1/L2",
-      fun ~runs ~jobs:_ ~faults:_ -> Exp_fig2.run ~runs () );
+      fun ~runs ~jobs:_ ~faults:_ ~telemetry:_ -> Exp_fig2.run ~runs () );
     ( "fig3",
       "Fig 3: Netperf throughput L0/L1/L2",
-      fun ~runs ~jobs:_ ~faults:_ -> Exp_fig3.run ~runs () );
+      fun ~runs ~jobs:_ ~faults:_ ~telemetry:_ -> Exp_fig3.run ~runs () );
     ( "fig4",
       "Fig 4: live migration timing vs workload",
-      fun ~runs ~jobs ~faults:_ -> Exp_fig4.run ~runs ~jobs () );
+      fun ~runs ~jobs ~faults:_ ~telemetry -> Exp_fig4.run ~runs ~jobs ?telemetry () );
     ( "table2",
       "Table II: lmbench arithmetic",
-      fun ~runs:_ ~jobs:_ ~faults:_ -> Exp_lmbench.table2 () );
+      fun ~runs:_ ~jobs:_ ~faults:_ ~telemetry:_ -> Exp_lmbench.table2 () );
     ( "table3",
       "Table III: lmbench processes",
-      fun ~runs:_ ~jobs:_ ~faults:_ -> Exp_lmbench.table3 () );
+      fun ~runs:_ ~jobs:_ ~faults:_ ~telemetry:_ -> Exp_lmbench.table3 () );
     ( "table4",
       "Table IV: lmbench file system",
-      fun ~runs:_ ~jobs:_ ~faults:_ -> Exp_lmbench.table4 () );
-    ("fig5", "Fig 5: t0/t1/t2, no nested VM", fun ~runs:_ ~jobs:_ ~faults:_ -> Exp_fig56.fig5 ());
+      fun ~runs:_ ~jobs:_ ~faults:_ ~telemetry:_ -> Exp_lmbench.table4 () );
+    ("fig5", "Fig 5: t0/t1/t2, no nested VM", fun ~runs:_ ~jobs:_ ~faults:_ ~telemetry:_ -> Exp_fig56.fig5 ());
     ( "fig6",
       "Fig 6: t0/t1/t2, nested VM present",
-      fun ~runs:_ ~jobs:_ ~faults:_ -> Exp_fig56.fig6 () );
+      fun ~runs:_ ~jobs:_ ~faults:_ ~telemetry:_ -> Exp_fig56.fig6 () );
     ( "install",
       "Section V-A: installation walkthrough",
-      fun ~runs:_ ~jobs:_ ~faults:_ -> Exp_install.run () );
+      fun ~runs:_ ~jobs:_ ~faults:_ ~telemetry:_ -> Exp_install.run () );
     ( "detect",
       "Section VI-C: detection accuracy (honours --faults)",
-      fun ~runs ~jobs ~faults -> Exp_detect.run ~trials:runs ~jobs ~faults () );
+      fun ~runs ~jobs ~faults ~telemetry -> Exp_detect.run ~trials:runs ~jobs ~faults ?telemetry () );
     ( "abl-ksm",
       "Ablation: ksmd pacing vs detector wait",
-      fun ~runs:_ ~jobs:_ ~faults:_ -> Exp_ablations.abl_ksm () );
+      fun ~runs:_ ~jobs:_ ~faults:_ ~telemetry:_ -> Exp_ablations.abl_ksm () );
     ( "abl-pages",
       "Ablation: probe size",
-      fun ~runs:_ ~jobs:_ ~faults:_ -> Exp_ablations.abl_pages () );
+      fun ~runs:_ ~jobs:_ ~faults:_ ~telemetry:_ -> Exp_ablations.abl_pages () );
     ( "abl-sync",
       "Ablation: attacker sync evasion cost",
-      fun ~runs:_ ~jobs ~faults:_ -> Exp_ablations.abl_sync ~jobs () );
+      fun ~runs:_ ~jobs ~faults:_ ~telemetry:_ -> Exp_ablations.abl_sync ~jobs () );
     ( "abl-postcopy",
       "Ablation: pre-copy vs post-copy install",
-      fun ~runs:_ ~jobs:_ ~faults:_ -> Exp_ablations.abl_postcopy () );
+      fun ~runs:_ ~jobs:_ ~faults:_ ~telemetry:_ -> Exp_ablations.abl_postcopy () );
     ( "abl-density",
       "Ablation: KSM savings across same-image tenants",
-      fun ~runs:_ ~jobs ~faults:_ -> Exp_ablations.abl_density ~jobs () );
+      fun ~runs:_ ~jobs ~faults:_ ~telemetry:_ -> Exp_ablations.abl_density ~jobs () );
     ( "abl-autoconverge",
       "Ablation: auto-converge stealth trade-off",
-      fun ~runs:_ ~jobs:_ ~faults:_ -> Exp_ablations.abl_autoconverge () );
+      fun ~runs:_ ~jobs:_ ~faults:_ ~telemetry:_ -> Exp_ablations.abl_autoconverge () );
     ( "abl-l2",
       "Extension: guest-side timing detection arms race",
-      fun ~runs:_ ~jobs:_ ~faults:_ -> Exp_extensions.abl_l2 () );
+      fun ~runs:_ ~jobs:_ ~faults:_ ~telemetry:_ -> Exp_extensions.abl_l2 () );
     ( "audit",
       "Extension: host behavioral auditor",
-      fun ~runs:_ ~jobs:_ ~faults:_ -> Exp_extensions.audit () );
+      fun ~runs:_ ~jobs:_ ~faults:_ ~telemetry:_ -> Exp_extensions.audit () );
     ( "abl-covert",
       "Extension: KSM covert channel bandwidth",
-      fun ~runs:_ ~jobs:_ ~faults:_ -> Exp_extensions.abl_covert () );
+      fun ~runs:_ ~jobs:_ ~faults:_ ~telemetry:_ -> Exp_extensions.abl_covert () );
     ( "bechamel",
       "Bechamel simulator micro-benchmarks",
-      fun ~runs:_ ~jobs:_ ~faults:_ -> Bechamel_suite.run () );
+      fun ~runs:_ ~jobs:_ ~faults:_ ~telemetry:_ -> Bechamel_suite.run () );
   ]
 
-let run_experiments ~only ~runs ~jobs ~faults ~list_only =
+let write_out path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let run_experiments ~only ~runs ~jobs ~faults ~metrics_out ~trace_out ~list_only =
   if list_only then begin
     List.iter (fun (id, descr, _) -> Printf.printf "%-14s %s\n" id descr) experiments;
     `Ok ()
@@ -77,11 +82,23 @@ let run_experiments ~only ~runs ~jobs ~faults ~list_only =
     match Sim.Fault.profile_of_string faults with
     | Error e -> `Error (false, e)
     | Ok faults -> (
+      let telemetry =
+        if metrics_out <> None || trace_out <> None then Some (Sim.Telemetry.create ())
+        else None
+      in
+      let export () =
+        match telemetry with
+        | None -> ()
+        | Some t ->
+          Option.iter (fun p -> write_out p (Sim.Telemetry.prometheus_string t)) metrics_out;
+          Option.iter (fun p -> write_out p (Sim.Telemetry.jsonl_string t)) trace_out
+      in
       match only with
       | Some id -> (
         match List.find_opt (fun (eid, _, _) -> String.equal eid id) experiments with
         | Some (_, _, f) ->
-          f ~runs ~jobs ~faults;
+          f ~runs ~jobs ~faults ~telemetry;
+          export ();
           `Ok ()
         | None ->
           `Error
@@ -90,7 +107,8 @@ let run_experiments ~only ~runs ~jobs ~faults ~list_only =
       | None ->
         Printf.printf "CloudSkulk reproduction: regenerating every table and figure\n";
         Printf.printf "(simulated substrate; see DESIGN.md for the calibration story)\n";
-        List.iter (fun (_, _, f) -> f ~runs ~jobs ~faults) experiments;
+        List.iter (fun (_, _, f) -> f ~runs ~jobs ~faults ~telemetry) experiments;
+        export ();
         `Ok ())
 
 open Cmdliner
@@ -121,6 +139,19 @@ let faults =
   in
   Arg.(value & opt string "none" & info [ "faults" ] ~docv:"PROFILE" ~doc)
 
+let metrics_out =
+  let doc =
+    "Write Prometheus-style telemetry (counters, gauges, histograms from every simulated \
+     layer) to $(docv) when the run finishes. Off by default: without this flag (and \
+     --trace-out) no telemetry is collected and output is byte-identical to an \
+     uninstrumented build."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
+let trace_out =
+  let doc = "Write the JSONL span trace (sim-time intervals with structured fields) to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
 let list_only =
   let doc = "List experiment ids and exit." in
   Arg.(value & flag & info [ "list" ] ~doc)
@@ -131,8 +162,8 @@ let cmd =
   Cmd.v info
     Term.(
       ret
-        (const (fun only runs jobs faults list_only ->
-             run_experiments ~only ~runs ~jobs ~faults ~list_only)
-        $ only $ runs $ jobs $ faults $ list_only))
+        (const (fun only runs jobs faults metrics_out trace_out list_only ->
+             run_experiments ~only ~runs ~jobs ~faults ~metrics_out ~trace_out ~list_only)
+        $ only $ runs $ jobs $ faults $ metrics_out $ trace_out $ list_only))
 
 let () = exit (Cmd.eval cmd)

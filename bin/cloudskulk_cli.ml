@@ -31,15 +31,37 @@ let attack seed =
     Printf.eprintf "install failed: %s\n" e;
     1
 
+(* write a telemetry export to [path] ("-" for stdout) *)
+let write_out path contents =
+  match path with
+  | "-" -> print_string contents
+  | path ->
+    let oc = open_out path in
+    output_string oc contents;
+    close_out oc
+
 (* detect: run the detector against a clean or infected scenario *)
-let detect seed infected syncs =
+let detect seed infected syncs metrics_out trace_out =
+  let telemetry =
+    if metrics_out <> None || trace_out <> None then Some (Sim.Telemetry.create ())
+    else None
+  in
   let scenario =
-    if infected then Cloudskulk.Scenarios.infected ~seed ~attacker_syncs_changes:syncs ()
-    else Cloudskulk.Scenarios.clean ~seed ()
+    if infected then
+      Cloudskulk.Scenarios.infected ~seed ?telemetry ~attacker_syncs_changes:syncs ()
+    else Cloudskulk.Scenarios.clean ~seed ?telemetry ()
+  in
+  let export () =
+    match telemetry with
+    | None -> ()
+    | Some t ->
+      Option.iter (fun p -> write_out p (Sim.Telemetry.prometheus_string t)) metrics_out;
+      Option.iter (fun p -> write_out p (Sim.Telemetry.jsonl_string t)) trace_out
   in
   Printf.printf "scenario: %s\n" scenario.Cloudskulk.Scenarios.description;
   match Cloudskulk.Dedup_detector.run scenario.Cloudskulk.Scenarios.detector_env with
   | Ok o ->
+    export ();
     let line (m : Cloudskulk.Dedup_detector.measurement) =
       Printf.printf "%-3s mean %8.0f ns  stddev %7.0f ns  merged %3.0f%%\n"
         m.Cloudskulk.Dedup_detector.label m.summary.Sim.Stats.mean m.summary.Sim.Stats.stddev
@@ -56,6 +78,7 @@ let detect seed infected syncs =
     then 0
     else 2
   | Error e ->
+    export ();
     Printf.eprintf "detector failed: %s\n" e;
     1
 
@@ -122,7 +145,22 @@ let detect_cmd =
       value & flag
       & info [ "attacker-syncs" ] ~doc:"Model the attacker synchronising page changes.")
   in
-  Cmd.v (Cmd.info "detect" ~doc) Term.(const detect $ seed_arg $ infected $ syncs)
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:"Write Prometheus-style metrics to $(docv) (\"-\" for stdout).")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:"Write the JSONL span trace to $(docv) (\"-\" for stdout).")
+  in
+  Cmd.v (Cmd.info "detect" ~doc)
+    Term.(const detect $ seed_arg $ infected $ syncs $ metrics_out $ trace_out)
 
 let monitor_cmd =
   let doc = "Execute a QEMU monitor command against a fresh guest" in

@@ -64,6 +64,8 @@ let wait_time config env =
    write to each page. The buffer is released afterwards: the real
    detector's process exits and frees its memory. *)
 let load_wait_probe config env ~label image =
+  let telemetry = Vmm.Hypervisor.telemetry env.host in
+  let probe_started = Sim.Engine.now env.engine in
   let* buffer =
     Vmm.Hypervisor.host_buffer env.host ~name:(Printf.sprintf "detector-%s" label)
       ~pages:(Memory.File_image.pages image)
@@ -80,13 +82,31 @@ let load_wait_probe config env ~label image =
   Vmm.Hypervisor.release_buffer env.host buffer;
   let per_page_ns = Memory.Write_probe.costs_ns probe in
   let stats = Sim.Stats.of_list (Array.to_list per_page_ns) in
-  Ok
-    {
-      label;
-      per_page_ns;
-      summary = Sim.Stats.summary stats;
-      cow_fraction = Memory.Write_probe.fraction_cow probe;
-    }
+  let summary = Sim.Stats.summary stats in
+  let cow_fraction = Memory.Write_probe.fraction_cow probe in
+  if Sim.Telemetry.enabled telemetry then begin
+    let step_label = [ ("step", label) ] in
+    Sim.Telemetry.incr
+      (Sim.Telemetry.counter telemetry ~labels:step_label ~component:"cloudskulk"
+         "probes_total");
+    let h =
+      Sim.Telemetry.histogram telemetry ~labels:step_label ~component:"cloudskulk"
+        ~buckets:[ 100.; 300.; 1000.; 3000.; 10000.; 30000.; 100000. ]
+        "probe_write_ns"
+    in
+    Array.iter (fun ns -> Sim.Telemetry.observe h ns) per_page_ns;
+    Sim.Telemetry.span telemetry ~component:"cloudskulk" ~name:"probe" ~start:probe_started
+      ~stop:(Sim.Engine.now env.engine)
+      ~fields:
+        [
+          ("step", label);
+          ("pages", string_of_int (Memory.File_image.pages image));
+          ("mean_ns", Printf.sprintf "%.0f" summary.Sim.Stats.mean);
+          ("cow_fraction", Printf.sprintf "%.4f" cow_fraction);
+        ]
+      ()
+  end;
+  Ok { label; per_page_ns; summary; cow_fraction }
 
 (* Each protocol run works with a fresh file: real deployments generate
    a new random File-A per check (Section VI-D-1), and reusing a name
@@ -130,6 +150,22 @@ let run ?(config = default_config) env =
       else if merged t2 then Nested_vm_detected
       else No_nested_vm
     in
+    let telemetry = Vmm.Hypervisor.telemetry env.host in
+    let verdict_label =
+      match verdict with
+      | Nested_vm_detected -> "nested_vm_detected"
+      | No_nested_vm -> "no_nested_vm"
+      | Inconclusive _ -> "inconclusive"
+    in
+    Sim.Telemetry.incr
+      (Sim.Telemetry.counter telemetry
+         ~labels:[ ("verdict", verdict_label) ]
+         ~component:"cloudskulk" "verdicts_total");
+    if Sim.Telemetry.enabled telemetry then
+      Sim.Telemetry.span telemetry ~component:"cloudskulk" ~name:"detect" ~start:started
+        ~stop:(Sim.Engine.now env.engine)
+        ~fields:[ ("verdict", verdict_label) ]
+        ();
     Ok
       {
         t0;

@@ -87,9 +87,16 @@ let run ?config engine ~host ~registry ~target_name =
   let cfg = match config with Some c -> c | None -> default_config ~target_name in
   let cfg = { cfg with target_name } in
   let t0 = Sim.Engine.now engine in
+  let telemetry = Vmm.Hypervisor.telemetry host in
   let steps = ref [] in
   let record step started detail =
-    steps := { step; started; finished = Sim.Engine.now engine; detail } :: !steps
+    let finished = Sim.Engine.now engine in
+    if Sim.Telemetry.enabled telemetry then
+      Sim.Telemetry.span telemetry ~component:"cloudskulk" ~name:"install_step"
+        ~start:started ~stop:finished
+        ~fields:[ ("step", step_name step) ]
+        ();
+    steps := { step; started; finished; detail } :: !steps
   in
   (* Step 1: reconnaissance. *)
   let s = Sim.Engine.now engine in
@@ -112,7 +119,10 @@ let run ?config engine ~host ~registry ~target_name =
   in
   (* Step 3: nested hypervisor + matching destination, paused on BBBB. *)
   let s = Sim.Engine.now engine in
-  (match Vmm.Hypervisor.create_nested ~use_vtx:cfg.use_vtx engine ~vm:guestx ~name:"guestx-kvm" with
+  (match
+     Vmm.Hypervisor.create_nested ~use_vtx:cfg.use_vtx ?telemetry engine ~vm:guestx
+       ~name:"guestx-kvm"
+   with
   | Error e -> teardown_guestx e
   | Ok nested_hv -> (
     let dest_config =
@@ -140,7 +150,7 @@ let run ?config engine ~host ~registry ~target_name =
       let s = Sim.Engine.now engine in
       let fault =
         if Sim.Fault.is_none cfg.faults then None
-        else Some (Sim.Fault.create cfg.faults (Sim.Engine.fork_rng engine))
+        else Some (Sim.Fault.create ?telemetry cfg.faults (Sim.Engine.fork_rng engine))
       in
       Migration.Wiring.wire_monitor ~strategy:cfg.strategy ?fault engine ~registry
         ~source:target ();

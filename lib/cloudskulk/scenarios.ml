@@ -14,12 +14,14 @@ let get_ok what = function
   | Ok v -> v
   | Error e -> invalid_arg (Printf.sprintf "Scenarios.%s: %s" what e)
 
-let make_host ?(seed = 42) ?ksm_config () =
+let make_host ?(seed = 42) ?ksm_config ?telemetry () =
   let engine = Sim.Engine.create ~seed () in
   let trace = Sim.Trace.create () in
-  let uplink = Net.Fabric.Switch.create engine ~name:"uplink" ~link:Net.Link.lan_1gbe in
+  let uplink =
+    Net.Fabric.Switch.create ?telemetry engine ~name:"uplink" ~link:Net.Link.lan_1gbe
+  in
   let host =
-    Vmm.Hypervisor.create_l0 ?ksm_config ~trace engine ~name:"host" ~uplink
+    Vmm.Hypervisor.create_l0 ?ksm_config ~trace ?telemetry engine ~name:"host" ~uplink
       ~addr:"192.168.1.100"
   in
   (engine, trace, host)
@@ -44,8 +46,8 @@ let mutate_file_in vm ~name ~salt =
     done;
     Ok ()
 
-let clean ?seed ?ksm_config () =
-  let engine, trace, host = make_host ?seed ?ksm_config () in
+let clean ?seed ?ksm_config ?telemetry () =
+  let engine, trace, host = make_host ?seed ?ksm_config ?telemetry () in
   let registry = Migration.Registry.create () in
   let guest0 = get_ok "clean" (Vmm.Hypervisor.launch host (customer_config ())) in
   let deliver_to_guest image = Result.map (fun _ -> ()) (Vmm.Vm.load_file guest0 image) in
@@ -62,9 +64,9 @@ let clean ?seed ?ksm_config () =
     description = "clean host: customer VM at L1";
   }
 
-let infected ?seed ?ksm_config ?(attacker_syncs_changes = false) ?install_config
+let infected ?seed ?ksm_config ?telemetry ?(attacker_syncs_changes = false) ?install_config
     ?(faults = Sim.Fault.none) () =
-  let engine, trace, host = make_host ?seed ?ksm_config () in
+  let engine, trace, host = make_host ?seed ?ksm_config ?telemetry () in
   let registry = Migration.Registry.create () in
   let guest0 = get_ok "infected(launch)" (Vmm.Hypervisor.launch host (customer_config ())) in
   ignore guest0;

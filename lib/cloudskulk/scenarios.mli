@@ -20,12 +20,17 @@ type t = {
   description : string;
 }
 
-val clean : ?seed:int -> ?ksm_config:Memory.Ksm.config -> unit -> t
-(** Scenario 1: a host running the customer's VM (guest0) at L1. *)
+val clean :
+  ?seed:int -> ?ksm_config:Memory.Ksm.config -> ?telemetry:Sim.Telemetry.t -> unit -> t
+(** Scenario 1: a host running the customer's VM (guest0) at L1.
+    [telemetry] is the scenario's instrumentation root, threaded through
+    the uplink switch and the L0 hypervisor (and from there into KSM,
+    VMs, migrations and the detector). *)
 
 val infected :
   ?seed:int ->
   ?ksm_config:Memory.Ksm.config ->
+  ?telemetry:Sim.Telemetry.t ->
   ?attacker_syncs_changes:bool ->
   ?install_config:Install.config ->
   ?faults:Sim.Fault.profile ->

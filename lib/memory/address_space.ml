@@ -9,26 +9,28 @@ and t = {
   dirty : Dirty.t;
 }
 
+let rec frame_table t =
+  match t.backing with
+  | Root r -> r.table
+  | Window w -> frame_table w.parent
+
 let create_root table ~name ~pages =
   if pages <= 0 then invalid_arg "Address_space.create_root: pages must be positive";
   let frames = Array.init pages (fun _ -> Frame_table.alloc table Page.Content.zero) in
-  { name; pages; backing = Root { table; frames }; dirty = Dirty.create pages }
+  let dirty = Dirty.create ?telemetry:(Frame_table.telemetry table) pages in
+  { name; pages; backing = Root { table; frames }; dirty }
 
 let window parent ~name ~offset ~pages =
   if offset < 0 || pages <= 0 || offset + pages > parent.pages then
     invalid_arg "Address_space.window: range does not fit in parent";
-  { name; pages; backing = Window { parent; offset }; dirty = Dirty.create pages }
+  let telemetry = Frame_table.telemetry (frame_table parent) in
+  { name; pages; backing = Window { parent; offset }; dirty = Dirty.create ?telemetry pages }
 
 let name t = t.name
 let pages t = t.pages
 let bytes t = t.pages * Page.size_bytes
 let is_root t = match t.backing with Root _ -> true | Window _ -> false
 let parent t = match t.backing with Root _ -> None | Window w -> Some w.parent
-
-let rec frame_table t =
-  match t.backing with
-  | Root r -> r.table
-  | Window w -> frame_table w.parent
 
 let check t i =
   if i < 0 || i >= t.pages then
@@ -87,6 +89,7 @@ let write t i c =
       let fresh = Frame_table.alloc table c in
       Frame_table.decref table f;
       frames.(ri) <- fresh;
+      Frame_table.note_cow_break table;
       Cow_break
     end
     else begin

@@ -6,12 +6,21 @@ type t = {
   words : int array;
   length : int;
   mutable count : int;
+  m_drains : Sim.Telemetry.counter;
+  m_pages_drained : Sim.Telemetry.counter;
 }
 
 let bits_per_word = 32
 
-let create n =
-  { words = Array.make ((n + bits_per_word - 1) / bits_per_word) 0; length = n; count = 0 }
+let create ?telemetry n =
+  {
+    words = Array.make ((n + bits_per_word - 1) / bits_per_word) 0;
+    length = n;
+    count = 0;
+    m_drains = Sim.Telemetry.counter telemetry ~component:"memory" "dirty_drains_total";
+    m_pages_drained =
+      Sim.Telemetry.counter telemetry ~component:"memory" "dirty_pages_drained_total";
+  }
 
 let length t = t.length
 
@@ -41,6 +50,8 @@ let drain t ~into =
   if into.length <> t.length then invalid_arg "Dirty.drain: length mismatch";
   Array.blit t.words 0 into.words 0 (Array.length t.words);
   into.count <- t.count;
+  Sim.Telemetry.incr t.m_drains;
+  Sim.Telemetry.add t.m_pages_drained t.count;
   clear t
 
 let fold_dirty t f init =

@@ -8,8 +8,11 @@
 
 type t
 
-val create : int -> t
-(** [create n] is a clean bitmap over [n] pages. *)
+val create : ?telemetry:Sim.Telemetry.t -> int -> t
+(** [create n] is a clean bitmap over [n] pages. With [telemetry], every
+    {!drain} of this bitmap bumps [memory_dirty_drains_total] and
+    [memory_dirty_pages_drained_total]; scratch bitmaps (the [into] side
+    of a drain) are typically created without a sink. *)
 
 val length : t -> int
 val set : t -> int -> unit

@@ -14,10 +14,23 @@ type t = {
   mutable free_list : frame list;
   mutable live : int;
   capacity : int option;
+  telemetry : Sim.Telemetry.t option;
+  m_cow_breaks : Sim.Telemetry.counter;
 }
 
-let create ?capacity_frames () =
-  { slots = [||]; used = 0; free_list = []; live = 0; capacity = capacity_frames }
+let create ?telemetry ?capacity_frames () =
+  {
+    slots = [||];
+    used = 0;
+    free_list = [];
+    live = 0;
+    capacity = capacity_frames;
+    telemetry;
+    m_cow_breaks = Sim.Telemetry.counter telemetry ~component:"memory" "cow_breaks_total";
+  }
+
+let telemetry t = t.telemetry
+let note_cow_break t = Sim.Telemetry.incr t.m_cow_breaks
 
 let grow t =
   let cap = Array.length t.slots in

@@ -10,9 +10,20 @@ type t
 type frame = int
 (** Frame identifier. *)
 
-val create : ?capacity_frames:int -> unit -> t
+val create : ?telemetry:Sim.Telemetry.t -> ?capacity_frames:int -> unit -> t
 (** [capacity_frames] (default unbounded) models the host's physical RAM;
-    allocation beyond it raises {!Out_of_memory_frames}. *)
+    allocation beyond it raises {!Out_of_memory_frames}. [telemetry]
+    registers the memory-layer metrics ([memory_cow_breaks_total], dirty
+    drain counters) and is inherited by every address space built over
+    this table. *)
+
+val telemetry : t -> Sim.Telemetry.t option
+(** The sink passed at creation - the memory layer's instrumentation
+    root, consulted by {!Address_space} and {!Dirty}. *)
+
+val note_cow_break : t -> unit
+(** Count one copy-on-write break (a write to a shared frame); called by
+    {!Address_space.write}. *)
 
 exception Out_of_memory_frames
 

@@ -54,9 +54,15 @@ type t = {
   mutable merges : int;
   mutable volatile_skips : int;
   mutable active : bool;
+  (* pre-created handles: bumping one is a single match + float add, so
+     the scan hot path stays free of per-event registry lookups *)
+  m_passes : Sim.Telemetry.counter;
+  m_scanned : Sim.Telemetry.counter;
+  m_merged : Sim.Telemetry.counter;
+  m_volatile : Sim.Telemetry.counter;
 }
 
-let create ?(config = default_config) ?trace engine table =
+let create ?(config = default_config) ?trace ?telemetry engine table =
   {
     engine;
     table;
@@ -72,6 +78,11 @@ let create ?(config = default_config) ?trace engine table =
     merges = 0;
     volatile_skips = 0;
     active = false;
+    m_passes = Sim.Telemetry.counter telemetry ~component:"ksm" "scan_passes_total";
+    m_scanned = Sim.Telemetry.counter telemetry ~component:"ksm" "pages_scanned_total";
+    m_merged = Sim.Telemetry.counter telemetry ~component:"ksm" "pages_merged_total";
+    m_volatile =
+      Sim.Telemetry.counter telemetry ~component:"ksm" "pages_volatile_skipped_total";
   }
 
 let emit t fmt =
@@ -148,7 +159,8 @@ let stable_lookup t content checksum =
 
 let merge_into_stable t space i stable_frame =
   Address_space.remap space i stable_frame;
-  t.merges <- t.merges + 1
+  t.merges <- t.merges + 1;
+  Sim.Telemetry.incr t.m_merged
 
 let promote_to_stable t space i =
   let f = Address_space.frame_at space i in
@@ -204,8 +216,10 @@ let scan_page t slot_idx slot i =
       (* Volatile page: the content moved since the previous scan, so it
          would only pollute the unstable tree (real ksmd's checksum
          skip). A page seen for the first time is taken at face value. *)
-      if previous <> never_scanned && previous <> checksum then
-        t.volatile_skips <- t.volatile_skips + 1
+      if previous <> never_scanned && previous <> checksum then begin
+        t.volatile_skips <- t.volatile_skips + 1;
+        Sim.Telemetry.incr t.m_volatile
+      end
       else scan_unstable t slot_idx space i content checksum f
 
 let total_pages t =
@@ -224,6 +238,7 @@ let advance_cursor t =
       if t.cursor_space >= t.n_slots then begin
         t.cursor_space <- 0;
         t.full_scans <- t.full_scans + 1;
+        Sim.Telemetry.incr t.m_passes;
         Int_tbl.reset t.unstable;
         emit t "full pass %d complete (%d merges so far)" t.full_scans t.merges
       end
@@ -231,15 +246,20 @@ let advance_cursor t =
   end
 
 let scan_once t =
-  if t.n_slots > 0 then
+  if t.n_slots > 0 then begin
+    let scanned = ref 0 in
     for _ = 1 to t.config.pages_to_scan do
       if t.cursor_space < t.n_slots then begin
         let slot = t.slots.(t.cursor_space) in
-        if t.cursor_page < Address_space.pages slot.space then
+        if t.cursor_page < Address_space.pages slot.space then begin
           scan_page t t.cursor_space slot t.cursor_page;
+          incr scanned
+        end;
         advance_cursor t
       end
-    done
+    done;
+    Sim.Telemetry.add t.m_scanned !scanned
+  end
 
 let start t =
   if not t.active then begin

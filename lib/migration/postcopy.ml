@@ -58,6 +58,28 @@ let migrate ?(config = default_config) ?fault engine ~source ~dest () =
   with
   | Error e -> Error e
   | Ok () ->
+    let telemetry = Vmm.Vm.telemetry source in
+    let driver_label = [ ("driver", "postcopy") ] in
+    let mig name =
+      Sim.Telemetry.counter telemetry ~labels:driver_label ~component:"migration" name
+    in
+    let m_rounds = mig "rounds_total" in
+    let m_pages = mig "pages_sent_total" in
+    let m_bytes = mig "bytes_sent_total" in
+    let m_retransmits = mig "retransmits_total" in
+    let m_outages = mig "outages_total" in
+    let m_demand_faults = mig "demand_faults_total" in
+    let h_round =
+      Sim.Telemetry.histogram telemetry ~labels:driver_label ~component:"migration"
+        ~buckets:[ 0.001; 0.01; 0.1; 1.; 10.; 100. ]
+        "round_duration_seconds"
+    in
+    let note_outcome outcome =
+      Sim.Telemetry.incr
+        (Sim.Telemetry.counter telemetry
+           ~labels:[ ("driver", "postcopy"); ("outcome", outcome) ]
+           ~component:"migration" "outcomes_total")
+    in
     let extra = max 0 (Vmm.Level.to_int (Vmm.Vm.level dest) - 1) in
     let link = Net.Link.scale_bandwidth config.link (pow config.nested_dest_derate extra) in
     let sram = Vmm.Vm.ram source and dram = Vmm.Vm.ram dest in
@@ -93,10 +115,12 @@ let migrate ?(config = default_config) ?fault engine ~source ~dest () =
           | None -> ignore (Sim.Engine.run_for engine duration)
           | Some (after, outage) ->
             incr outages;
+            Sim.Telemetry.incr m_outages;
             stalled := Sim.Time.add !stalled outage;
             ignore (Sim.Engine.run_for engine (Sim.Time.add after outage));
             if retry >= config.max_retransmits then raise (Abort (Outcome.Channel_down 1));
             incr retransmissions;
+            Sim.Telemetry.incr m_retransmits;
             attempt (retry + 1)
         in
         attempt 0
@@ -108,6 +132,20 @@ let migrate ?(config = default_config) ?fault engine ~source ~dest () =
        Vmm.Vm.adopt_guest_state dest ~from:source;
        (match Vmm.Vm.complete_incoming dest with Ok () -> () | Error e -> invalid_arg e);
        let resumed_at = Sim.Engine.now engine in
+       Sim.Telemetry.incr m_rounds;
+       Sim.Telemetry.add m_pages ws;
+       Sim.Telemetry.add m_bytes ws_bytes;
+       Sim.Telemetry.observe h_round (Sim.Time.to_s downtime);
+       if Sim.Telemetry.enabled telemetry then
+         Sim.Telemetry.span telemetry ~component:"migration" ~name:"stop_and_copy"
+           ~start:downtime_started ~stop:resumed_at
+           ~fields:
+             [
+               ("driver", "postcopy");
+               ("pages_sent", string_of_int ws);
+               ("bytes_sent", string_of_int ws_bytes);
+             ]
+           ();
        (* Phase 2: background pull of the rest; a fraction arrives as
           demand faults costing an extra round trip each. *)
        let remaining = pages - ws in
@@ -150,6 +188,7 @@ let migrate ?(config = default_config) ?fault engine ~source ~dest () =
                pull ~recovering
              | Some (after, outage) ->
                incr outages;
+               Sim.Telemetry.incr m_outages;
                stalled := Sim.Time.add !stalled outage;
                ignore (Sim.Engine.run_for engine after);
                (* the destination guest is now running on missing pages:
@@ -160,6 +199,7 @@ let migrate ?(config = default_config) ?fault engine ~source ~dest () =
                  ignore (Sim.Engine.run_for engine outage);
                  if dest_was_running then ignore (Vmm.Vm.resume dest);
                  incr retransmissions;
+                 Sim.Telemetry.incr m_retransmits;
                  pull ~recovering
                end
                else raise (Abort Outcome.Postcopy_paused)
@@ -180,6 +220,22 @@ let migrate ?(config = default_config) ?fault engine ~source ~dest () =
                      Ok ()));
             raise (Abort Outcome.Postcopy_paused)));
        let finished = Sim.Engine.now engine in
+       Sim.Telemetry.incr m_rounds;
+       Sim.Telemetry.add m_pages remaining;
+       Sim.Telemetry.add m_bytes (remaining * per_page_bytes);
+       Sim.Telemetry.add m_demand_faults demand_faults;
+       Sim.Telemetry.observe h_round (Sim.Time.to_s (Sim.Time.diff finished resumed_at));
+       if Sim.Telemetry.enabled telemetry then
+         Sim.Telemetry.span telemetry ~component:"migration" ~name:"background_pull"
+           ~start:resumed_at ~stop:finished
+           ~fields:
+             [
+               ("driver", "postcopy");
+               ("pages_sent", string_of_int remaining);
+               ("bytes_sent", string_of_int (remaining * per_page_bytes));
+               ("demand_faults", string_of_int demand_faults);
+             ]
+           ();
        let stats =
          {
            downtime;
@@ -190,6 +246,19 @@ let migrate ?(config = default_config) ?fault engine ~source ~dest () =
            total_pages_sent = pages;
          }
        in
+       let outcome_label = if !retransmissions = 0 && !outages = 0 then "completed" else "recovered" in
+       note_outcome outcome_label;
+       if Sim.Telemetry.enabled telemetry then
+         Sim.Telemetry.span telemetry ~component:"migration" ~name:"migrate"
+           ~start:started ~stop:finished
+           ~fields:
+             [
+               ("driver", "postcopy");
+               ("outcome", outcome_label);
+               ("pages_sent", string_of_int pages);
+               ("demand_faults", string_of_int demand_faults);
+             ]
+           ();
        Ok
          (if !retransmissions = 0 && !outages = 0 then Outcome.Completed stats
           else
@@ -208,6 +277,14 @@ let migrate ?(config = default_config) ?fault engine ~source ~dest () =
        | _ ->
          if !we_paused && Vmm.Vm.state source = Vmm.Vm.Paused then
            ignore (Vmm.Vm.resume source));
+       note_outcome "aborted";
+       if Sim.Telemetry.enabled telemetry then
+         Sim.Telemetry.span telemetry ~component:"migration" ~name:"migrate"
+           ~start:started ~stop:(Sim.Engine.now engine)
+           ~fields:
+             [ ("driver", "postcopy"); ("outcome", "aborted");
+               ("reason", Outcome.reason_to_string reason) ]
+           ();
        Ok
          (Outcome.Aborted
             {

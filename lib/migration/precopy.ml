@@ -135,6 +135,27 @@ let migrate ?(config = default_config) ?fault engine ~source ~dest () =
   match validate ~source ~dest with
   | Error e -> Error e
   | Ok () ->
+    let telemetry = Vmm.Vm.telemetry source in
+    let driver_label = [ ("driver", "precopy") ] in
+    let mig name =
+      Sim.Telemetry.counter telemetry ~labels:driver_label ~component:"migration" name
+    in
+    let m_rounds = mig "rounds_total" in
+    let m_pages = mig "pages_sent_total" in
+    let m_bytes = mig "bytes_sent_total" in
+    let m_retransmits = mig "retransmits_total" in
+    let m_outages = mig "outages_total" in
+    let h_round =
+      Sim.Telemetry.histogram telemetry ~labels:driver_label ~component:"migration"
+        ~buckets:[ 0.001; 0.01; 0.1; 1.; 10.; 100. ]
+        "round_duration_seconds"
+    in
+    let note_outcome outcome =
+      Sim.Telemetry.incr
+        (Sim.Telemetry.counter telemetry
+           ~labels:[ ("driver", "precopy"); ("outcome", outcome) ]
+           ~component:"migration" "outcomes_total")
+    in
     let link = effective_link config ~dest_level:(Vmm.Vm.level dest) in
     let sram = Vmm.Vm.ram source in
     let dirty = Memory.Address_space.dirty sram in
@@ -171,6 +192,7 @@ let migrate ?(config = default_config) ?fault engine ~source ~dest () =
           | None -> ignore (Sim.Engine.run_for engine duration)
           | Some (after, outage) ->
             incr outages;
+            Sim.Telemetry.incr m_outages;
             stalled := Sim.Time.add !stalled outage;
             (* the wire died [after] into the transmission; sit out the
                repair, then back off before the retransmit *)
@@ -178,6 +200,7 @@ let migrate ?(config = default_config) ?fault engine ~source ~dest () =
             if retry >= config.max_retransmits then raise (Abort (Outcome.Channel_down round));
             check_deadline ();
             incr retransmissions;
+            Sim.Telemetry.incr m_retransmits;
             let backoff = Sim.Time.mul config.retransmit_backoff (pow 2. retry) in
             stalled := Sim.Time.add !stalled backoff;
             ignore (Sim.Engine.run_for engine backoff);
@@ -211,13 +234,24 @@ let migrate ?(config = default_config) ?fault engine ~source ~dest () =
       let duration = Sim.Time.diff (Sim.Engine.now engine) round_started in
       copy_pages ~source ~dest pages;
       pages.fold (fun () i -> Memory.Dirty.set sent_before i) ();
-      {
-        round;
-        pages_sent = pages.page_count;
-        bytes_sent = bytes;
-        duration;
-        dirtied_during = Memory.Dirty.dirty_count dirty;
-      }
+      let dirtied_during = Memory.Dirty.dirty_count dirty in
+      Sim.Telemetry.incr m_rounds;
+      Sim.Telemetry.add m_pages pages.page_count;
+      Sim.Telemetry.add m_bytes bytes;
+      Sim.Telemetry.observe h_round (Sim.Time.to_s duration);
+      if Sim.Telemetry.enabled telemetry then
+        Sim.Telemetry.span telemetry ~component:"migration" ~name:"round"
+          ~start:round_started ~stop:(Sim.Engine.now engine)
+          ~fields:
+            [
+              ("driver", "precopy");
+              ("round", string_of_int round);
+              ("pages_sent", string_of_int pages.page_count);
+              ("bytes_sent", string_of_int bytes);
+              ("dirtied_during", string_of_int dirtied_during);
+            ]
+          ();
+      { round; pages_sent = pages.page_count; bytes_sent = bytes; duration; dirtied_during }
     in
     (try
        (* Round 1: the full RAM; later rounds: what got dirtied. *)
@@ -269,6 +303,21 @@ let migrate ?(config = default_config) ?fault engine ~source ~dest () =
          (Net.Link.transfer_time link (final_bytes + device_state_bytes));
        let downtime = Sim.Time.diff (Sim.Engine.now engine) downtime_started in
        copy_pages ~source ~dest final_set;
+       Sim.Telemetry.incr m_rounds;
+       Sim.Telemetry.add m_pages final_set.page_count;
+       Sim.Telemetry.add m_bytes final_bytes;
+       Sim.Telemetry.observe h_round (Sim.Time.to_s downtime);
+       if Sim.Telemetry.enabled telemetry then
+         Sim.Telemetry.span telemetry ~component:"migration" ~name:"stop_and_copy"
+           ~start:downtime_started ~stop:(Sim.Engine.now engine)
+           ~fields:
+             [
+               ("driver", "precopy");
+               ("round", string_of_int final_round);
+               ("pages_sent", string_of_int final_set.page_count);
+               ("bytes_sent", string_of_int final_bytes);
+             ]
+           ();
        (* The destination takes over the guest's identity. *)
        Vmm.Vm.adopt_guest_state dest ~from:source;
        (match Vmm.Vm.complete_incoming dest with
@@ -299,6 +348,20 @@ let migrate ?(config = default_config) ?fault engine ~source ~dest () =
            max_throttle = !max_throttle;
          }
        in
+       let outcome_label = if !retransmissions = 0 && !outages = 0 then "completed" else "recovered" in
+       note_outcome outcome_label;
+       if Sim.Telemetry.enabled telemetry then
+         Sim.Telemetry.span telemetry ~component:"migration" ~name:"migrate"
+           ~start:started ~stop:(Sim.Engine.now engine)
+           ~fields:
+             [
+               ("driver", "precopy");
+               ("outcome", outcome_label);
+               ("rounds", string_of_int (List.length rounds));
+               ("pages_sent", string_of_int total_pages_sent);
+               ("bytes_sent", string_of_int total_bytes_sent);
+             ]
+           ();
        Ok
          (if !retransmissions = 0 && !outages = 0 then Outcome.Completed stats
           else
@@ -316,6 +379,14 @@ let migrate ?(config = default_config) ?fault engine ~source ~dest () =
        Vmm.Vm.set_cpu_throttle source 0.;
        if !we_paused && Vmm.Vm.state source = Vmm.Vm.Paused then
          ignore (Vmm.Vm.resume source);
+       note_outcome "aborted";
+       if Sim.Telemetry.enabled telemetry then
+         Sim.Telemetry.span telemetry ~component:"migration" ~name:"migrate"
+           ~start:started ~stop:(Sim.Engine.now engine)
+           ~fields:
+             [ ("driver", "precopy"); ("outcome", "aborted");
+               ("reason", Outcome.reason_to_string reason) ]
+           ();
        Ok
          (Outcome.Aborted
             {

@@ -24,6 +24,9 @@ and switch = {
   mutable delivered : int;
   mutable dropped : int;
   mutable bytes : int;
+  m_delivered : Sim.Telemetry.counter;
+  m_dropped : Sim.Telemetry.counter;
+  m_bytes : Sim.Telemetry.counter;
 }
 
 let rec deliver node packet =
@@ -52,19 +55,24 @@ and apply_taps taps packet =
 
 and switch_send sw packet =
   match Hashtbl.find_opt sw.stations packet.Packet.dst.Packet.addr with
-  | None -> sw.dropped <- sw.dropped + 1
+  | None ->
+    sw.dropped <- sw.dropped + 1;
+    Sim.Telemetry.incr sw.m_dropped
   | Some node ->
     let delay = Link.transfer_time sw.link packet.Packet.size_bytes in
     ignore
       (Sim.Engine.schedule_after sw.sw_engine delay (fun () ->
            sw.delivered <- sw.delivered + 1;
            sw.bytes <- sw.bytes + packet.Packet.size_bytes;
+           Sim.Telemetry.incr sw.m_delivered;
+           Sim.Telemetry.add sw.m_bytes packet.Packet.size_bytes;
            deliver node packet))
 
 module Switch = struct
   type t = switch
 
-  let create engine ~name ~link =
+  let create ?telemetry engine ~name ~link =
+    let labels = [ ("switch", name) ] in
     {
       sw_engine = engine;
       sw_name = name;
@@ -73,6 +81,12 @@ module Switch = struct
       delivered = 0;
       dropped = 0;
       bytes = 0;
+      m_delivered =
+        Sim.Telemetry.counter telemetry ~labels ~component:"net" "packets_delivered_total";
+      m_dropped =
+        Sim.Telemetry.counter telemetry ~labels ~component:"net" "packets_dropped_total";
+      m_bytes =
+        Sim.Telemetry.counter telemetry ~labels ~component:"net" "bytes_carried_total";
     }
 
   let name t = t.sw_name

@@ -27,7 +27,12 @@ type tap = Packet.t -> tap_action
 module Switch : sig
   type t = switch
 
-  val create : Sim.Engine.t -> name:string -> link:Link.t -> t
+  val create : ?telemetry:Sim.Telemetry.t -> Sim.Engine.t -> name:string -> link:Link.t -> t
+  (** [telemetry] registers per-switch series
+      [net_packets_delivered_total{switch=name}],
+      [net_packets_dropped_total{switch=name}] and
+      [net_bytes_carried_total{switch=name}]. *)
+
   val name : t -> string
 
   val send : t -> Packet.t -> unit

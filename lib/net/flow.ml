@@ -11,8 +11,15 @@ let throughput_mbit_s ~bytes ~elapsed =
   if secs <= 0. then 0. else float_of_int bytes *. 8. /. 1e6 /. secs
 
 let run engine ~link ?(derate = 1.) ?(chunk_bytes = 65536) ?(noise_rsd = 0.) ?rng ?fault
-    ~bytes () =
+    ?telemetry ~bytes () =
   if bytes < 0 then invalid_arg "Flow.run: negative byte count";
+  let m_bytes = Sim.Telemetry.counter telemetry ~component:"net" "flow_bytes_total" in
+  let m_retransmits =
+    Sim.Telemetry.counter telemetry ~component:"net" "flow_chunk_retransmits_total"
+  in
+  let m_downtime =
+    Sim.Telemetry.counter telemetry ~component:"net" "flow_link_downtime_ns_total"
+  in
   let link = Link.scale_bandwidth link derate in
   let rng = match rng with Some r -> r | None -> Sim.Engine.fork_rng engine in
   let started = Sim.Engine.now engine in
@@ -68,6 +75,16 @@ let run engine ~link ?(derate = 1.) ?(chunk_bytes = 65536) ?(noise_rsd = 0.) ?rn
   in
   let at = drive () in
   let elapsed = Sim.Time.diff at started in
+  Sim.Telemetry.add m_bytes bytes;
+  Sim.Telemetry.add m_retransmits !retransmits;
+  Sim.Telemetry.addf m_downtime (Int64.to_float (Sim.Time.to_ns !link_downtime));
+  Sim.Telemetry.span telemetry ~component:"net" ~name:"flow" ~start:started ~stop:at
+    ~fields:
+      [
+        ("bytes", string_of_int bytes);
+        ("retransmits", string_of_int !retransmits);
+      ]
+    ();
   {
     bytes;
     elapsed;

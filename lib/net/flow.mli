@@ -26,6 +26,7 @@ val run :
   ?noise_rsd:float ->
   ?rng:Sim.Rng.t ->
   ?fault:Sim.Fault.t ->
+  ?telemetry:Sim.Telemetry.t ->
   bytes:int ->
   unit ->
   result
@@ -36,6 +37,9 @@ val run :
     scheduling noise. [fault] (default absent: the exact fault-free
     behaviour, no extra RNG draws) injects loss, jitter, degradation,
     and outages per chunk. The engine is run until the flow completes -
-    every byte always arrives; faults only cost time. *)
+    every byte always arrives; faults only cost time. [telemetry] counts
+    [net_flow_bytes_total], [net_flow_chunk_retransmits_total] and
+    [net_flow_link_downtime_ns_total], and records one ["flow"] span per
+    call. *)
 
 val throughput_mbit_s : bytes:int -> elapsed:Sim.Time.t -> float

@@ -63,18 +63,27 @@ type t = {
   (* absolute virtual time of the next link failure; sampled lazily on
      the first [cut] so creation order does not matter *)
   mutable next_failure : Time.t option;
+  m_drops : Telemetry.counter;
+  m_outages : Telemetry.counter;
+  m_degraded : Telemetry.counter;
+  m_downtime_ns : Telemetry.counter;
 }
 
-let create profile rng =
+let create ?telemetry profile rng =
   (match validate profile with
   | Ok () -> ()
   | Error e -> invalid_arg ("Fault.create: " ^ e));
+  let kind k = Telemetry.counter telemetry ~labels:[ ("kind", k) ] ~component:"fault" "injected_total" in
   {
     profile;
     rng;
     counters =
       { chunks_dropped = 0; outages = 0; link_downtime = Time.zero; degraded_transmissions = 0 };
     next_failure = None;
+    m_drops = kind "chunk_drop";
+    m_outages = kind "outage";
+    m_degraded = kind "degraded";
+    m_downtime_ns = Telemetry.counter telemetry ~component:"fault" "link_downtime_ns_total";
   }
 
 let profile t = t.profile
@@ -84,13 +93,17 @@ let drops_chunk t =
   t.profile.loss > 0.
   &&
   let hit = Rng.float t.rng 1.0 < t.profile.loss in
-  if hit then t.counters.chunks_dropped <- t.counters.chunks_dropped + 1;
+  if hit then begin
+    t.counters.chunks_dropped <- t.counters.chunks_dropped + 1;
+    Telemetry.incr t.m_drops
+  end;
   hit
 
 let degradation_factor t =
   if t.profile.degradation_duty <= 0. then 1.
   else if Rng.float t.rng 1.0 < t.profile.degradation_duty then begin
     t.counters.degraded_transmissions <- t.counters.degraded_transmissions + 1;
+    Telemetry.incr t.m_degraded;
     1. /. t.profile.degradation
   end
   else 1.
@@ -125,6 +138,8 @@ let cut t ~now ~during =
       let outage = Time.max min_outage (Time.s (Rng.exponential t.rng (Time.to_s t.profile.mttr))) in
       t.counters.outages <- t.counters.outages + 1;
       t.counters.link_downtime <- Time.add t.counters.link_downtime outage;
+      Telemetry.incr t.m_outages;
+      Telemetry.addf t.m_downtime_ns (Int64.to_float (Time.to_ns outage));
       let repaired = Time.add next outage in
       t.next_failure <-
         Some (Time.add repaired (Time.s (Rng.exponential t.rng (Time.to_s mtbf))));

@@ -72,11 +72,14 @@ type counters = {
 
 type t
 
-val create : profile -> Rng.t -> t
+val create : ?telemetry:Telemetry.t -> profile -> Rng.t -> t
 (** [create p rng] owns [rng]. Raises [Invalid_argument] when
     [validate p] fails. Callers wanting zero perturbation of existing
     RNG streams should only fork an [rng] for this when
-    [not (is_none p)]. *)
+    [not (is_none p)]. [telemetry] registers
+    [fault_injected_total{kind=...}] (kinds [chunk_drop], [outage],
+    [degraded]) and [fault_link_downtime_ns_total]; recording never
+    draws from [rng]. *)
 
 val profile : t -> profile
 val counters : t -> counters

@@ -45,3 +45,25 @@ let map ?(jobs = 1) n f =
 
 let map_seeds ?jobs ~root_seed ~trials f =
   map ?jobs trials (fun i -> f ~seed:(root_seed + i))
+
+(* Instrumented variants: each trial gets its own child sink (no
+   cross-domain sharing), and the children are merged into the parent in
+   trial order after the join - so the merged registry is identical
+   whatever [jobs] is, and each span is tagged with its 1-based trial. *)
+let map_instrumented ?jobs ?telemetry n f =
+  match telemetry with
+  | None -> map ?jobs n (fun i -> f ~telemetry:None i)
+  | Some parent ->
+    let children = Array.init n (fun _ -> Telemetry.create_like parent) in
+    let results = map ?jobs n (fun i -> f ~telemetry:(Some children.(i)) i) in
+    Array.iteri
+      (fun i child ->
+        Telemetry.merge_into ~into:parent
+          ~span_fields:[ ("trial", string_of_int (i + 1)) ]
+          child)
+      children;
+    results
+
+let map_seeds_instrumented ?jobs ?telemetry ~root_seed ~trials f =
+  map_instrumented ?jobs ?telemetry trials (fun ~telemetry i ->
+      f ~telemetry ~seed:(root_seed + i))

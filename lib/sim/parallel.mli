@@ -28,3 +28,20 @@ val map_seeds : ?jobs:int -> root_seed:int -> trials:int -> (seed:int -> 'a) -> 
 (** [map_seeds ~root_seed ~trials f] runs [f ~seed:(root_seed + i)] for
     [i] in [0 .. trials - 1] via {!map}: the canonical seed-derivation
     scheme for repeated-trial experiments. *)
+
+val map_instrumented :
+  ?jobs:int -> ?telemetry:Telemetry.t -> int -> (telemetry:Telemetry.t option -> int -> 'a) ->
+  'a list
+(** {!map} for instrumented trials. Each trial body receives its own
+    fresh child sink ({!Telemetry.create_like} of the parent, [None] when
+    no parent is given); after all trials finish the children are folded
+    into the parent with {!Telemetry.merge_into} in ascending trial
+    order, each span tagged with a ["trial"] field (1-based). Because the
+    merge order is fixed, the parent's exported metrics and spans are
+    byte-identical whatever [jobs] is. *)
+
+val map_seeds_instrumented :
+  ?jobs:int -> ?telemetry:Telemetry.t -> root_seed:int -> trials:int ->
+  (telemetry:Telemetry.t option -> seed:int -> 'a) -> 'a list
+(** {!map_seeds} with the same per-trial sink threading as
+    {!map_instrumented}. *)

@@ -75,6 +75,9 @@ type summary = {
   rsd : float;
   min : float;
   max : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
 }
 
 let summary (t : t) : summary =
@@ -85,11 +88,15 @@ let summary (t : t) : summary =
     rsd = rsd t;
     min = (if t.n = 0 then Float.nan else t.min_v);
     max = (if t.n = 0 then Float.nan else t.max_v);
+    p50 = percentile t 50.;
+    p95 = percentile t 95.;
+    p99 = percentile t 99.;
   }
 
 let pp_summary fmt s =
-  Format.fprintf fmt "n=%d mean=%.4g stddev=%.4g rsd=%.2f%% min=%.4g max=%.4g"
-    s.n s.mean s.stddev (s.rsd *. 100.) s.min s.max
+  Format.fprintf fmt
+    "n=%d mean=%.4g stddev=%.4g rsd=%.2f%% min=%.4g p50=%.4g p95=%.4g p99=%.4g max=%.4g"
+    s.n s.mean s.stddev (s.rsd *. 100.) s.min s.p50 s.p95 s.p99 s.max
 
 let percent_change ~from_ ~to_ =
   if from_ = 0. then Float.nan else (to_ -. from_) /. from_ *. 100.

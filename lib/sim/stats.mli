@@ -45,9 +45,15 @@ type summary = {
   rsd : float;
   min : float;
   max : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
 }
 
 val summary : t -> summary
+(** Snapshot of the accumulator, including interpolated p50/p95/p99 (all
+    [nan] when empty, like [mean]). *)
+
 val pp_summary : Format.formatter -> summary -> unit
 
 val percent_change : from_:float -> to_:float -> float

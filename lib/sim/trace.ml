@@ -28,25 +28,32 @@ let emitf t time level ~component fmt =
 
 let records t = List.of_seq (Queue.to_seq t.buffer)
 
+(* Queries stream over the queue directly: no intermediate list, and
+   [contains] short-circuits on the first hit. *)
 let find t ~component =
-  List.filter (fun r -> String.equal r.component component) (records t)
+  List.of_seq (Seq.filter (fun r -> String.equal r.component component) (Queue.to_seq t.buffer))
 
 let contains_substring s sub =
   let n = String.length s and m = String.length sub in
   if m = 0 then true
   else begin
-    let rec scan i = i + m <= n && (String.sub s i m = sub || scan (i + 1)) in
+    (* char-by-char comparison: no [String.sub] allocation per position *)
+    let rec matches i j = j >= m || (s.[i + j] = sub.[j] && matches i (j + 1)) in
+    let rec scan i = i + m <= n && (matches i 0 || scan (i + 1)) in
     scan 0
   end
 
 let contains t ~component ~substring =
-  List.exists
+  Seq.exists
     (fun r -> String.equal r.component component && contains_substring r.message substring)
-    (records t)
+    (Queue.to_seq t.buffer)
 
 let count t = Queue.length t.buffer
 let dropped t = t.dropped_count
-let clear t = Queue.clear t.buffer
+
+let clear t =
+  Queue.clear t.buffer;
+  t.dropped_count <- 0
 
 let level_to_string = function
   | Debug -> "debug"

@@ -29,9 +29,22 @@ val records : t -> record list
 (** Records in chronological order. *)
 
 val find : t -> component:string -> record list
+(** Records of one component, in chronological order; streams over the
+    buffer without materialising the full record list. *)
+
 val contains : t -> component:string -> substring:string -> bool
+(** Whether any record of [component] mentions [substring]; streams and
+    short-circuits on the first match. An empty [substring] matches any
+    record of the component. *)
+
 val count : t -> int
+
 val dropped : t -> int
+(** Records evicted by the capacity bound since creation (or since the
+    last {!clear}). *)
+
 val clear : t -> unit
+(** Empties the buffer and resets the {!dropped} counter. *)
+
 val pp_record : Format.formatter -> record -> unit
 val level_to_string : level -> string

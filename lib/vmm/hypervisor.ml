@@ -16,6 +16,9 @@ type t = {
   gateway : Net.Fabric.Node.t;
   ksm : Memory.Ksm.t option;
   trace : Sim.Trace.t option;
+  telemetry : Sim.Telemetry.t option;
+  m_kills : Sim.Telemetry.counter;
+  g_vms : Sim.Telemetry.gauge;
   use_vtx : bool;
   images : (string, Disk_image.t) Hashtbl.t;
   mutable vm_list : Vm.t list;
@@ -29,18 +32,20 @@ let emit t fmt =
   | Some tr ->
     Sim.Trace.emitf tr (Sim.Engine.now t.engine) Sim.Trace.Info ~component:("hv:" ^ t.hv_name) fmt
 
-let create_l0 ?(ram_gb = 16) ?(ksm_config = Memory.Ksm.default_config) ?trace engine ~name ~uplink
-    ~addr =
+let create_l0 ?(ram_gb = 16) ?(ksm_config = Memory.Ksm.default_config) ?trace ?telemetry engine
+    ~name ~uplink ~addr =
   let capacity_frames = ram_gb * 1024 * 1024 * 1024 / Memory.Page.size_bytes in
-  let table = Memory.Frame_table.create ~capacity_frames () in
-  let switch = Net.Fabric.Switch.create engine ~name:(name ^ "-br0") ~link:Net.Link.loopback in
+  let table = Memory.Frame_table.create ?telemetry ~capacity_frames () in
+  let switch =
+    Net.Fabric.Switch.create ?telemetry engine ~name:(name ^ "-br0") ~link:Net.Link.loopback
+  in
   let gateway = Net.Fabric.Node.create engine ~name:(name ^ "-gw") ~addr in
   Net.Fabric.Node.attach gateway uplink;
   Net.Fabric.Node.attach gateway switch;
   let processes = Process_table.create engine in
   ignore (Process_table.spawn processes ~name:"systemd" ~cmdline:"/usr/lib/systemd/systemd");
   ignore (Process_table.spawn processes ~name:"libvirtd" ~cmdline:"/usr/sbin/libvirtd");
-  let ksm = Memory.Ksm.create ~config:ksm_config ?trace engine table in
+  let ksm = Memory.Ksm.create ~config:ksm_config ?trace ?telemetry engine table in
   Memory.Ksm.start ksm;
   {
     engine;
@@ -53,6 +58,11 @@ let create_l0 ?(ram_gb = 16) ?(ksm_config = Memory.Ksm.default_config) ?trace en
     gateway;
     ksm = Some ksm;
     trace;
+    telemetry;
+    m_kills =
+      Sim.Telemetry.counter telemetry ~labels:[ ("hv", name) ] ~component:"vmm" "vm_kills_total";
+    g_vms =
+      Sim.Telemetry.gauge telemetry ~labels:[ ("hv", name) ] ~component:"vmm" "vms_running";
     use_vtx = true;
     images = Hashtbl.create 8;
     vm_list = [];
@@ -60,7 +70,7 @@ let create_l0 ?(ram_gb = 16) ?(ksm_config = Memory.Ksm.default_config) ?trace en
     next_vm_index = 1;
   }
 
-let create_nested ?(use_vtx = true) ?trace engine ~vm ~name =
+let create_nested ?(use_vtx = true) ?trace ?telemetry engine ~vm ~name =
   let cfg = Vm.config vm in
   if not cfg.Qemu_config.nested_vmx then
     Error (Vm.name vm ^ ": CPU has no nested VMX (+vmx missing); cannot run a hypervisor")
@@ -72,7 +82,8 @@ let create_nested ?(use_vtx = true) ?trace engine ~vm ~name =
     | Some gateway ->
       let pages = Memory.Address_space.pages (Vm.ram vm) in
       let switch =
-        Net.Fabric.Switch.create engine ~name:(name ^ "-br0") ~link:Net.Link.loopback
+        Net.Fabric.Switch.create ?telemetry engine ~name:(name ^ "-br0")
+          ~link:Net.Link.loopback
       in
       Net.Fabric.Node.attach gateway switch;
       Ok
@@ -92,6 +103,13 @@ let create_nested ?(use_vtx = true) ?trace engine ~vm ~name =
           gateway;
           ksm = None;
           trace;
+          telemetry;
+          m_kills =
+            Sim.Telemetry.counter telemetry ~labels:[ ("hv", name) ] ~component:"vmm"
+              "vm_kills_total";
+          g_vms =
+            Sim.Telemetry.gauge telemetry ~labels:[ ("hv", name) ] ~component:"vmm"
+              "vms_running";
           use_vtx;
           images = Hashtbl.create 8;
           vm_list = [];
@@ -110,6 +128,7 @@ let gateway t = t.gateway
 let ksm t = t.ksm
 let frame_table t = match t.backing with Physical ft -> Some ft | Guest _ -> None
 let trace t = t.trace
+let telemetry t = t.telemetry
 let vms t = t.vm_list
 let find_vm t vm_name = List.find_opt (fun vm -> String.equal (Vm.name vm) vm_name) t.vm_list
 
@@ -205,7 +224,7 @@ let launch t (config : Qemu_config.t) =
       t.next_vm_index <- t.next_vm_index + 1;
       let vm =
         Vm.make ~engine:t.engine ~config ~level:(Level.deeper t.level) ~ram ~disk
-          ~qemu_pid:proc.pid ~addr ?trace:t.trace ()
+          ~qemu_pid:proc.pid ~addr ?trace:t.trace ?telemetry:t.telemetry ()
       in
       let node = Net.Fabric.Node.create t.engine ~name:vm_name ~addr in
       Net.Fabric.Node.attach node t.switch;
@@ -230,6 +249,11 @@ let launch t (config : Qemu_config.t) =
          measured window. *)
       ignore (Sim.Engine.run_for t.engine (Sim.Time.ms 300.));
       t.vm_list <- t.vm_list @ [ vm ];
+      Sim.Telemetry.incr
+        (Sim.Telemetry.counter t.telemetry
+           ~labels:[ ("level", string_of_int (Level.to_int (Vm.level vm))) ]
+           ~component:"vmm" "vm_launches_total");
+      Sim.Telemetry.set t.g_vms (float_of_int (List.length t.vm_list));
       emit t "launched %s (pid %d, addr %s, %a)" vm_name proc.pid addr Level.pp (Vm.level vm);
       Ok vm
 
@@ -247,6 +271,8 @@ let kill_vm t vm =
     ignore (Process_table.kill t.processes (Vm.qemu_pid vm));
     Vm.stop vm;
     release_ram t (Vm.ram vm);
+    Sim.Telemetry.incr t.m_kills;
+    Sim.Telemetry.set t.g_vms (float_of_int (List.length t.vm_list));
     emit t "killed %s" (Vm.name vm)
   end
 

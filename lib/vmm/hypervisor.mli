@@ -15,6 +15,7 @@ val create_l0 :
   ?ram_gb:int ->
   ?ksm_config:Memory.Ksm.config ->
   ?trace:Sim.Trace.t ->
+  ?telemetry:Sim.Telemetry.t ->
   Sim.Engine.t ->
   name:string ->
   uplink:Net.Fabric.switch ->
@@ -23,11 +24,16 @@ val create_l0 :
 (** A bare-metal QEMU/KVM host: [ram_gb] (default 16, the paper's Dell
     T1700), a frame table, a ksmd instance (started), an internal
     virtual switch and a gateway node [addr] attached to both [uplink]
-    and the internal switch. *)
+    and the internal switch. [telemetry] becomes this host's
+    instrumentation root: it is handed to the frame table, ksmd, the
+    internal switch and every launched VM, and registers the
+    [vmm_vm_launches_total{level=...}], [vmm_vm_kills_total{hv=...}] and
+    [vmm_vms_running{hv=...}] series. *)
 
 val create_nested :
   ?use_vtx:bool ->
   ?trace:Sim.Trace.t ->
+  ?telemetry:Sim.Telemetry.t ->
   Sim.Engine.t ->
   vm:Vm.t ->
   name:string ->
@@ -66,6 +72,12 @@ val frame_table : t -> Memory.Frame_table.t option
 (** [Some] only for L0. *)
 
 val trace : t -> Sim.Trace.t option
+
+val telemetry : t -> Sim.Telemetry.t option
+(** The sink passed at creation - consulted by components that operate
+    on this host without their own telemetry parameter (detectors,
+    installers, migration drivers via {!Vm.telemetry}). *)
+
 val vms : t -> Vm.t list
 val find_vm : t -> string -> Vm.t option
 val ram_free_pages : t -> int

@@ -14,20 +14,23 @@ let get_ok what = function
   | Ok v -> v
   | Error e -> invalid_arg (Printf.sprintf "Layers.%s: %s" what e)
 
-let make_host ?(seed = 42) ?ksm_config () =
+let make_host ?(seed = 42) ?ksm_config ?telemetry () =
   let engine = Sim.Engine.create ~seed () in
   let trace = Sim.Trace.create () in
-  let uplink = Net.Fabric.Switch.create engine ~name:"uplink" ~link:Net.Link.lan_1gbe in
+  let uplink =
+    Net.Fabric.Switch.create ?telemetry engine ~name:"uplink" ~link:Net.Link.lan_1gbe
+  in
   let host =
-    Hypervisor.create_l0 ?ksm_config ~trace engine ~name:"host" ~uplink ~addr:"192.168.1.100"
+    Hypervisor.create_l0 ?ksm_config ~trace ?telemetry engine ~name:"host" ~uplink
+      ~addr:"192.168.1.100"
   in
   (engine, trace, uplink, host)
 
 let guest_config () =
   Qemu_config.with_hostfwd (Qemu_config.default ~name:"guest0") [ (2222, 22) ]
 
-let bare_metal ?seed ?ksm_config ?(workspace_mb = 1024) () =
-  let engine, trace, uplink, host = make_host ?seed ?ksm_config () in
+let bare_metal ?seed ?ksm_config ?telemetry ?(workspace_mb = 1024) () =
+  let engine, trace, uplink, host = make_host ?seed ?ksm_config ?telemetry () in
   let pages = workspace_mb * 1024 * 1024 / Memory.Page.size_bytes in
   let exec_ram = get_ok "bare_metal" (Hypervisor.host_buffer host ~name:"l0-workspace" ~pages) in
   {
@@ -42,8 +45,8 @@ let bare_metal ?seed ?ksm_config ?(workspace_mb = 1024) () =
     nested_hv = None;
   }
 
-let single_guest ?seed ?ksm_config ?config () =
-  let engine, trace, uplink, host = make_host ?seed ?ksm_config () in
+let single_guest ?seed ?ksm_config ?telemetry ?config () =
+  let engine, trace, uplink, host = make_host ?seed ?ksm_config ?telemetry () in
   let config = match config with Some c -> c | None -> guest_config () in
   let vm = get_ok "single_guest" (Hypervisor.launch host config) in
   {
@@ -58,15 +61,16 @@ let single_guest ?seed ?ksm_config ?config () =
     nested_hv = None;
   }
 
-let nested_guest ?seed ?ksm_config ?(guestx_memory_mb = 2048) ?config () =
-  let engine, trace, uplink, host = make_host ?seed ?ksm_config () in
+let nested_guest ?seed ?ksm_config ?telemetry ?(guestx_memory_mb = 2048) ?config () =
+  let engine, trace, uplink, host = make_host ?seed ?ksm_config ?telemetry () in
   let guestx_config =
     { (Qemu_config.default ~name:"guestx") with Qemu_config.memory_mb = guestx_memory_mb }
     |> fun c -> Qemu_config.with_nested_vmx c true
   in
   let guestx = get_ok "nested_guest(guestx)" (Hypervisor.launch host guestx_config) in
   let nested_hv =
-    get_ok "nested_guest(hv)" (Hypervisor.create_nested ~trace engine ~vm:guestx ~name:"guestx-kvm")
+    get_ok "nested_guest(hv)"
+      (Hypervisor.create_nested ~trace ?telemetry engine ~vm:guestx ~name:"guestx-kvm")
   in
   let config = match config with Some c -> c | None -> guest_config () in
   let vm = get_ok "nested_guest(l2)" (Hypervisor.launch nested_hv config) in
@@ -92,8 +96,8 @@ type migration_pair = {
   mp_nested_hv : Hypervisor.t option;
 }
 
-let migration_pair ?seed ?ksm_config ?config ?(incoming_port = 5601) ~nested_dest () =
-  let engine, trace, _uplink, host = make_host ?seed ?ksm_config () in
+let migration_pair ?seed ?ksm_config ?telemetry ?config ?(incoming_port = 5601) ~nested_dest () =
+  let engine, trace, _uplink, host = make_host ?seed ?ksm_config ?telemetry () in
   let config = match config with Some c -> c | None -> guest_config () in
   let source = get_ok "migration_pair(source)" (Hypervisor.launch host config) in
   let dest_config =
@@ -116,16 +120,16 @@ let migration_pair ?seed ?ksm_config ?config ?(incoming_port = 5601) ~nested_des
     let guestx = get_ok "migration_pair(guestx)" (Hypervisor.launch host guestx_config) in
     let nested_hv =
       get_ok "migration_pair(hv)"
-        (Hypervisor.create_nested ~trace engine ~vm:guestx ~name:"guestx-kvm")
+        (Hypervisor.create_nested ~trace ?telemetry engine ~vm:guestx ~name:"guestx-kvm")
     in
     let dest = get_ok "migration_pair(nested dest)" (Hypervisor.launch nested_hv dest_config) in
     { mp_engine = engine; mp_trace = trace; mp_host = host; mp_source = source; mp_dest = dest;
       mp_guestx = Some guestx; mp_nested_hv = Some nested_hv }
   end
 
-let of_level ?seed ?ksm_config level =
+let of_level ?seed ?ksm_config ?telemetry level =
   match Level.to_int level with
-  | 0 -> bare_metal ?seed ?ksm_config ()
-  | 1 -> single_guest ?seed ?ksm_config ()
-  | 2 -> nested_guest ?seed ?ksm_config ()
+  | 0 -> bare_metal ?seed ?ksm_config ?telemetry ()
+  | 1 -> single_guest ?seed ?ksm_config ?telemetry ()
+  | 2 -> nested_guest ?seed ?ksm_config ?telemetry ()
   | n -> invalid_arg (Printf.sprintf "Layers.of_level: L%d topology not predefined" n)

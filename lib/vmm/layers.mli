@@ -18,18 +18,23 @@ type env = {
 }
 
 val bare_metal :
-  ?seed:int -> ?ksm_config:Memory.Ksm.config -> ?workspace_mb:int -> unit -> env
+  ?seed:int -> ?ksm_config:Memory.Ksm.config -> ?telemetry:Sim.Telemetry.t ->
+  ?workspace_mb:int -> unit -> env
 (** L0: a host with a [workspace_mb] (default 1024) buffer the measured
-    code runs in. *)
+    code runs in. In all constructors here, [telemetry] becomes the
+    topology's instrumentation root (threaded into the uplink switch and
+    every hypervisor). *)
 
 val single_guest :
-  ?seed:int -> ?ksm_config:Memory.Ksm.config -> ?config:Qemu_config.t -> unit -> env
+  ?seed:int -> ?ksm_config:Memory.Ksm.config -> ?telemetry:Sim.Telemetry.t ->
+  ?config:Qemu_config.t -> unit -> env
 (** L1: a host plus one running guest (default config: the paper's 1 GB
     VM, SSH forwarded from host port 2222). *)
 
 val nested_guest :
   ?seed:int ->
   ?ksm_config:Memory.Ksm.config ->
+  ?telemetry:Sim.Telemetry.t ->
   ?guestx_memory_mb:int ->
   ?config:Qemu_config.t ->
   unit ->
@@ -39,7 +44,7 @@ val nested_guest :
     1 GB config as {!single_guest}) running at L2. *)
 
 val of_level :
-  ?seed:int -> ?ksm_config:Memory.Ksm.config -> Level.t -> env
+  ?seed:int -> ?ksm_config:Memory.Ksm.config -> ?telemetry:Sim.Telemetry.t -> Level.t -> env
 (** Dispatch on 0, 1 or 2; raises [Invalid_argument] on deeper levels. *)
 
 type migration_pair = {
@@ -55,6 +60,7 @@ type migration_pair = {
 val migration_pair :
   ?seed:int ->
   ?ksm_config:Memory.Ksm.config ->
+  ?telemetry:Sim.Telemetry.t ->
   ?config:Qemu_config.t ->
   ?incoming_port:int ->
   nested_dest:bool ->

@@ -133,6 +133,12 @@ let words line = String.split_on_char ' ' line |> List.filter (fun w -> w <> "")
 let execute vm line =
   (* telnet round trip + command dispatch on the monitor socket *)
   ignore (Sim.Engine.run_for (Vm.engine vm) (Sim.Time.ms 5.));
+  (match words line with
+  | [] -> ()
+  | cmd :: _ ->
+    Sim.Telemetry.incr
+      (Sim.Telemetry.counter (Vm.telemetry vm) ~labels:[ ("cmd", cmd) ] ~component:"vmm"
+         "monitor_commands_total"));
   match words line with
   | [] -> Ok_text ""
   | [ "help" ] -> Ok_text help_text

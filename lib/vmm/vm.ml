@@ -30,6 +30,9 @@ type t = {
   mutable qemu_pid : Process_table.pid;
   addr : Net.Packet.addr;
   trace : Sim.Trace.t option;
+  telemetry : Sim.Telemetry.t option;
+  m_exits : Sim.Telemetry.counter;
+  m_fanout : Sim.Telemetry.counter;
   mutable state : state;
   mutable node : Net.Fabric.Node.t option;
   io : io_counters;
@@ -53,9 +56,10 @@ let boot_processes table =
   ignore (Process_table.spawn table ~name:"kthreadd" ~cmdline:"[kthreadd]");
   ignore (Process_table.spawn table ~name:"sshd" ~cmdline:"/usr/sbin/sshd -D")
 
-let make ~engine ~config ~level ~ram ~disk ~qemu_pid ~addr ?trace () =
+let make ~engine ~config ~level ~ram ~disk ~qemu_pid ~addr ?trace ?telemetry () =
   let guest_processes = Process_table.create engine in
   boot_processes guest_processes;
+  let level_label = [ ("level", string_of_int (Level.to_int level)) ] in
   {
     engine;
     config;
@@ -65,6 +69,11 @@ let make ~engine ~config ~level ~ram ~disk ~qemu_pid ~addr ?trace () =
     qemu_pid;
     addr;
     trace;
+    telemetry;
+    m_exits = Sim.Telemetry.counter telemetry ~labels:level_label ~component:"vmm" "exits_total";
+    m_fanout =
+      Sim.Telemetry.counter telemetry ~labels:level_label ~component:"vmm"
+        "nested_exit_fanout_total";
     state = Created;
     node = None;
     io =
@@ -115,6 +124,13 @@ let qemu_pid t = t.qemu_pid
 let set_qemu_pid t pid = t.qemu_pid <- pid
 let addr t = t.addr
 let io t = t.io
+let telemetry t = t.telemetry
+
+let record_exits t n =
+  t.io.vm_exits <- t.io.vm_exits + n;
+  Sim.Telemetry.add t.m_exits n
+
+let record_nested_fanout t n = Sim.Telemetry.add t.m_fanout n
 let guest_processes t = t.guest_processes
 let os_release t = t.os_release
 let set_os_release t s = t.os_release <- s

@@ -37,6 +37,7 @@ val make :
   qemu_pid:Process_table.pid ->
   addr:Net.Packet.addr ->
   ?trace:Sim.Trace.t ->
+  ?telemetry:Sim.Telemetry.t ->
   unit ->
   t
 
@@ -61,6 +62,21 @@ val qemu_pid : t -> Process_table.pid
 val set_qemu_pid : t -> Process_table.pid -> unit
 val addr : t -> Net.Packet.addr
 val io : t -> io_counters
+
+val telemetry : t -> Sim.Telemetry.t option
+(** The sink given at construction (the owning hypervisor's) - how
+    downstream layers (migration drivers, workloads) reach the metrics
+    registry without extra plumbing. *)
+
+val record_exits : t -> int -> unit
+(** Charge [n] hardware VM exits to this VM: bumps [io.vm_exits] and the
+    [vmm_exits_total{level=...}] counter. *)
+
+val record_nested_fanout : t -> int -> unit
+(** Count L0-level exits induced by nested exit multiplication (the
+    paper's ~19x fan-out per L2 exit) under
+    [vmm_nested_exit_fanout_total{level=...}]. *)
+
 val guest_processes : t -> Process_table.t
 
 val os_release : t -> string

@@ -20,7 +20,16 @@ let of_layers ?noise_rsd ?params (env : Vmm.Layers.env) =
 
 let charge_exits t n =
   match t.vm with
-  | Some vm -> (Vmm.Vm.io vm).Vmm.Vm.vm_exits <- (Vmm.Vm.io vm).Vmm.Vm.vm_exits + n
+  | Some vm ->
+    Vmm.Vm.record_exits vm n;
+    (* every exit at L(n>=2) traps through each level below: the
+       exit-multiplication fan-out the paper's Fig 1 illustrates *)
+    let depth = Vmm.Level.to_int t.level in
+    if depth >= 2 && n > 0 then
+      Vmm.Vm.record_nested_fanout vm
+        (int_of_float
+           (float_of_int n *. t.params.Vmm.Cost_model.nested_exit_multiplier
+          *. float_of_int (depth - 1)))
   | None -> ()
 
 let consume t op n =

@@ -147,6 +147,25 @@ let stats_tests =
     Alcotest.test_case "samples preserved in order" `Quick (fun () ->
         let t = of_list [ 5.; 1.; 3. ] in
         Alcotest.(check (list (float 0.))) "order" [ 5.; 1.; 3. ] (samples t));
+    Alcotest.test_case "summary carries percentiles" `Quick (fun () ->
+        let t = of_list (List.init 100 (fun i -> float_of_int (i + 1))) in
+        let s = summary t in
+        Alcotest.(check (float 1e-9)) "p50" (percentile t 50.) s.p50;
+        Alcotest.(check (float 1e-9)) "p95" (percentile t 95.) s.p95;
+        Alcotest.(check (float 1e-9)) "p99" (percentile t 99.) s.p99;
+        Alcotest.(check bool) "ordered" true (s.p50 <= s.p95 && s.p95 <= s.p99);
+        Alcotest.(check bool) "bounded" true (s.min <= s.p50 && s.p99 <= s.max));
+    Alcotest.test_case "pp_summary prints percentiles" `Quick (fun () ->
+        let s = summary (of_list [ 1.; 2.; 3.; 4.; 5. ]) in
+        let text = Format.asprintf "%a" pp_summary s in
+        let has needle =
+          let n = String.length text and m = String.length needle in
+          let rec scan i = i + m <= n && (String.sub text i m = needle || scan (i + 1)) in
+          scan 0
+        in
+        List.iter
+          (fun needle -> Alcotest.(check bool) (needle ^ " present") true (has needle))
+          [ "p50="; "p95="; "p99="; "mean="; "stddev=" ]);
   ]
 
 let stats_props =
@@ -336,6 +355,50 @@ let trace_tests =
         emit t Sim.Time.zero Debug ~component:"x" "y";
         clear t;
         Alcotest.(check int) "empty" 0 (count t));
+    Alcotest.test_case "clear resets the dropped counter" `Quick (fun () ->
+        let t = create ~capacity:2 () in
+        for i = 1 to 5 do
+          emit t Sim.Time.zero Info ~component:"x" (string_of_int i)
+        done;
+        Alcotest.(check int) "dropped before clear" 3 (dropped t);
+        clear t;
+        Alcotest.(check int) "dropped after clear" 0 (dropped t);
+        Alcotest.(check int) "count after clear" 0 (count t);
+        (* the buffer accepts a full capacity's worth again *)
+        emit t Sim.Time.zero Info ~component:"x" "a";
+        emit t Sim.Time.zero Info ~component:"x" "b";
+        Alcotest.(check int) "refilled" 2 (count t);
+        Alcotest.(check int) "still none dropped" 0 (dropped t));
+    Alcotest.test_case "emitf formats like Printf" `Quick (fun () ->
+        let t = create () in
+        emitf t (Sim.Time.ms 3.) Warn ~component:"ksm" "pass %d merged %d pages (%.1f%%)" 7
+          120 99.5;
+        (match records t with
+        | [ r ] ->
+          Alcotest.(check string) "message" "pass 7 merged 120 pages (99.5%)" r.message;
+          Alcotest.(check string) "component" "ksm" r.component;
+          Alcotest.(check bool) "level" true (r.level = Warn)
+        | rs -> Alcotest.failf "expected 1 record, got %d" (List.length rs)));
+    Alcotest.test_case "find filters and preserves order" `Quick (fun () ->
+        let t = create () in
+        emit t (Sim.Time.ms 1.) Info ~component:"a" "one";
+        emit t (Sim.Time.ms 2.) Info ~component:"b" "two";
+        emit t (Sim.Time.ms 3.) Info ~component:"a" "three";
+        let found = find t ~component:"a" in
+        Alcotest.(check (list string))
+          "messages in order" [ "one"; "three" ]
+          (List.map (fun (r : record) -> r.message) found));
+    Alcotest.test_case "contains short-circuits across capacity drops" `Quick (fun () ->
+        let t = create ~capacity:2 () in
+        emit t Sim.Time.zero Info ~component:"x" "evicted";
+        emit t Sim.Time.zero Info ~component:"x" "kept-one";
+        emit t Sim.Time.zero Info ~component:"x" "kept-two";
+        Alcotest.(check bool)
+          "evicted record not found" false
+          (contains t ~component:"x" ~substring:"evicted");
+        Alcotest.(check bool)
+          "live record found" true
+          (contains t ~component:"x" ~substring:"kept-two"));
   ]
 
 let () =
