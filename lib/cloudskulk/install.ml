@@ -152,8 +152,10 @@ let run ?config engine ~host ~registry ~target_name =
         if Sim.Fault.is_none cfg.faults then None
         else Some (Sim.Fault.create ?telemetry cfg.faults (Sim.Engine.fork_rng engine))
       in
-      Migration.Wiring.wire_monitor ~strategy:cfg.strategy ?fault engine ~registry
-        ~source:target ();
+      let wiring =
+        Migration.Wiring.wire_monitor ~strategy:cfg.strategy ?fault engine ~registry
+          ~source:target ()
+      in
       let migrate_cmd = Printf.sprintf "migrate tcp:%s:%d" host_addr cfg.host_port in
       match Vmm.Monitor.execute target migrate_cmd with
       | Vmm.Monitor.Error_text e ->
@@ -163,7 +165,7 @@ let run ?config engine ~host ~registry ~target_name =
         teardown_guestx "monitor migrate: unexpected quit"
       | Vmm.Monitor.Ok_text _ -> (
         let pre_outcome, post_outcome =
-          match Migration.Wiring.last_result target with
+          match Migration.Wiring.last_result wiring with
           | Some (p, q) -> (p, q)
           | None -> (None, None)
         in

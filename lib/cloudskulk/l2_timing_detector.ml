@@ -45,14 +45,12 @@ type result = {
   max_ratio_spread : float;
 }
 
-(* VMs whose L1 currently spoofs benchmark results outright - compared
-   by identity, since distinct VMs (even across hosts) may share a
-   name. *)
-let spoofed : Vmm.Vm.t list ref = ref []
-
-let spoof_results vm = if not (List.memq vm !spoofed) then spoofed := vm :: !spoofed
-let stop_spoofing vm = spoofed := List.filter (fun v -> not (v == vm)) !spoofed
-let is_spoofed vm = List.memq vm !spoofed
+(* Whether a VM's L1 currently spoofs benchmark results is state of that
+   VM, carried on it (never in a module-level registry, which parallel
+   trial domains would share). *)
+let spoof_results vm = Vmm.Vm.set_spoofs_benchmarks vm true
+let stop_spoofing vm = Vmm.Vm.set_spoofs_benchmarks vm false
+let is_spoofed vm = Vmm.Vm.spoofs_benchmarks vm
 
 let observe_op config vm op =
   (* what the user was promised at provisioning: L1 performance *)

@@ -2,11 +2,13 @@ type strategy =
   | Pre_copy of Precopy.config
   | Post_copy of Postcopy.config
 
-(* Keyed weakly by VM name; one live wiring per source VM at a time is
-   all the attack needs. *)
-let results :
-    (string, Precopy.result Outcome.t option * Postcopy.result Outcome.t option) Hashtbl.t =
-  Hashtbl.create 8
+(* One wiring per source VM; its outcome lives on the handle the caller
+   got back, never in module-level state (which parallel trial domains
+   would share - trials routinely reuse VM names). *)
+type t = {
+  mutable last :
+    (Precopy.result Outcome.t option * Postcopy.result Outcome.t option) option;
+}
 
 let fault_counters outcome =
   match outcome with
@@ -45,6 +47,7 @@ let render_postcopy outcome =
 
 let wire_monitor ?(strategy = Pre_copy Precopy.default_config) ?fault engine ~registry ~source
     () =
+  let wiring = { last = None } in
   Vmm.Vm.set_migrate_handler source (fun ~host ~port ->
       match Registry.resolve registry ~addr:host ~port with
       | Error e -> Error e
@@ -93,7 +96,7 @@ let wire_monitor ?(strategy = Pre_copy Precopy.default_config) ?fault engine ~re
         match outcome with
         | Error e -> Error e
         | Ok (pre, post, handed_over) ->
-          Hashtbl.replace results (Vmm.Vm.name source) (pre, post);
+          wiring.last <- Some (pre, post);
           if handed_over then Registry.unregister registry ~addr:host ~port;
           let aborted =
             match (pre, post) with
@@ -102,6 +105,7 @@ let wire_monitor ?(strategy = Pre_copy Precopy.default_config) ?fault engine ~re
           in
           (match aborted with
           | Some reason -> Error (Outcome.reason_to_string reason)
-          | None -> Ok ())))
+          | None -> Ok ())));
+  wiring
 
-let last_result vm = Hashtbl.find_opt results (Vmm.Vm.name vm)
+let last_result t = t.last

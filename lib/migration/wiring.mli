@@ -9,6 +9,13 @@ type strategy =
   | Pre_copy of Precopy.config
   | Post_copy of Postcopy.config
 
+type t
+(** A live wiring between one source VM's monitor and the migration
+    engine. The handle owns the outcome of the wiring's most recent
+    migration; keeping it here (rather than in any module-level map)
+    means concurrent trial domains can never observe each other's
+    migrations. *)
+
 val wire_monitor :
   ?strategy:strategy ->
   ?fault:Sim.Fault.t ->
@@ -16,7 +23,7 @@ val wire_monitor :
   registry:Registry.t ->
   source:Vmm.Vm.t ->
   unit ->
-  unit
+  t
 (** After this, [Monitor.execute source "migrate tcp:H:P"] performs the
     migration. Default strategy: pre-copy with {!Precopy.default_config};
     [?fault] is threaded through to the chosen driver. The registry
@@ -31,6 +38,6 @@ val wire_monitor :
     [migrate_recover] closure is wrapped to refresh it on success. *)
 
 val last_result :
-  Vmm.Vm.t -> (Precopy.result Outcome.t option * Postcopy.result Outcome.t option) option
-(** Outcome of the most recent migration initiated from this VM's
-    monitor, if any ([fst] set for pre-copy, [snd] for post-copy). *)
+  t -> (Precopy.result Outcome.t option * Postcopy.result Outcome.t option) option
+(** Outcome of the most recent migration performed through this wiring,
+    if any ([fst] set for pre-copy, [snd] for post-copy). *)

@@ -41,7 +41,7 @@ let stddev t = Float.sqrt (variance t)
 
 let rsd t =
   let m = mean t in
-  if t.n < 2 || m = 0. || Float.is_nan m then 0. else stddev t /. Float.abs m
+  if t.n < 2 || Float.equal m 0. || Float.is_nan m then 0. else stddev t /. Float.abs m
 
 let min t = t.min_v
 let max t = t.max_v
@@ -99,4 +99,4 @@ let pp_summary fmt s =
     s.n s.mean s.stddev (s.rsd *. 100.) s.min s.p50 s.p95 s.p99 s.max
 
 let percent_change ~from_ ~to_ =
-  if from_ = 0. then Float.nan else (to_ -. from_) /. from_ *. 100.
+  if Float.equal from_ 0. then Float.nan else (to_ -. from_) /. from_ *. 100.

@@ -229,11 +229,9 @@ let histogram_count t key =
   | Some _ | None -> None
 
 let sorted_entries t =
-  let entries = Hashtbl.fold (fun key e acc -> (key, e) :: acc) t.series [] in
-  List.sort
-    (fun (ka, a) (kb, b) ->
-      match String.compare a.base b.base with 0 -> String.compare ka kb | c -> c)
-    entries
+  Hashtbl.fold (fun key e acc -> (key, e) :: acc) t.series []
+  |> List.sort (fun (ka, a) (kb, b) ->
+         match String.compare a.base b.base with 0 -> String.compare ka kb | c -> c)
 
 let copy_kind = function
   | Counter c -> Counter { v = c.v }

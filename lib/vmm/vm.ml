@@ -47,6 +47,7 @@ type t = {
   mutable write_taps : (string * (string -> unit)) list;
   mutable guest_time_scale : float;
   mutable cpu_throttle : float;
+  mutable spoofs_benchmarks : bool;
 }
 
 (* A booted guest has a recognisable init and kernel threads; VMI
@@ -98,6 +99,7 @@ let make ~engine ~config ~level ~ram ~disk ~qemu_pid ~addr ?trace ?telemetry () 
     write_taps = [];
     guest_time_scale = 1.0;
     cpu_throttle = 0.;
+    spoofs_benchmarks = false;
   }
 
 let emit t fmt =
@@ -194,7 +196,10 @@ let load_file t file =
   end
 
 let file_offset t fname = Option.map fst (Hashtbl.find_opt t.loaded_files fname)
-let loaded_files t = Hashtbl.fold (fun name (off, pages) acc -> (name, off, pages) :: acc) t.loaded_files []
+
+let loaded_files t =
+  Hashtbl.fold (fun name (off, pages) acc -> (name, off, pages) :: acc) t.loaded_files []
+  |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
 
 let adopt_guest_state t ~from =
   t.os_release <- from.os_release;
@@ -220,6 +225,8 @@ let set_guest_time_scale t scale =
   t.guest_time_scale <- scale
 
 let observe_duration t d = Sim.Time.mul d t.guest_time_scale
+let set_spoofs_benchmarks t v = t.spoofs_benchmarks <- v
+let spoofs_benchmarks t = t.spoofs_benchmarks
 
 let trap_write_syscalls t ~name f = t.write_taps <- t.write_taps @ [ (name, f) ]
 let untrap_write_syscalls t ~name = t.write_taps <- List.filter (fun (n, _) -> n <> name) t.write_taps

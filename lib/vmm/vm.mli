@@ -130,7 +130,8 @@ val unload_file : t -> string -> unit
 (** Forget the bookkeeping (contents stay until overwritten). *)
 
 val loaded_files : t -> (string * int * int) list
-(** [(name, page offset, pages)] for each loaded file. *)
+(** [(name, page offset, pages)] for each loaded file, sorted by name
+    (never hash-table order, so listings are deterministic). *)
 
 val adopt_guest_state : t -> from:t -> unit
 (** Take over the guest OS identity of another VM: OS release, process
@@ -170,6 +171,13 @@ val set_guest_time_scale : t -> float -> unit
 val observe_duration : t -> Sim.Time.t -> Sim.Time.t
 (** [observe_duration vm d] is what a timing loop inside the guest
     reads when [d] of real (L0) time passes. *)
+
+val spoofs_benchmarks : t -> bool
+val set_spoofs_benchmarks : t -> bool -> unit
+(** A hypervisor that controls this VM can intercept known benchmark
+    binaries and fake their output outright (paper Section VI-A). The
+    flag lives on the VM - not in any module-level registry - so
+    parallel trials never share detector state. *)
 
 (** {2 Write-syscall tapping}
 

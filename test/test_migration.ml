@@ -498,7 +498,7 @@ let fault_tests =
         let engine = mp.Vmm.Layers.mp_engine in
         let reg = Migration.Registry.create () in
         Migration.Registry.register_incoming reg ~addr:"10.0.0.2" ~port:5601 mp.mp_dest;
-        Migration.Wiring.wire_monitor engine ~registry:reg ~source:mp.mp_source ();
+        ignore (Migration.Wiring.wire_monitor engine ~registry:reg ~source:mp.mp_source ());
         (match Vmm.Monitor.execute mp.mp_source "migrate tcp:10.0.0.2:5601" with
         | Vmm.Monitor.Ok_text _ -> ()
         | Vmm.Monitor.Error_text e -> Alcotest.fail e
@@ -517,13 +517,13 @@ let wiring_tests =
         let engine = mp.Vmm.Layers.mp_engine in
         let reg = Migration.Registry.create () in
         Migration.Registry.register_incoming reg ~addr:"10.0.0.2" ~port:5601 mp.mp_dest;
-        Migration.Wiring.wire_monitor engine ~registry:reg ~source:mp.mp_source ();
+        let wiring = Migration.Wiring.wire_monitor engine ~registry:reg ~source:mp.mp_source () in
         (match Vmm.Monitor.execute mp.mp_source "migrate tcp:10.0.0.2:5601" with
         | Vmm.Monitor.Ok_text _ -> ()
         | Vmm.Monitor.Error_text e -> Alcotest.fail e
         | Vmm.Monitor.Quit -> Alcotest.fail "quit");
         Alcotest.(check bool) "dest running" true (Vmm.Vm.state mp.mp_dest = Vmm.Vm.Running);
-        (match Migration.Wiring.last_result mp.mp_source with
+        (match Migration.Wiring.last_result wiring with
         | Some (Some _, None) -> ()
         | _ -> Alcotest.fail "expected precopy result");
         Alcotest.(check bool) "endpoint consumed" true
@@ -533,21 +533,24 @@ let wiring_tests =
         let engine = mp.Vmm.Layers.mp_engine in
         let reg = Migration.Registry.create () in
         Migration.Registry.register_incoming reg ~addr:"10.0.0.2" ~port:5601 mp.mp_dest;
-        Migration.Wiring.wire_monitor
-          ~strategy:(Migration.Wiring.Post_copy Migration.Postcopy.default_config) engine
-          ~registry:reg ~source:mp.mp_source ();
+        let wiring =
+          Migration.Wiring.wire_monitor
+            ~strategy:(Migration.Wiring.Post_copy Migration.Postcopy.default_config) engine
+            ~registry:reg ~source:mp.mp_source ()
+        in
         (match Vmm.Monitor.execute mp.mp_source "migrate tcp:10.0.0.2:5601" with
         | Vmm.Monitor.Ok_text _ -> ()
         | Vmm.Monitor.Error_text e -> Alcotest.fail e
         | Vmm.Monitor.Quit -> Alcotest.fail "quit");
-        match Migration.Wiring.last_result mp.mp_source with
+        match Migration.Wiring.last_result wiring with
         | Some (None, Some _) -> ()
         | _ -> Alcotest.fail "expected postcopy result");
     Alcotest.test_case "unresolvable endpoint surfaces as monitor error" `Quick (fun () ->
         let mp = mk_pair () in
         let reg = Migration.Registry.create () in
-        Migration.Wiring.wire_monitor mp.Vmm.Layers.mp_engine ~registry:reg
-          ~source:mp.mp_source ();
+        ignore
+          (Migration.Wiring.wire_monitor mp.Vmm.Layers.mp_engine ~registry:reg
+             ~source:mp.mp_source ());
         match Vmm.Monitor.execute mp.mp_source "migrate tcp:9.9.9.9:1" with
         | Vmm.Monitor.Error_text _ -> ()
         | _ -> Alcotest.fail "expected error");

@@ -1,0 +1,81 @@
+(* skulklint — determinism & domain-safety lint over the simulation.
+
+   Usage: skulklint [--allow FILE] [--json FILE] [--rules] PATH...
+
+   Exits 1 when any non-allowlisted finding (or a malformed/stale allow)
+   survives, 0 on a clean tree. *)
+
+let usage () =
+  prerr_endline
+    "usage: skulklint [--allow FILE] [--json FILE] [--rules] PATH...\n\
+     \  --allow FILE  checked-in allowlist (default: lint.allow if present)\n\
+     \  --json FILE   also write a structured report ('-' for stdout)\n\
+     \  --rules       print the rule catalogue and exit";
+  exit 2
+
+let print_rules () =
+  List.iter
+    (fun (r : Skulklint_core.Rules.rule) ->
+      Printf.printf "%-18s %-18s %s\n" r.name r.family r.summary)
+    Skulklint_core.Rules.catalogue
+
+let () =
+  let allow_file = ref None and json_out = ref None and roots = ref [] in
+  let rec parse_args = function
+    | [] -> ()
+    | "--allow" :: f :: rest ->
+      allow_file := Some f;
+      parse_args rest
+    | "--json" :: f :: rest ->
+      json_out := Some f;
+      parse_args rest
+    | "--rules" :: _ ->
+      print_rules ();
+      exit 0
+    | ("--help" | "-h") :: _ -> usage ()
+    | arg :: _ when String.length arg > 2 && String.sub arg 0 2 = "--" -> usage ()
+    | path :: rest ->
+      roots := path :: !roots;
+      parse_args rest
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  if !roots = [] then usage ();
+  let allow_path =
+    match !allow_file with
+    | Some f -> Some f
+    | None -> if Sys.file_exists "lint.allow" then Some "lint.allow" else None
+  in
+  let allow_entries, allow_errors =
+    match allow_path with
+    | None -> ([], [])
+    | Some f ->
+      let entries, errs = Skulklint_core.Allow.parse_allow_file (Skulklint_core.Driver.read_file f) in
+      ( entries,
+        List.map
+          (fun (line, msg) ->
+            { Skulklint_core.Report.rule = "allow-file-syntax"; file = f; line; col = 0;
+              message = msg })
+          errs )
+  in
+  let result = Skulklint_core.Driver.lint_files ~allow_entries (List.rev !roots) in
+  let findings = Skulklint_core.Report.sort (allow_errors @ result.findings) in
+  (* With --json - the report owns stdout; human output moves to stderr
+     so the JSON stays machine-parseable. *)
+  let human = if !json_out = Some "-" then Format.err_formatter else Format.std_formatter in
+  List.iter
+    (fun f -> Format.fprintf human "%a@." Skulklint_core.Report.pp_human f)
+    findings;
+  let json =
+    Skulklint_core.Report.to_json ~files_scanned:result.files_scanned
+      ~suppressed:result.suppressed findings
+  in
+  (match !json_out with
+  | Some "-" -> print_string json
+  | Some f ->
+    let oc = open_out f in
+    output_string oc json;
+    close_out oc
+  | None -> ());
+  Format.fprintf human "skulklint: %d file(s), %d finding(s), %d suppressed by allowlist@."
+    result.files_scanned (List.length findings) result.suppressed;
+  if findings <> [] then exit 1

@@ -1,0 +1,87 @@
+(* Parse, lint, suppress, report. The pure entry point is
+   [lint_source] (used by the self-tests, which hand it corpus text
+   under a synthetic path); [lint_files] adds filesystem walking and
+   the allow file, and is what the CLI calls. *)
+
+type result = {
+  findings : Report.finding list;  (** surviving, sorted *)
+  suppressed : int;
+  files_scanned : int;
+}
+
+let parse_structure ~path source =
+  let lexbuf = Lexing.from_string source in
+  Location.init lexbuf path;
+  Location.input_name := path;
+  try Ok (Parse.implementation lexbuf)
+  with exn ->
+    let msg =
+      match Location.error_of_exn exn with
+      | Some (`Ok report) ->
+        Format.asprintf "%a" Location.print_report report
+      | Some `Already_displayed | None -> Printexc.to_string exn
+    in
+    Error msg
+
+(* Lint one compilation unit. [path] is the repo-relative path used for
+   path-scoped rules and reports; [allow_entries] come from lint.allow. *)
+let lint_source ?(allow_entries = []) ~path source =
+  let allows = Allow.scan_comments source in
+  let raw =
+    match parse_structure ~path source with
+    | Ok structure -> Rules.run ~path structure
+    | Error msg ->
+      [ { Report.rule = "parse-error"; file = path; line = 1; col = 0; message = msg } ]
+  in
+  let surviving, suppressed =
+    List.partition
+      (fun (f : Report.finding) ->
+        not
+          (Allow.comment_covers allows ~line:f.line ~rule:f.rule
+          || List.exists (fun e -> Allow.entry_covers e ~path ~rule:f.rule) allow_entries))
+      raw
+  in
+  let meta = Allow.comment_findings ~file:path allows in
+  (Report.sort (surviving @ meta), List.length suppressed)
+
+(* ---- filesystem walking ---- *)
+
+let is_ml path = Filename.check_suffix path ".ml"
+
+let rec collect_ml_files acc path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort String.compare
+    |> List.fold_left
+         (fun acc entry ->
+           if entry = "_build" || entry = ".git" then acc
+           else collect_ml_files acc (Filename.concat path entry))
+         acc
+  else if is_ml path then path :: acc
+  else acc
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* Normalise "./lib//x.ml" to "lib/x.ml" so path-scoped rules and
+   lint.allow entries match irrespective of how the CLI was invoked. *)
+let normalise path =
+  String.split_on_char '/' path
+  |> List.filter (fun seg -> seg <> "" && seg <> ".")
+  |> String.concat "/"
+
+let lint_files ?(allow_entries = []) roots =
+  let files =
+    List.fold_left collect_ml_files [] roots |> List.map normalise |> List.sort_uniq String.compare
+  in
+  let findings, suppressed =
+    List.fold_left
+      (fun (fs, n) path ->
+        let f, s = lint_source ~allow_entries ~path (read_file path) in
+        (f @ fs, n + s))
+      ([], 0) files
+  in
+  { findings = Report.sort findings; suppressed; files_scanned = List.length files }

@@ -1,0 +1,63 @@
+(* Findings and the two report formats (human text, JSON). *)
+
+type finding = {
+  rule : string;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+let compare_finding a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+    match Int.compare a.line b.line with
+    | 0 -> (
+      match Int.compare a.col b.col with
+      | 0 -> String.compare a.rule b.rule
+      | c -> c)
+    | c -> c)
+  | c -> c
+
+let sort findings = List.sort compare_finding findings
+
+let pp_human ppf f =
+  Format.fprintf ppf "%s:%d:%d: [%s] %s" f.file f.line f.col f.rule f.message
+
+(* Minimal JSON string escaping: the report contains only paths, rule
+   names and fixed message text, but escape defensively anyway. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let finding_to_json f =
+  Printf.sprintf
+    {|{"file":"%s","line":%d,"col":%d,"rule":"%s","message":"%s"}|}
+    (json_escape f.file) f.line f.col (json_escape f.rule) (json_escape f.message)
+
+let to_json ~files_scanned ~suppressed findings =
+  let body = String.concat ",\n    " (List.map finding_to_json (sort findings)) in
+  Printf.sprintf
+    {|{
+  "tool": "skulklint",
+  "files_scanned": %d,
+  "suppressed": %d,
+  "finding_count": %d,
+  "findings": [
+    %s
+  ]
+}
+|}
+    files_scanned suppressed (List.length findings) body

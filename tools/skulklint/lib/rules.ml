@@ -1,0 +1,419 @@
+(* The rule catalogue and the Ast_iterator pass that applies it.
+
+   Three families (see DESIGN.md "Static analysis"):
+
+   determinism —
+     random-global    stdlib [Random] is process-global, unseeded per
+                      trial; all randomness must come from [Sim.Rng].
+     wall-clock       [Sys.time]/[Unix.gettimeofday]-style reads leak
+                      the host clock into results; sim code uses
+                      [Sim.Engine.now]. Bench calibration code
+                      allowlists its uses with a reason.
+     hashtbl-order    [Hashtbl.iter]/[fold]/[to_seq] observe hash-bucket
+                      order. A fold is sanctioned when its result is
+                      piped straight into [List.sort]/[sort_uniq]/
+                      [stable_sort]; everything else is a finding.
+     poly-compare     bare polymorphic [compare] (and [Stdlib.compare]),
+                      plus [=]/[<>] against a float literal. Use the
+                      typed [Int.compare]/[String.compare]/[Float.compare].
+
+   domain-safety (approximate race detector for Sim.Parallel fan-out) —
+     toplevel-mutable module-level [ref]/[Hashtbl.create]/... in lib/ is
+                      shared across trial domains. [Atomic.make] is the
+                      sanctioned escape hatch and is exempt.
+     domain-spawn     raw [Domain.spawn]/[Thread.create] outside
+                      [Sim.Parallel]: all fan-out goes through the
+                      deterministic trial runner.
+
+   telemetry-discipline —
+     counter-name     counters are named [*_total]; gauges/histograms
+                      are not (Prometheus conventions, and the exporters
+                      sort by name).
+     counter-monotonic [Telemetry.add]/[addf] with a negative constant:
+                      counters only go up.
+     sink-discipline  [Telemetry.create] inside lib/ (sinks are created
+                      at entry points and threaded down; per-trial sinks
+                      use [create_like]) and [merge_into] outside the
+                      ordered merge in [Sim.Parallel].
+     span-pairing     [Telemetry.span] whose [~start] equals [~stop]
+                      (degenerate span) or whose [~start] is not bound
+                      anywhere in the enclosing top-level definition
+                      (begin/end split across functions). *)
+
+open Parsetree
+
+type rule = {
+  name : string;
+  family : string;
+  summary : string;
+  applies : string -> bool;
+}
+
+let everywhere _ = true
+let lib_only path = String.length path >= 4 && String.sub path 0 4 = "lib/"
+
+let catalogue =
+  [
+    { name = "random-global"; family = "determinism";
+      summary = "stdlib Random banned; use Sim.Rng"; applies = everywhere };
+    { name = "wall-clock"; family = "determinism";
+      summary = "host clock reads banned on sim paths; use Sim.Engine.now"; applies = everywhere };
+    { name = "hashtbl-order"; family = "determinism";
+      summary = "Hashtbl iteration order escapes unless sorted"; applies = everywhere };
+    { name = "poly-compare"; family = "determinism";
+      summary = "polymorphic compare / float equality banned"; applies = everywhere };
+    { name = "toplevel-mutable"; family = "domain-safety";
+      summary = "module-level mutable state in lib/ is shared across trial domains";
+      applies = lib_only };
+    { name = "domain-spawn"; family = "domain-safety";
+      summary = "raw Domain.spawn outside Sim.Parallel";
+      applies = (fun p -> p <> "lib/sim/parallel.ml") };
+    { name = "counter-name"; family = "telemetry";
+      summary = "counters end in _total; gauges/histograms do not"; applies = everywhere };
+    { name = "counter-monotonic"; family = "telemetry";
+      summary = "counters only increment"; applies = everywhere };
+    { name = "sink-discipline"; family = "telemetry";
+      summary = "sinks created at entry points; merged only by Sim.Parallel";
+      applies = everywhere };
+    { name = "span-pairing"; family = "telemetry";
+      summary = "span start/stop captured and paired per function"; applies = everywhere };
+  ]
+
+let find_rule name = List.find_opt (fun r -> String.equal r.name name) catalogue
+
+type ctx = {
+  path : string;
+  mutable findings : Report.finding list;
+  (* (line, col) of Hashtbl.fold idents whose result is piped into a sort *)
+  sanctioned : (int * int, unit) Hashtbl.t;
+  (* value names bound (let, fun param, match case) in the current
+     top-level structure item *)
+  mutable item_bound : (string, unit) Hashtbl.t;
+  (* the file defines its own top-level [compare]; unqualified uses are
+     that binding, not Stdlib's *)
+  mutable local_compare : bool;
+}
+
+let loc_pos (loc : Location.t) =
+  (loc.loc_start.Lexing.pos_lnum, loc.loc_start.Lexing.pos_cnum - loc.loc_start.Lexing.pos_bol)
+
+let emit ctx ~loc rule message =
+  match find_rule rule with
+  | Some r when r.applies ctx.path ->
+    let line, col = loc_pos loc in
+    ctx.findings <- { Report.rule; file = ctx.path; line; col; message } :: ctx.findings
+  | Some _ | None -> ()
+
+let rec flatten_longident = function
+  | Longident.Lident s -> [ s ]
+  | Longident.Ldot (l, s) -> flatten_longident l @ [ s ]
+  | Longident.Lapply (a, _) -> flatten_longident a
+
+(* Strip a leading Stdlib (so Stdlib.Random.int matches Random.int). *)
+let norm_ident l =
+  match flatten_longident l with "Stdlib" :: rest -> rest | parts -> parts
+
+let rec strip_constraint e =
+  match e.pexp_desc with
+  | Pexp_constraint (e, _) | Pexp_coerce (e, _, _) -> strip_constraint e
+  | _ -> e
+
+let head_ident e =
+  match (strip_constraint e).pexp_desc with
+  | Pexp_apply ({ pexp_desc = Pexp_ident id; _ }, _) -> Some (norm_ident id.txt, id.loc)
+  | Pexp_ident id -> Some (norm_ident id.txt, id.loc)
+  | _ -> None
+
+let is_sort_head = function
+  | [ "List"; ("sort" | "sort_uniq" | "stable_sort" | "fast_sort") ] -> true
+  | _ -> false
+
+let is_hashtbl_fold = function [ "Hashtbl"; "fold" ] -> true | _ -> false
+
+(* Telemetry API reference: Telemetry.f or Sim.Telemetry.f. *)
+let telemetry_fn = function
+  | [ "Telemetry"; f ] | [ "Sim"; "Telemetry"; f ] -> Some f
+  | _ -> None
+
+let is_float_literal e =
+  match (strip_constraint e).pexp_desc with
+  | Pexp_constant (Pconst_float _) -> true
+  | _ -> false
+
+let is_negative_constant e =
+  match (strip_constraint e).pexp_desc with
+  | Pexp_constant (Pconst_integer (s, _)) | Pexp_constant (Pconst_float (s, _)) ->
+    String.length s > 0 && s.[0] = '-'
+  | Pexp_apply
+      ( { pexp_desc = Pexp_ident { txt = Longident.Lident ("~-" | "~-." | "-" | "-."); _ }; _ },
+        [ (Asttypes.Nolabel, arg) ] ) -> (
+    match (strip_constraint arg).pexp_desc with Pexp_constant _ -> true | _ -> false)
+  | _ -> false
+
+let last_positional_string args =
+  List.fold_left
+    (fun acc (label, arg) ->
+      match (label, (strip_constraint arg).pexp_desc) with
+      | Asttypes.Nolabel, Pexp_constant (Pconst_string (s, _, _)) -> Some s
+      | _ -> acc)
+    None args
+
+let labelled_arg name args =
+  List.fold_left
+    (fun acc (label, arg) ->
+      match label with
+      | Asttypes.Labelled l when String.equal l name -> Some arg
+      | _ -> acc)
+    None args
+
+let ends_with ~suffix s =
+  let n = String.length s and m = String.length suffix in
+  n >= m && String.sub s (n - m) m = suffix
+
+(* ---- per-ident checks (fire on every Pexp_ident) ---- *)
+
+let check_ident ctx id (loc : Location.t) =
+  match norm_ident id with
+  | "Random" :: what :: _ ->
+    emit ctx ~loc "random-global"
+      (Printf.sprintf
+         "Random.%s is process-global and not seeded per trial; draw from Sim.Rng instead" what)
+  | [ "Sys"; "time" ] ->
+    emit ctx ~loc "wall-clock"
+      "Sys.time reads the host clock; use sim time (Sim.Engine.now), or allowlist with a reason \
+       if this really measures the simulator itself"
+  | [ "Unix"; ("gettimeofday" | "time" | "gmtime" | "localtime" as f) ] ->
+    emit ctx ~loc "wall-clock"
+      (Printf.sprintf "Unix.%s reads the host clock; use sim time (Sim.Engine.now)" f)
+  | [ "Hashtbl"; ("iter" | "fold" | "to_seq" | "to_seq_keys" | "to_seq_values" as f) ] ->
+    if not (Hashtbl.mem ctx.sanctioned (loc_pos loc)) then
+      emit ctx ~loc "hashtbl-order"
+        (Printf.sprintf
+           "Hashtbl.%s observes hash-bucket order; pipe a fold straight into List.sort (fold \
+            ... [] |> List.sort cmp) or iterate a sorted key list"
+           f)
+  | [ "compare" ] when not ctx.local_compare ->
+    emit ctx ~loc "poly-compare"
+      "polymorphic compare diverges on floats (nan) and mutable structure; use the typed \
+       Int.compare / String.compare / Float.compare"
+  | [ "Pervasives"; "compare" ] ->
+    emit ctx ~loc "poly-compare" "polymorphic compare; use a typed compare"
+  | [ "Domain"; ("spawn" as f) ] | [ "Thread"; ("create" as f) ] ->
+    emit ctx ~loc "domain-spawn"
+      (Printf.sprintf
+         "raw %s.%s: all fan-out goes through Sim.Parallel so trials stay deterministic and \
+          merge in order"
+         (match norm_ident id with m :: _ -> m | [] -> "") f)
+  | _ -> ()
+
+(* [Stdlib.compare] normalises to ["compare"], which the local_compare
+   carve-out above would wrongly excuse; catch the qualified form before
+   normalisation. Returns true when it emitted, so the caller skips the
+   normalised check and the ident isn't reported twice. *)
+let check_ident_raw ctx id loc =
+  match flatten_longident id with
+  | [ "Stdlib"; "compare" ] ->
+    emit ctx ~loc "poly-compare" "Stdlib.compare is polymorphic; use a typed compare";
+    true
+  | _ -> false
+
+(* ---- application-shape checks ---- *)
+
+let sanction_sorted_folds ctx e =
+  match e.pexp_desc with
+  (* fold ... |> List.sort cmp   (and longer |> chains ending in a sort) *)
+  | Pexp_apply
+      ( { pexp_desc = Pexp_ident { txt = Longident.Lident "|>"; _ }; _ },
+        [ (Asttypes.Nolabel, lhs); (Asttypes.Nolabel, rhs) ] ) -> (
+    match (head_ident rhs, head_ident lhs) with
+    | Some (rh, _), Some (lh, lloc) when is_sort_head rh && is_hashtbl_fold lh ->
+      Hashtbl.replace ctx.sanctioned (loc_pos lloc) ()
+    | _ -> ())
+  (* List.sort cmp (Hashtbl.fold f h init) *)
+  | Pexp_apply ({ pexp_desc = Pexp_ident id; _ }, args) when is_sort_head (norm_ident id.txt) ->
+    List.iter
+      (fun (_, arg) ->
+        match head_ident arg with
+        | Some (h, hloc) when is_hashtbl_fold h -> Hashtbl.replace ctx.sanctioned (loc_pos hloc) ()
+        | _ -> ())
+      args
+  | _ -> ()
+
+let check_apply ctx e =
+  match e.pexp_desc with
+  | Pexp_apply ({ pexp_desc = Pexp_ident id; _ }, args) -> (
+    let loc = e.pexp_loc in
+    (* float equality *)
+    (match (flatten_longident id.txt, args) with
+    | [ ("=" | "<>") ], [ (_, a); (_, b) ] when is_float_literal a || is_float_literal b ->
+      emit ctx ~loc:id.loc "poly-compare"
+        "polymorphic equality against a float literal; use Float.equal (or compare against an \
+         epsilon)"
+    | _ -> ());
+    match telemetry_fn (norm_ident id.txt) with
+    | Some ("counter" as kind) | Some ("gauge" as kind) | Some ("histogram" as kind) -> (
+      match last_positional_string args with
+      | Some name ->
+        if kind = "counter" && not (ends_with ~suffix:"_total" name) then
+          emit ctx ~loc "counter-name"
+            (Printf.sprintf
+               "counter %S should be named *_total (Prometheus convention; exporters sort by \
+                name)"
+               name)
+        else if kind <> "counter" && ends_with ~suffix:"_total" name then
+          emit ctx ~loc "counter-name"
+            (Printf.sprintf "%s %S must not use the counter suffix _total" kind name)
+      | None -> ())
+    | Some ("add" | "addf") ->
+      List.iter
+        (fun (label, arg) ->
+          if label = Asttypes.Nolabel && is_negative_constant arg then
+            emit ctx ~loc "counter-monotonic"
+              "counters are monotonic: never add a negative delta (Telemetry.add raises on it \
+               at runtime anyway)")
+        args
+    | Some "create" ->
+      if lib_only ctx.path then
+        emit ctx ~loc "sink-discipline"
+          "Telemetry.create inside lib/: sinks are created at entry points and threaded down; \
+           per-trial sinks come from create_like"
+    | Some "merge_into" ->
+      if ctx.path <> "lib/sim/parallel.ml" && ctx.path <> "lib/sim/telemetry.ml" then
+        emit ctx ~loc "sink-discipline"
+          "sink merging happens only in Sim.Parallel, in trial order, so exports stay \
+           byte-identical across --jobs"
+    | Some "span" -> (
+      let ident_of e =
+        match (strip_constraint e).pexp_desc with
+        | Pexp_ident { txt = Longident.Lident s; _ } -> Some s
+        | _ -> None
+      in
+      let start_ = Option.map ident_of (labelled_arg "start" args) |> Option.join in
+      let stop_ = Option.map ident_of (labelled_arg "stop" args) |> Option.join in
+      match (start_, stop_) with
+      | Some a, Some b when String.equal a b ->
+        emit ctx ~loc "span-pairing"
+          (Printf.sprintf "span records ~start:%s ~stop:%s — a zero-width span; capture the \
+                           start time before the work and the stop time after" a b)
+      | Some a, _ when not (Hashtbl.mem ctx.item_bound a) ->
+        emit ctx ~loc "span-pairing"
+          (Printf.sprintf
+             "span start %S is not bound in this definition: begin/end are split across \
+              functions; capture both sides of the interval in one place (or use with_span)"
+             a)
+      | _ -> ())
+    | Some _ | None -> ())
+  | _ -> ()
+
+(* ---- module-level mutable state ---- *)
+
+let mutable_allocator e =
+  match head_ident e with
+  | Some ([ "ref" ], _) -> Some "a ref cell"
+  | Some ([ "Hashtbl"; "create" ], _) -> Some "a Hashtbl"
+  | Some ([ "Queue"; "create" ], _) -> Some "a Queue"
+  | Some ([ "Stack"; "create" ], _) -> Some "a Stack"
+  | Some ([ "Buffer"; "create" ], _) -> Some "a Buffer"
+  | Some ([ "Array"; ("make" | "init" | "create_float") ], _) -> Some "an array"
+  | Some ([ "Bytes"; ("create" | "make") ], _) -> Some "a mutable Bytes"
+  | _ -> None
+
+let rec check_toplevel_mutable ctx structure =
+  List.iter
+    (fun item ->
+      match item.pstr_desc with
+      | Pstr_value (_, bindings) ->
+        List.iter
+          (fun vb ->
+            match mutable_allocator vb.pvb_expr with
+            | Some what ->
+              emit ctx ~loc:vb.pvb_loc "toplevel-mutable"
+                (Printf.sprintf
+                   "module-level binding allocates %s, shared by every Sim.Parallel trial \
+                    domain; move it into the per-trial state it belongs to, or use Atomic if \
+                    a cross-domain counter is really intended"
+                   what)
+            | None -> ())
+          bindings
+      | Pstr_module { pmb_expr = { pmod_desc = Pmod_structure s; _ }; _ } ->
+        check_toplevel_mutable ctx s
+      | Pstr_recmodule mbs ->
+        List.iter
+          (fun mb ->
+            match mb.pmb_expr.pmod_desc with
+            | Pmod_structure s -> check_toplevel_mutable ctx s
+            | _ -> ())
+          mbs
+      | _ -> ())
+    structure
+
+(* ---- driving the iterator ---- *)
+
+let collect_bound_names item =
+  let names = Hashtbl.create 32 in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      pat =
+        (fun self p ->
+          (match p.ppat_desc with
+          | Ppat_var { txt; _ } | Ppat_alias (_, { txt; _ }) -> Hashtbl.replace names txt ()
+          | _ -> ());
+          Ast_iterator.default_iterator.pat self p);
+    }
+  in
+  it.structure_item it item;
+  names
+
+(* Any value binding named [compare] (top level or in a submodule)
+   excuses unqualified [compare] uses in the file: they refer to the
+   local, typed definition, not Stdlib's. Deliberately coarse — a file
+   both defining and misusing compare is vanishingly unlikely. *)
+let defines_toplevel_compare structure =
+  let found = ref false in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      value_binding =
+        (fun self vb ->
+          (match vb.pvb_pat.ppat_desc with
+          | Ppat_var { txt = "compare"; _ } -> found := true
+          | _ -> ());
+          Ast_iterator.default_iterator.value_binding self vb);
+    }
+  in
+  it.structure it structure;
+  !found
+
+let run ~path structure =
+  let ctx =
+    {
+      path;
+      findings = [];
+      sanctioned = Hashtbl.create 16;
+      item_bound = Hashtbl.create 1;
+      local_compare = defines_toplevel_compare structure;
+    }
+  in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          sanction_sorted_folds ctx e;
+          check_apply ctx e;
+          (match e.pexp_desc with
+          | Pexp_ident id ->
+            if not (check_ident_raw ctx id.txt id.loc) then
+              check_ident ctx id.txt id.loc
+          | _ -> ());
+          Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  List.iter
+    (fun item ->
+      ctx.item_bound <- collect_bound_names item;
+      it.structure_item it item)
+    structure;
+  check_toplevel_mutable ctx structure;
+  ctx.findings

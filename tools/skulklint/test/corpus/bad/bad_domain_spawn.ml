@@ -1,0 +1,2 @@
+(* corpus: raw domain fan-out outside Sim.Parallel — one finding. *)
+let run f = Domain.spawn f

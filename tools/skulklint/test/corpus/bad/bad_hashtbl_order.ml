@@ -1,0 +1,8 @@
+(* corpus: hash-bucket iteration order escaping — three findings. *)
+let dump h = Hashtbl.iter (fun k _ -> print_endline k) h
+let listing h = Hashtbl.fold (fun k v acc -> (k, v) :: acc) h []
+
+let listing_sorted_too_late h =
+  let l = Hashtbl.fold (fun k v acc -> (k, v) :: acc) h [] in
+  (* the sort is not syntactically tied to the fold: still a finding *)
+  List.sort (fun (a, _) (b, _) -> String.compare a b) l

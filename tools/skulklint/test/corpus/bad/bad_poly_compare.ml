@@ -1,0 +1,4 @@
+(* corpus: polymorphic compare and float-literal equality — three findings. *)
+let sorted l = List.sort compare l
+let strictly_worse l = List.sort Stdlib.compare l
+let is_unit_cost x = x = 1.0

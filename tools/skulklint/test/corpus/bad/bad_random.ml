@@ -1,0 +1,3 @@
+(* corpus: stdlib Random in simulation code — two findings. *)
+let () = Random.self_init ()
+let roll () = Random.int 6

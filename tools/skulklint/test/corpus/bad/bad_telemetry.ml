@@ -1,0 +1,7 @@
+(* corpus: telemetry discipline — five findings (counter name, gauge
+   name, negative delta, sink creation in lib/, stray merge). *)
+let c telemetry = Sim.Telemetry.counter telemetry ~component:"x" "bytes"
+let g telemetry = Sim.Telemetry.gauge telemetry ~component:"x" "vms_total"
+let dec c = Sim.Telemetry.add c (-1)
+let fresh () = Sim.Telemetry.create ()
+let merge ~into child = Sim.Telemetry.merge_into ~into child

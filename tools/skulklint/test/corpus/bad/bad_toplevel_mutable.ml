@@ -1,0 +1,8 @@
+(* corpus: module-level mutable state (linted under a lib/ path) —
+   three findings, including one nested in a submodule. *)
+let cache : (string, int) Hashtbl.t = Hashtbl.create 16
+let hits = ref 0
+
+module Inner = struct
+  let scratch = Buffer.create 80
+end

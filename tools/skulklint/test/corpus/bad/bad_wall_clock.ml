@@ -1,0 +1,4 @@
+(* corpus: host-clock reads on a sim path — three findings. *)
+let t () = Sys.time ()
+let g () = Unix.gettimeofday ()
+let u () = Unix.time ()

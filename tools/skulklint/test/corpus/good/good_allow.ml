@@ -1,0 +1,7 @@
+(* corpus: a well-formed allow with a reason suppresses and is counted
+   used — zero findings. *)
+
+(* skulklint: allow wall-clock — calibration harness measures the simulator itself *)
+let calibrate () = Sys.time ()
+
+let also_inline () = Unix.gettimeofday () (* skulklint: allow wall-clock — same calibration *)

@@ -1,0 +1,14 @@
+(* corpus: clean determinism idioms — zero findings. *)
+let roll rng = Sim.Rng.int rng 6
+let now engine = Sim.Engine.now engine
+
+let listing h =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) h []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let listing_direct h =
+  List.sort (fun (a, _) (b, _) -> Int.compare a b) (Hashtbl.fold (fun k v acc -> (k, v) :: acc) h [])
+
+let by_pid = List.sort (fun a b -> Int.compare a b)
+let close a b = Float.abs (a -. b) < 1e-9
+let exact a = Float.equal a 0.

@@ -1,0 +1,10 @@
+(* corpus: domain-safe state shapes (linted under a lib/ path) — zero
+   findings. Atomic is the sanctioned cross-domain escape hatch;
+   allocation inside functions is per-instance state. *)
+let run_counter = Atomic.make 0
+let fresh_table () = Hashtbl.create 16
+let immutable_default = [ ("a", 1); ("b", 2) ]
+
+type t = { slots : (string, int) Hashtbl.t }
+
+let create () = { slots = fresh_table () }

@@ -1,0 +1,5 @@
+(* corpus: a file-local typed [compare] excuses unqualified uses —
+   zero findings. *)
+let compare = Int.compare
+let ( <= ) a b = compare a b <= 0
+let sorted l = List.sort compare l

@@ -1,0 +1,11 @@
+(* corpus: telemetry discipline followed — zero findings. *)
+let c telemetry = Sim.Telemetry.counter telemetry ~component:"x" "bytes_total"
+let g telemetry = Sim.Telemetry.gauge telemetry ~component:"x" "vms"
+let bump c = Sim.Telemetry.add c 4096
+
+let timed telemetry engine f =
+  let started = Sim.Engine.now engine in
+  let v = f () in
+  let stopped = Sim.Engine.now engine in
+  Sim.Telemetry.span telemetry ~component:"x" ~name:"work" ~start:started ~stop:stopped ();
+  v

@@ -1,0 +1,174 @@
+(* Self-tests for the lint pass: every rule fires on its known-bad
+   corpus snippet (with the expected count), stays silent on the
+   known-good corpus, and the two allowlist mechanisms behave. Corpus
+   files are real .ml files under corpus/ (parsed, never compiled);
+   path-scoped rules are exercised by linting them under synthetic
+   lib/-style paths. *)
+
+open Skulklint_core
+
+let read path = Driver.read_file path
+
+let lint ?allow_entries ~path file =
+  let findings, suppressed =
+    Driver.lint_source ?allow_entries ~path (read (Filename.concat "corpus" file))
+  in
+  (findings, suppressed)
+
+let rules_of findings = List.map (fun f -> f.Report.rule) findings
+
+let check_rules name expected (findings : Report.finding list) =
+  Alcotest.(check (list string)) name expected (rules_of findings)
+
+(* ---- bad corpus: each rule fires, with the expected multiplicity ---- *)
+
+let bad_tests =
+  [
+    Alcotest.test_case "random-global fires twice" `Quick (fun () ->
+        let f, _ = lint ~path:"lib/sim/bad_random.ml" "bad/bad_random.ml" in
+        check_rules "random" [ "random-global"; "random-global" ] f);
+    Alcotest.test_case "wall-clock fires three times" `Quick (fun () ->
+        let f, _ = lint ~path:"lib/sim/bad_wall_clock.ml" "bad/bad_wall_clock.ml" in
+        check_rules "wall clock" [ "wall-clock"; "wall-clock"; "wall-clock" ] f);
+    Alcotest.test_case "hashtbl-order: iter, bare fold, late sort" `Quick (fun () ->
+        let f, _ = lint ~path:"lib/vmm/bad_hashtbl_order.ml" "bad/bad_hashtbl_order.ml" in
+        check_rules "hashtbl" [ "hashtbl-order"; "hashtbl-order"; "hashtbl-order" ] f);
+    Alcotest.test_case "poly-compare: bare, Stdlib, float literal" `Quick (fun () ->
+        let f, _ = lint ~path:"lib/sim/bad_poly_compare.ml" "bad/bad_poly_compare.ml" in
+        check_rules "compare" [ "poly-compare"; "poly-compare"; "poly-compare" ] f);
+    Alcotest.test_case "toplevel-mutable fires in lib/, incl. submodules" `Quick (fun () ->
+        let f, _ = lint ~path:"lib/vmm/bad_toplevel_mutable.ml" "bad/bad_toplevel_mutable.ml" in
+        check_rules "toplevel"
+          [ "toplevel-mutable"; "toplevel-mutable"; "toplevel-mutable" ]
+          f);
+    Alcotest.test_case "toplevel-mutable is scoped to lib/" `Quick (fun () ->
+        let f, _ = lint ~path:"bench/bad_toplevel_mutable.ml" "bad/bad_toplevel_mutable.ml" in
+        check_rules "bench exempt" [] f);
+    Alcotest.test_case "domain-spawn fires outside Sim.Parallel" `Quick (fun () ->
+        let f, _ = lint ~path:"lib/workload/bad_domain_spawn.ml" "bad/bad_domain_spawn.ml" in
+        check_rules "spawn" [ "domain-spawn" ] f);
+    Alcotest.test_case "domain-spawn exempts lib/sim/parallel.ml" `Quick (fun () ->
+        let f, _ = lint ~path:"lib/sim/parallel.ml" "bad/bad_domain_spawn.ml" in
+        check_rules "parallel exempt" [] f);
+    Alcotest.test_case "telemetry discipline: five findings" `Quick (fun () ->
+        let f, _ = lint ~path:"lib/net/bad_telemetry.ml" "bad/bad_telemetry.ml" in
+        check_rules "telemetry"
+          [ "counter-name"; "counter-name"; "counter-monotonic"; "sink-discipline";
+            "sink-discipline" ]
+          f);
+    Alcotest.test_case "sink creation is allowed outside lib/" `Quick (fun () ->
+        let f, _ = lint ~path:"bench/bad_telemetry.ml" "bad/bad_telemetry.ml" in
+        check_rules "bench sinks ok"
+          [ "counter-name"; "counter-name"; "counter-monotonic"; "sink-discipline" ]
+          f);
+    Alcotest.test_case "span-pairing: zero-width and split" `Quick (fun () ->
+        let f, _ = lint ~path:"lib/net/bad_span.ml" "bad/bad_span.ml" in
+        check_rules "span" [ "span-pairing"; "span-pairing" ] f);
+    Alcotest.test_case "reasonless allow does not suppress; stale allow flagged" `Quick
+      (fun () ->
+        let f, _ = lint ~path:"lib/sim/bad_allow.ml" "bad/bad_allow.ml" in
+        check_rules "allow meta" [ "allow-syntax"; "wall-clock"; "allow-unused" ] f);
+    Alcotest.test_case "unparsable input is a parse-error finding" `Quick (fun () ->
+        let f, _ = Driver.lint_source ~path:"lib/sim/broken.ml" "let let = in" in
+        check_rules "parse error" [ "parse-error" ] f);
+  ]
+
+(* ---- good corpus: silence ---- *)
+
+let good_file name file =
+  Alcotest.test_case name `Quick (fun () ->
+      let f, _ = lint ~path:"lib/sim/good.ml" file in
+      check_rules name [] f)
+
+let good_tests =
+  [
+    good_file "sorted folds, Sim.Rng, typed compares" "good/good_determinism.ml";
+    good_file "local compare definition excuses bare uses" "good/good_local_compare.ml";
+    good_file "atomic + per-instance state in lib/" "good/good_domain_state.ml";
+    good_file "telemetry discipline followed" "good/good_telemetry.ml";
+    Alcotest.test_case "allow with reason suppresses cleanly" `Quick (fun () ->
+        let f, suppressed = lint ~path:"lib/sim/good_allow.ml" "good/good_allow.ml" in
+        check_rules "no findings" [] f;
+        Alcotest.(check int) "two suppressed" 2 suppressed);
+  ]
+
+(* ---- allow-file mechanism ---- *)
+
+let allow_file_tests =
+  [
+    Alcotest.test_case "entry suppresses by exact path" `Quick (fun () ->
+        let entries, errors =
+          Allow.parse_allow_file "lib/sim/x.ml wall-clock calibration reads the host clock\n"
+        in
+        Alcotest.(check int) "no parse errors" 0 (List.length errors);
+        let f, suppressed =
+          Driver.lint_source ~allow_entries:entries ~path:"lib/sim/x.ml" "let t () = Sys.time ()"
+        in
+        check_rules "suppressed" [] f;
+        Alcotest.(check int) "one suppressed" 1 suppressed);
+    Alcotest.test_case "trailing-slash entry covers the subtree" `Quick (fun () ->
+        let entries, _ = Allow.parse_allow_file "bench/ wall-clock bench measures wall time\n" in
+        let f, _ =
+          Driver.lint_source ~allow_entries:entries ~path:"bench/deep/x.ml"
+            "let t () = Sys.time ()"
+        in
+        check_rules "subtree suppressed" [] f;
+        let f2, _ =
+          Driver.lint_source ~allow_entries:entries ~path:"lib/sim/x.ml"
+            "let t () = Sys.time ()"
+        in
+        check_rules "other paths still fire" [ "wall-clock" ] f2);
+    Alcotest.test_case "entry without a reason is a syntax error" `Quick (fun () ->
+        let entries, errors = Allow.parse_allow_file "lib/sim/x.ml wall-clock\n" in
+        Alcotest.(check int) "no entry" 0 (List.length entries);
+        Alcotest.(check int) "one error" 1 (List.length errors));
+    Alcotest.test_case "comments and blanks are skipped" `Quick (fun () ->
+        let entries, errors = Allow.parse_allow_file "# header\n\n# another\n" in
+        Alcotest.(check int) "no entries" 0 (List.length entries);
+        Alcotest.(check int) "no errors" 0 (List.length errors));
+  ]
+
+(* ---- determinism of the linter itself ---- *)
+
+let meta_tests =
+  [
+    Alcotest.test_case "linting is deterministic" `Quick (fun () ->
+        let once () =
+          List.map
+            (fun file ->
+              let f, _ = lint ~path:("lib/sim/" ^ Filename.basename file) file in
+              List.map (fun x -> Format.asprintf "%a" Report.pp_human x) f)
+            [ "bad/bad_random.ml"; "bad/bad_telemetry.ml"; "good/good_determinism.ml" ]
+        in
+        Alcotest.(check (list (list string))) "two runs agree" (once ()) (once ()));
+    Alcotest.test_case "every catalogue rule is exercised by the bad corpus" `Quick (fun () ->
+        let fired =
+          List.concat_map
+            (fun (path, file) -> rules_of (fst (lint ~path file)))
+            [
+              ("lib/sim/a.ml", "bad/bad_random.ml");
+              ("lib/sim/b.ml", "bad/bad_wall_clock.ml");
+              ("lib/vmm/c.ml", "bad/bad_hashtbl_order.ml");
+              ("lib/sim/d.ml", "bad/bad_poly_compare.ml");
+              ("lib/vmm/e.ml", "bad/bad_toplevel_mutable.ml");
+              ("lib/workload/f.ml", "bad/bad_domain_spawn.ml");
+              ("lib/net/g.ml", "bad/bad_telemetry.ml");
+              ("lib/net/h.ml", "bad/bad_span.ml");
+            ]
+        in
+        List.iter
+          (fun (r : Rules.rule) ->
+            Alcotest.(check bool)
+              (Printf.sprintf "rule %s fires somewhere" r.name)
+              true (List.mem r.name fired))
+          Rules.catalogue);
+  ]
+
+let () =
+  Alcotest.run "skulklint"
+    [
+      ("bad-corpus", bad_tests);
+      ("good-corpus", good_tests);
+      ("allow-file", allow_file_tests);
+      ("meta", meta_tests);
+    ]
