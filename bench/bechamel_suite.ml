@@ -24,8 +24,8 @@ let test_fig2 =
 let test_fig3 =
   Test.make ~name:"fig3/flow-1MiB"
     (Staged.stage (fun () ->
-         let engine = Sim.Engine.create () in
-         ignore (Net.Flow.run engine ~link:Net.Link.lan_1gbe ~bytes:(1024 * 1024) ())))
+         let ctx = Sim.Ctx.create () in
+         ignore (Net.Flow.run ctx ~link:Net.Link.lan_1gbe ~bytes:(1024 * 1024) ())))
 
 (* Fig 4: one small end-to-end migration. *)
 let test_fig4 =
@@ -34,10 +34,10 @@ let test_fig4 =
          let config = { (Vmm.Qemu_config.default ~name:"guest0") with Vmm.Qemu_config.memory_mb = 8 } in
          let mp =
            Vmm.Layers.migration_pair ~ksm_config:Memory.Ksm.default_config ~config
-             ~nested_dest:false ()
+             ~nested_dest:false (Sim.Ctx.create ())
          in
          match
-           Migration.Precopy.migrate mp.Vmm.Layers.mp_engine ~source:mp.Vmm.Layers.mp_source
+           Migration.Precopy.migrate mp.Vmm.Layers.mp_ctx ~source:mp.Vmm.Layers.mp_source
              ~dest:mp.Vmm.Layers.mp_dest ()
          with
          | Ok _ -> ()
@@ -58,7 +58,7 @@ let test_lmbench =
 let test_fig56 =
   Test.make ~name:"fig5-6/write-probe-100-pages"
     (Staged.stage (fun () ->
-         let ft = Memory.Frame_table.create () in
+         let ft = Memory.Frame_table.create (Sim.Ctx.create ()) in
          let a = Memory.Address_space.create_root ft ~name:"a" ~pages:100 in
          let b = Memory.Address_space.create_root ft ~name:"b" ~pages:100 in
          for i = 0 to 99 do
@@ -76,9 +76,9 @@ let test_fig56 =
 let test_install =
   Test.make ~name:"install/ksm-wakeup-4096-pages"
     (Staged.stage (fun () ->
-         let engine = Sim.Engine.create () in
-         let ft = Memory.Frame_table.create () in
-         let ksm = Memory.Ksm.create ~config:Memory.Ksm.fast_config engine ft in
+         let ctx = Sim.Ctx.create () in
+         let ft = Memory.Frame_table.create ctx in
+         let ksm = Memory.Ksm.create ~config:Memory.Ksm.fast_config ctx ft in
          let s = Memory.Address_space.create_root ft ~name:"s" ~pages:4096 in
          Memory.Ksm.register ksm s;
          Memory.Ksm.scan_once ksm))
@@ -88,9 +88,9 @@ let test_install =
    abl-density's host sees. Setup is hoisted so the benchmark times only
    [scan_once] wakeups. *)
 let ksm_scan_world () =
-  let engine = Sim.Engine.create () in
-  let ft = Memory.Frame_table.create () in
-  let ksm = Memory.Ksm.create ~config:Memory.Ksm.fast_config engine ft in
+  let ctx = Sim.Ctx.create () in
+  let ft = Memory.Frame_table.create ctx in
+  let ksm = Memory.Ksm.create ~config:Memory.Ksm.fast_config ctx ft in
   for k = 0 to 63 do
     let s = Memory.Address_space.create_root ft ~name:(Printf.sprintf "s%d" k) ~pages:256 in
     for i = 0 to 255 do
@@ -132,8 +132,8 @@ let test_parallel_runner =
     (Staged.stage (fun () ->
          ignore
            (Sim.Parallel.map_seeds ~jobs:2 ~root_seed:1 ~trials:8 (fun ~seed ->
-                let engine = Sim.Engine.create ~seed () in
-                ignore (Net.Flow.run engine ~link:Net.Link.lan_1gbe ~bytes:65536 ())))))
+                let ctx = Sim.Ctx.create ~seed () in
+                ignore (Net.Flow.run ctx ~link:Net.Link.lan_1gbe ~bytes:65536 ())))))
 
 let tests =
   Test.make_grouped ~name:"cloudskulk"
@@ -236,3 +236,7 @@ let run () =
   in
   Bench_util.table ~header:[ "benchmark"; "estimate"; "r^2" ] ~rows:sorted;
   scan_report ()
+
+let spec =
+  Harness.Experiment.make ~id:"bechamel" ~doc:"Bechamel simulator micro-benchmarks"
+    (fun _ -> run ())

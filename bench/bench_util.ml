@@ -30,10 +30,11 @@ let table ~header ~rows =
   Printf.printf "%s\n" (String.make (String.length (render_row header)) '-');
   List.iter (fun row -> Printf.printf "%s\n" (render_row row)) rows
 
-(* Run [f seed] for [runs] seeds and accumulate the float it returns. *)
-let repeat ?(runs = 5) f =
+(* Run [f seed] for [runs] seeds starting at [root] and accumulate the
+   float it returns. *)
+let repeat ?(root = 1) ?(runs = 5) f =
   let stats = Sim.Stats.create () in
-  for seed = 1 to runs do
+  for seed = root to root + runs - 1 do
     Sim.Stats.add stats (f seed)
   done;
   Sim.Stats.summary stats
@@ -52,3 +53,46 @@ let fmt_rsd (s : Sim.Stats.summary) = Printf.sprintf "%.1f%%" (s.Sim.Stats.rsd *
 
 let paper_vs_measured ~paper ~measured =
   Printf.printf "  paper: %s | measured: %s\n" paper measured
+
+(* The per-level summary table Figs 2 and 3 share: one row per
+   execution level with mean/rsd/p95 and the paper's percentage-increase
+   label against the layer below. *)
+let level_table ~metric ~fmt summaries =
+  let rows =
+    List.mapi
+      (fun i (level, (s : Sim.Stats.summary)) ->
+        let label =
+          if i = 0 then "-"
+          else
+            let _, (prev : Sim.Stats.summary) = List.nth summaries (i - 1) in
+            pct_label prev.Sim.Stats.mean s.Sim.Stats.mean
+        in
+        [
+          Vmm.Level.to_string level;
+          fmt s.Sim.Stats.mean;
+          fmt_rsd s;
+          fmt s.Sim.Stats.p95;
+          label;
+        ])
+      summaries
+  in
+  table ~header:[ "level"; metric; "rsd"; "p95"; "vs layer below" ] ~rows
+
+(* Compact rendering of a per-page series (Figs 5-6). *)
+let sparkline values =
+  let glyphs = [| '_'; '.'; ':'; '-'; '='; '+'; '*'; '#' |] in
+  let mx = Array.fold_left Float.max 1e-9 values in
+  String.init (Array.length values) (fun i ->
+      let v = values.(i) /. mx in
+      glyphs.(min 7 (int_of_float (v *. 8.))))
+
+(* One detector measurement with its percentile summary and sparkline
+   over the first [spark_pages] probed pages. *)
+let measurement_line ~label ~(summary : Sim.Stats.summary) ~cow_fraction ~per_page_ns
+    ?(spark_pages = 60) () =
+  Printf.printf
+    "  %-3s mean %7.0f ns  stddev %6.0f ns  p50 %7.0f ns  p95 %7.0f ns  merged pages \
+     %3.0f%%  |%s|\n"
+    label summary.Sim.Stats.mean summary.Sim.Stats.stddev summary.Sim.Stats.p50
+    summary.Sim.Stats.p95 (cow_fraction *. 100.)
+    (sparkline (Array.sub per_page_ns 0 (min spark_pages (Array.length per_page_ns))))

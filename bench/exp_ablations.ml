@@ -3,7 +3,7 @@
 
 (* abl-ksm: how does ksmd's pacing trade off against how long the
    detector must wait before trusting merge state? *)
-let abl_ksm ?(seed = 5) () =
+let abl_ksm ctx =
   Bench_util.section "abl-ksm: detector wait vs ksmd scan rate";
   let configs =
     [
@@ -16,7 +16,7 @@ let abl_ksm ?(seed = 5) () =
   let rows =
     List.map
       (fun (name, config) ->
-        let sc = Cloudskulk.Scenarios.infected ~seed ~ksm_config:config () in
+        let sc = Cloudskulk.Scenarios.infected ~ksm_config:config ctx in
         match Cloudskulk.Dedup_detector.run sc.Cloudskulk.Scenarios.detector_env with
         | Ok o ->
           [
@@ -34,7 +34,7 @@ let abl_ksm ?(seed = 5) () =
      detector keys on merge state, not on absolute timing"
 
 (* abl-pages: the Section VI-D claim that one or a few pages suffice. *)
-let abl_pages ?(seed = 5) () =
+let abl_pages ctx =
   Bench_util.section "abl-pages: detector confidence vs probe size (Section VI-D)";
   let sizes = [ 1; 2; 4; 10; 25; 100 ] in
   let rows =
@@ -43,8 +43,8 @@ let abl_pages ?(seed = 5) () =
         let config =
           { Cloudskulk.Dedup_detector.default_config with Cloudskulk.Dedup_detector.file_pages }
         in
-        let clean = Cloudskulk.Scenarios.clean ~seed () in
-        let infected = Cloudskulk.Scenarios.infected ~seed () in
+        let clean = Cloudskulk.Scenarios.clean ctx in
+        let infected = Cloudskulk.Scenarios.infected ctx in
         let verdict sc =
           match Cloudskulk.Dedup_detector.run ~config sc.Cloudskulk.Scenarios.detector_env with
           | Ok o -> o
@@ -76,7 +76,7 @@ let abl_pages ?(seed = 5) () =
 
 (* abl-sync: price the Section VI-D evasion - the attacker mirroring the
    victim's page changes into L1 in real time. *)
-let abl_sync ?(seed = 5) ?(jobs = 1) () =
+let abl_sync ~jobs ctx =
   Bench_util.section "abl-sync: cost of the attacker synchronising L2 changes into L1";
   (* per-page sync cost at the attacker's L1: intercept the L2 write
      (one nested exit) plus one page copy *)
@@ -101,12 +101,12 @@ let abl_sync ?(seed = 5) ?(jobs = 1) () =
     ~header:[ "victim workload"; "dirty rate"; "sync cost"; "continuous attacker CPU" ]
     ~rows;
   (* and mechanically verify the evasion works when paid for, against the
-     unsynchronised baseline; the two scenarios are independent trials *)
+     unsynchronised baseline; the two scenarios are independent trials
+     replaying the same seed *)
   let verdicts =
-    Sim.Parallel.map ~jobs 2 (fun i ->
-        let sc =
-          Cloudskulk.Scenarios.infected ~seed ~attacker_syncs_changes:(i = 0) ()
-        in
+    Sim.Parallel.map_ctx ~jobs ~seed_of:(fun _ -> Sim.Ctx.seed ctx) ~ctx ~trials:2
+      (fun i cctx ->
+        let sc = Cloudskulk.Scenarios.infected ~attacker_syncs_changes:(i = 0) cctx in
         match Cloudskulk.Dedup_detector.run sc.Cloudskulk.Scenarios.detector_env with
         | Ok o ->
           Cloudskulk.Dedup_detector.verdict_to_string o.Cloudskulk.Dedup_detector.verdict
@@ -123,25 +123,25 @@ let abl_sync ?(seed = 5) ?(jobs = 1) () =
    saves across same-image tenants (paper refs [39], [40]). This is the
    root cause that makes both the detection and the covert channel
    possible. *)
-let abl_density ?(seed = 5) ?(jobs = 1) () =
+let abl_density ~jobs ctx =
   Bench_util.section "abl-density: KSM memory savings across same-image tenants";
   (* The old incremental loop grew one host tenant by tenant; here each
      tenant count is an independent trial that replays the same launch
      prefix on its own engine, so the rows match the incremental run
      exactly and the counts fan out across cores. *)
   let tenant_counts = 6 in
-  let trial n =
-    let engine = Sim.Engine.create ~seed () in
-    let uplink = Net.Fabric.Switch.create engine ~name:"uplink" ~link:Net.Link.lan_1gbe in
+  let trial cctx n =
+    let uplink = Net.Fabric.Switch.create cctx ~name:"uplink" ~link:Net.Link.lan_1gbe in
     let host =
-      Vmm.Hypervisor.create_l0 ~ksm_config:Memory.Ksm.fast_config engine ~name:"host" ~uplink
+      Vmm.Hypervisor.create_l0 ~ksm_config:Memory.Ksm.fast_config cctx ~name:"host" ~uplink
         ~addr:"192.168.1.100"
     in
+    let engine = Sim.Ctx.engine cctx in
     let ksm = Option.get (Vmm.Hypervisor.ksm host) in
     (* every tenant boots the same distro: model its resident footprint as
        a shared 64 MB image loaded into each guest *)
     let image =
-      Memory.File_image.generate (Sim.Engine.fork_rng engine) ~name:"fedora22-resident"
+      Memory.File_image.generate (Sim.Ctx.fork_rng cctx) ~name:"fedora22-resident"
         ~pages:(64 * 1024 * 1024 / Memory.Page.size_bytes)
     in
     for k = 1 to n do
@@ -169,7 +169,10 @@ let abl_density ?(seed = 5) ?(jobs = 1) () =
       Printf.sprintf "%d" (Memory.Ksm.pages_shared ksm);
     ]
   in
-  let rows = Sim.Parallel.map ~jobs tenant_counts (fun i -> trial (i + 1)) in
+  let rows =
+    Sim.Parallel.map_ctx ~jobs ~seed_of:(fun _ -> Sim.Ctx.seed ctx) ~ctx
+      ~trials:tenant_counts (fun i cctx -> trial cctx (i + 1))
+  in
   Bench_util.table
     ~header:[ "tenants"; "nominal RAM"; "RAM saved by KSM"; "stable-tree frames" ]
     ~rows;
@@ -180,17 +183,18 @@ let abl_density ?(seed = 5) ?(jobs = 1) () =
 (* abl-autoconverge: the attacker's stealth trade-off when the victim's
    workload dirties faster than the channel drains - QEMU's
    auto-converge finishes the migration by visibly braking the guest. *)
-let abl_autoconverge ?(seed = 5) () =
+let abl_autoconverge ctx =
   Bench_util.section
     "abl-autoconverge: forcing the kernel-compile migration to converge (stealth trade-off)";
   let run ~auto_converge ?(xbzrle = false) () =
-    let mp = Vmm.Layers.migration_pair ~seed ~nested_dest:true () in
-    let engine = mp.Vmm.Layers.mp_engine in
+    let mp = Vmm.Layers.migration_pair ~nested_dest:true ctx in
+    let cctx = mp.Vmm.Layers.mp_ctx in
+    let engine = Sim.Ctx.engine cctx in
     let source = mp.Vmm.Layers.mp_source in
     let wenv =
-      Workload.Exec_env.make ~vm:source ~engine ~level:(Vmm.Vm.level source)
+      Workload.Exec_env.make ~vm:source ~ctx:cctx ~level:(Vmm.Vm.level source)
         ~ram:(Vmm.Vm.ram source)
-        ~rng:(Sim.Engine.fork_rng engine)
+        ~rng:(Sim.Ctx.fork_rng cctx)
         ()
     in
     let handle = Workload.Background.start wenv (Workload.Kernel_compile.background ()) in
@@ -199,7 +203,7 @@ let abl_autoconverge ?(seed = 5) () =
       { Migration.Precopy.default_config with Migration.Precopy.auto_converge; xbzrle }
     in
     let result =
-      match Migration.Precopy.migrate ~config engine ~source ~dest:mp.Vmm.Layers.mp_dest () with
+      match Migration.Precopy.migrate ~config cctx ~source ~dest:mp.Vmm.Layers.mp_dest () with
       | Ok o -> Migration.Outcome.stats_exn o
       | Error e -> failwith e
     in
@@ -242,12 +246,12 @@ let abl_autoconverge ?(seed = 5) () =
 
 (* abl-postcopy: the paper claims the attack applies to both migration
    strategies; compare installation times. *)
-let abl_postcopy ?(seed = 5) () =
+let abl_postcopy ctx =
   Bench_util.section "abl-postcopy: installation time, pre-copy vs post-copy";
   let install strategy =
-    let engine = Sim.Engine.create ~seed () in
-    let uplink = Net.Fabric.Switch.create engine ~name:"uplink" ~link:Net.Link.lan_1gbe in
-    let host = Vmm.Hypervisor.create_l0 engine ~name:"host" ~uplink ~addr:"192.168.1.100" in
+    let cctx = Sim.Ctx.fork ctx in
+    let uplink = Net.Fabric.Switch.create cctx ~name:"uplink" ~link:Net.Link.lan_1gbe in
+    let host = Vmm.Hypervisor.create_l0 cctx ~name:"host" ~uplink ~addr:"192.168.1.100" in
     let registry = Migration.Registry.create () in
     let target_cfg =
       Vmm.Qemu_config.with_hostfwd (Vmm.Qemu_config.default ~name:"guest0") [ (2222, 22) ]
@@ -257,7 +261,7 @@ let abl_postcopy ?(seed = 5) () =
       { (Cloudskulk.Install.default_config ~target_name:"guest0") with
         Cloudskulk.Install.strategy }
     in
-    match Cloudskulk.Install.run ~config engine ~host ~registry ~target_name:"guest0" with
+    match Cloudskulk.Install.run ~config cctx ~host ~registry ~target_name:"guest0" with
     | Ok r -> r
     | Error e -> failwith e
   in
@@ -283,3 +287,20 @@ let abl_postcopy ?(seed = 5) () =
   Bench_util.note
     "CloudSkulk installs over either strategy (Section II-A); post-copy trades a shorter \
      freeze for a longer vulnerable background-pull window"
+
+let specs =
+  let open Harness.Experiment in
+  [
+    make ~id:"abl-ksm" ~doc:"Ablation: ksmd pacing vs detector wait" ~default_seed:5
+      (fun { ctx; _ } -> abl_ksm ctx);
+    make ~id:"abl-pages" ~doc:"Ablation: probe size" ~default_seed:5 (fun { ctx; _ } ->
+        abl_pages ctx);
+    make ~id:"abl-sync" ~doc:"Ablation: attacker sync evasion cost" ~default_seed:5
+      (fun { jobs; ctx; _ } -> abl_sync ~jobs ctx);
+    make ~id:"abl-postcopy" ~doc:"Ablation: pre-copy vs post-copy install" ~default_seed:5
+      (fun { ctx; _ } -> abl_postcopy ctx);
+    make ~id:"abl-density" ~doc:"Ablation: KSM savings across same-image tenants"
+      ~default_seed:5 (fun { jobs; ctx; _ } -> abl_density ~jobs ctx);
+    make ~id:"abl-autoconverge" ~doc:"Ablation: auto-converge stealth trade-off"
+      ~default_seed:5 (fun { ctx; _ } -> abl_autoconverge ctx);
+  ]

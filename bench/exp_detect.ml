@@ -10,14 +10,13 @@ let verdict_of scenario =
 (* Fault-profile variant: the same accuracy protocol with channel
    faults injected into the install's live migration. An install that
    aborts under the profile is reported, not counted as a verdict. *)
-let run_with_faults ~faults ~trials ~jobs ~telemetry =
+let run_with_faults ~trials ~jobs ~ctx =
   Bench_util.section
     (Printf.sprintf "Detection accuracy under channel faults (profile: %s)"
-       (Sim.Fault.profile_name faults));
+       (Sim.Fault.profile_name (Sim.Ctx.faults ctx)));
   let results =
-    Sim.Parallel.map_seeds_instrumented ~jobs ?telemetry ~root_seed:1 ~trials
-      (fun ~telemetry ~seed ->
-        match Cloudskulk.Scenarios.infected ~seed ?telemetry ~faults () with
+    Sim.Parallel.map_ctx ~jobs ~ctx ~trials (fun _ cctx ->
+        match Cloudskulk.Scenarios.infected cctx with
         | sc ->
           let outcome =
             match sc.Cloudskulk.Scenarios.install_report with
@@ -51,8 +50,8 @@ let run_with_faults ~faults ~trials ~jobs ~telemetry =
     "faults only stretch the install (or abort it); a landed rootkit is detected exactly \
      as in the fault-free runs - the detector keys on merge state, not timing"
 
-let run ?(trials = 5) ?(jobs = 1) ?(faults = Sim.Fault.none) ?telemetry () =
-  if not (Sim.Fault.is_none faults) then run_with_faults ~faults ~trials ~jobs ~telemetry
+let run { Harness.Experiment.trials; jobs; ctx } =
+  if not (Sim.Fault.is_none (Sim.Ctx.faults ctx)) then run_with_faults ~trials ~jobs ~ctx
   else begin
   Bench_util.section "Detection accuracy (Section VI-C): repeated trials";
   (* Each trial is self-contained (own engine, own seed) and returns its
@@ -61,10 +60,9 @@ let run ?(trials = 5) ?(jobs = 1) ?(faults = Sim.Fault.none) ?telemetry () =
      child sinks that are merged in trial order, so exports are
      byte-identical across [jobs] too. *)
   let verdicts =
-    Sim.Parallel.map_seeds_instrumented ~jobs ?telemetry ~root_seed:1 ~trials
-      (fun ~telemetry ~seed ->
-        let v_clean = verdict_of (Cloudskulk.Scenarios.clean ~seed ?telemetry ()) in
-        let v_inf = verdict_of (Cloudskulk.Scenarios.infected ~seed ?telemetry ()) in
+    Sim.Parallel.map_ctx ~jobs ~ctx ~trials (fun _ cctx ->
+        let v_clean = verdict_of (Cloudskulk.Scenarios.clean cctx) in
+        let v_inf = verdict_of (Cloudskulk.Scenarios.infected cctx) in
         (v_clean, v_inf))
   in
   let rows = ref [] in
@@ -87,14 +85,15 @@ let run ?(trials = 5) ?(jobs = 1) ?(faults = Sim.Fault.none) ?telemetry () =
   Printf.printf "\n  accuracy: %d / %d\n" !correct (2 * trials);
   (* baselines on one representative pair *)
   Bench_util.subsection "baseline detectors on the same scenarios";
-  let clean = Cloudskulk.Scenarios.clean ~seed:1 ?telemetry () in
-  let infected = Cloudskulk.Scenarios.infected ~seed:1 ?telemetry () in
+  let base = Sim.Ctx.with_seed ctx 1 in
+  let clean = Cloudskulk.Scenarios.clean base in
+  let infected = Cloudskulk.Scenarios.infected base in
   let infected_soft =
-    Cloudskulk.Scenarios.infected ~seed:1 ?telemetry
+    Cloudskulk.Scenarios.infected
       ~install_config:
         { (Cloudskulk.Install.default_config ~target_name:"guest0") with
           Cloudskulk.Install.use_vtx = false }
-      ()
+      base
   in
   let vmcs sc = (Cloudskulk.Vmcs_scan.scan_host sc.Cloudskulk.Scenarios.host).verdict in
   Bench_util.table
@@ -109,3 +108,7 @@ let run ?(trials = 5) ?(jobs = 1) ?(faults = Sim.Fault.none) ?telemetry () =
     ~paper:"dedup detection effective in both scenarios; VMCS scan fails without VT-x"
     ~measured:"as above: dedup catches the no-VT-x variant the VMCS scan misses"
   end
+
+let spec =
+  Harness.Experiment.make ~id:"detect" ~doc:"Section VI-C: detection accuracy (honours --faults)"
+    run

@@ -5,23 +5,23 @@
 let target_config () =
   Vmm.Qemu_config.with_hostfwd (Vmm.Qemu_config.default ~name:"guest0") [ (2222, 22) ]
 
-let mk_world ?(seed = 9) ?ksm_config () =
-  let engine = Sim.Engine.create ~seed () in
-  let uplink = Net.Fabric.Switch.create engine ~name:"uplink" ~link:Net.Link.lan_1gbe in
+let mk_world ?ksm_config ctx =
+  let ctx = Sim.Ctx.fork ctx in
+  let uplink = Net.Fabric.Switch.create ctx ~name:"uplink" ~link:Net.Link.lan_1gbe in
   let host =
-    Vmm.Hypervisor.create_l0 ?ksm_config engine ~name:"host" ~uplink ~addr:"192.168.1.100"
+    Vmm.Hypervisor.create_l0 ?ksm_config ctx ~name:"host" ~uplink ~addr:"192.168.1.100"
   in
-  (engine, host, Migration.Registry.create ())
+  (ctx, host, Migration.Registry.create ())
 
-let infected_victim ?seed () =
-  let engine, host, registry = mk_world ?seed () in
+let infected_victim ctx =
+  let ctx, host, registry = mk_world ctx in
   ignore (Result.get_ok (Vmm.Hypervisor.launch host (target_config ())));
-  match Cloudskulk.Install.run engine ~host ~registry ~target_name:"guest0" with
-  | Ok r -> (engine, host, r.Cloudskulk.Install.ritm)
+  match Cloudskulk.Install.run ctx ~host ~registry ~target_name:"guest0" with
+  | Ok r -> (ctx, host, r.Cloudskulk.Install.ritm)
   | Error e -> failwith e
 
 (* abl-l2: guest-side timing detection vs the attacker's clock tricks. *)
-let abl_l2 ?(seed = 9) () =
+let abl_l2 ctx =
   Bench_util.section "abl-l2: detection from inside the guest, and its manipulation (VI-A)";
   let open Cloudskulk.L2_timing_detector in
   let describe label vm =
@@ -35,12 +35,13 @@ let abl_l2 ?(seed = 9) () =
       Printf.sprintf "%.1fx" r.max_ratio_spread;
     ]
   in
-  let _, host_clean, _ = mk_world ~seed () in
+  let seed = Sim.Ctx.seed ctx in
+  let _, host_clean, _ = mk_world ctx in
   let honest = Result.get_ok (Vmm.Hypervisor.launch host_clean (target_config ())) in
-  let _, _, ritm1 = infected_victim ~seed () in
-  let _, _, ritm2 = infected_victim ~seed:(seed + 1) () in
+  let _, _, ritm1 = infected_victim ctx in
+  let _, _, ritm2 = infected_victim (Sim.Ctx.with_seed ctx (seed + 1)) in
   hide_reference_op ritm2.Cloudskulk.Ritm.victim;
-  let _, _, ritm3 = infected_victim ~seed:(seed + 2) () in
+  let _, _, ritm3 = infected_victim (Sim.Ctx.with_seed ctx (seed + 2)) in
   spoof_results ritm3.Cloudskulk.Ritm.victim;
   let rows =
     [
@@ -59,7 +60,7 @@ let abl_l2 ?(seed = 9) () =
     ~measured:"clock scaling beats the naive check; full spoofing beats both; L0 dedup unaffected"
 
 (* audit: the behavioral auditor across scenarios. *)
-let audit ?(seed = 9) () =
+let audit ctx =
   Bench_util.section "audit: host-side behavioral footprints of an installation";
   let open Cloudskulk.Install_auditor in
   let summarize host =
@@ -68,7 +69,7 @@ let audit ?(seed = 9) () =
     ( Printf.sprintf "%d/%d/%d" (count Info) (count Suspicious) (count Alarm),
       string_of_bool (is_alarming findings) )
   in
-  let _, host_clean, _ = mk_world ~seed () in
+  let _, host_clean, _ = mk_world ctx in
   ignore (Result.get_ok (Vmm.Hypervisor.launch host_clean (target_config ())));
   let clean_counts, clean_alarm = summarize host_clean in
   let busy_spawn host =
@@ -76,12 +77,12 @@ let audit ?(seed = 9) () =
       (Vmm.Process_table.spawn (Vmm.Hypervisor.processes host) ~name:"dnf"
          ~cmdline:"/usr/bin/dnf makecache")
   in
-  let engine, host_vtx, registry = mk_world ~seed () in
+  let cctx, host_vtx, registry = mk_world ctx in
   ignore (Result.get_ok (Vmm.Hypervisor.launch host_vtx (target_config ())));
   busy_spawn host_vtx;
-  ignore (Result.get_ok (Cloudskulk.Install.run engine ~host:host_vtx ~registry ~target_name:"guest0"));
+  ignore (Result.get_ok (Cloudskulk.Install.run cctx ~host:host_vtx ~registry ~target_name:"guest0"));
   let vtx_counts, vtx_alarm = summarize host_vtx in
-  let engine, host_soft, registry = mk_world ~seed () in
+  let cctx, host_soft, registry = mk_world ctx in
   ignore (Result.get_ok (Vmm.Hypervisor.launch host_soft (target_config ())));
   busy_spawn host_soft;
   let config =
@@ -90,7 +91,7 @@ let audit ?(seed = 9) () =
   in
   ignore
     (Result.get_ok
-       (Cloudskulk.Install.run ~config engine ~host:host_soft ~registry ~target_name:"guest0"));
+       (Cloudskulk.Install.run ~config cctx ~host:host_soft ~registry ~target_name:"guest0"));
   let soft_counts, soft_alarm = summarize host_soft in
   Bench_util.table
     ~header:[ "scenario"; "findings (info/susp/alarm)"; "alarming" ]
@@ -105,7 +106,7 @@ let audit ?(seed = 9) () =
      complement the dedup detector: cheap to sweep, harder to attribute"
 
 (* abl-covert: channel goodput vs ksmd pacing. *)
-let abl_covert ?(seed = 9) () =
+let abl_covert ctx =
   Bench_util.section "abl-covert: KSM covert channel bandwidth (the paper's ref [41])";
   let configs =
     [
@@ -118,7 +119,7 @@ let abl_covert ?(seed = 9) () =
   let rows =
     List.map
       (fun (name, ksm_config) ->
-        let _, host, _ = mk_world ~seed ~ksm_config () in
+        let _, host, _ = mk_world ~ksm_config ctx in
         let sender =
           Result.get_ok
             (Vmm.Hypervisor.launch host
@@ -149,3 +150,14 @@ let abl_covert ?(seed = 9) () =
   Bench_util.note
     "the channel rides the SAME merge+CoW mechanics the detector uses; its bandwidth is \
      gated by ksmd's full-pass time, exactly like the detector's wait"
+
+let specs =
+  let open Harness.Experiment in
+  [
+    make ~id:"abl-l2" ~doc:"Extension: guest-side timing detection arms race" ~default_seed:9
+      (fun { ctx; _ } -> abl_l2 ctx);
+    make ~id:"audit" ~doc:"Extension: host behavioral auditor" ~default_seed:9
+      (fun { ctx; _ } -> audit ctx);
+    make ~id:"abl-covert" ~doc:"Extension: KSM covert channel bandwidth" ~default_seed:9
+      (fun { ctx; _ } -> abl_covert ctx);
+  ]

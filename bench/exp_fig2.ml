@@ -3,41 +3,23 @@
    L0->L1 jump is the paper's ccache asymmetry (footnote 1), reproduced
    here by enabling the ccache model at L0 only. *)
 
-let compile_time ~level seed =
-  let env =
-    match Vmm.Level.to_int level with
-    | 0 -> Vmm.Layers.bare_metal ~seed ()
-    | 1 -> Vmm.Layers.single_guest ~seed ()
-    | _ -> Vmm.Layers.nested_guest ~seed ()
-  in
+let compile_time ~level ctx =
+  let env = Vmm.Layers.of_level ctx level in
   let wenv = Workload.Exec_env.of_layers env in
   Sim.Time.to_s (Workload.Kernel_compile.run wenv)
 
-let run ?(runs = 5) () =
+let run { Harness.Experiment.trials = runs; ctx; _ } =
   Bench_util.section "Fig 2: Linux kernel compile timing (5 runs per level)";
   let levels = [ Vmm.Level.l0; Vmm.Level.l1; Vmm.Level.l2 ] in
   let summaries =
-    List.map (fun level -> (level, Bench_util.repeat ~runs (compile_time ~level))) levels
+    List.map
+      (fun level ->
+        ( level,
+          Bench_util.repeat ~root:(Sim.Ctx.seed ctx) ~runs (fun seed ->
+              compile_time ~level (Sim.Ctx.with_seed ctx seed)) ))
+      levels
   in
-  let rows =
-    List.mapi
-      (fun i (level, (s : Sim.Stats.summary)) ->
-        let label =
-          if i = 0 then "-"
-          else
-            let _, (prev : Sim.Stats.summary) = List.nth summaries (i - 1) in
-            Bench_util.pct_label prev.Sim.Stats.mean s.Sim.Stats.mean
-        in
-        [
-          Vmm.Level.to_string level;
-          Bench_util.fmt_s s.Sim.Stats.mean;
-          Bench_util.fmt_rsd s;
-          Bench_util.fmt_s s.Sim.Stats.p95;
-          label;
-        ])
-      summaries
-  in
-  Bench_util.table ~header:[ "level"; "compile time"; "rsd"; "p95"; "vs layer below" ] ~rows;
+  Bench_util.level_table ~metric:"compile time" ~fmt:Bench_util.fmt_s summaries;
   Bench_util.paper_vs_measured
     ~paper:"+280% L0->L1 (ccache on L0 only), +25.7% L1->L2"
     ~measured:
@@ -46,3 +28,5 @@ let run ?(runs = 5) () =
          (Bench_util.pct_label (v 0) (v 1))
          (Bench_util.pct_label (v 1) (v 2)));
   Bench_util.note "log-scale bar chart in the paper; the table above carries the same series"
+
+let spec = Harness.Experiment.make ~id:"fig2" ~doc:"Fig 2: kernel compile timing L0/L1/L2" run

@@ -3,41 +3,25 @@
    same to within run-to-run noise (RSDs 1.11% / 10.32% / 3.96%), so the
    rootkit's extra layer is invisible to a network-bound user. *)
 
-let throughput ~level seed =
-  let env =
-    match Vmm.Level.to_int level with
-    | 0 -> Vmm.Layers.bare_metal ~seed ()
-    | 1 -> Vmm.Layers.single_guest ~seed ()
-    | _ -> Vmm.Layers.nested_guest ~seed ()
-  in
+let throughput ~level ctx =
+  let env = Vmm.Layers.of_level ctx level in
   let wenv = Workload.Exec_env.of_layers env in
   (Workload.Netperf.run wenv).Workload.Netperf.throughput_mbit_s
 
-let run ?(runs = 5) () =
+let run { Harness.Experiment.trials = runs; ctx; _ } =
   Bench_util.section "Fig 3: Netperf TCP_STREAM throughput (5 runs per level)";
   let levels = [ Vmm.Level.l0; Vmm.Level.l1; Vmm.Level.l2 ] in
   let summaries =
-    List.map (fun level -> (level, Bench_util.repeat ~runs (throughput ~level))) levels
+    List.map
+      (fun level ->
+        ( level,
+          Bench_util.repeat ~root:(Sim.Ctx.seed ctx) ~runs (fun seed ->
+              throughput ~level (Sim.Ctx.with_seed ctx seed)) ))
+      levels
   in
-  let rows =
-    List.mapi
-      (fun i (level, (s : Sim.Stats.summary)) ->
-        let label =
-          if i = 0 then "-"
-          else
-            let _, (prev : Sim.Stats.summary) = List.nth summaries (i - 1) in
-            Bench_util.pct_label prev.Sim.Stats.mean s.Sim.Stats.mean
-        in
-        [
-          Vmm.Level.to_string level;
-          Printf.sprintf "%.1f Mbit/s" s.Sim.Stats.mean;
-          Bench_util.fmt_rsd s;
-          Printf.sprintf "%.1f Mbit/s" s.Sim.Stats.p95;
-          label;
-        ])
-      summaries
-  in
-  Bench_util.table ~header:[ "level"; "throughput"; "rsd"; "p95"; "vs layer below" ] ~rows;
+  Bench_util.level_table ~metric:"throughput"
+    ~fmt:(fun v -> Printf.sprintf "%.1f Mbit/s" v)
+    summaries;
   let spread =
     let means = List.map (fun (_, (s : Sim.Stats.summary)) -> s.Sim.Stats.mean) summaries in
     let mx = List.fold_left Float.max 0. means and mn = List.fold_left Float.min 1e12 means in
@@ -46,3 +30,5 @@ let run ?(runs = 5) () =
   Bench_util.paper_vs_measured
     ~paper:"levels within noise (RSDs 1.11% / 10.32% / 3.96%); L2 read +8.95% vs L1"
     ~measured:(Printf.sprintf "max spread across levels %.1f%% (within noise)" spread)
+
+let spec = Harness.Experiment.make ~id:"fig3" ~doc:"Fig 3: Netperf throughput L0/L1/L2" run

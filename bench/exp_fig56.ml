@@ -3,21 +3,9 @@
    probed page; we print the summary statistics plus a compact rendering
    of the per-page series. *)
 
-let sparkline values =
-  let glyphs = [| '_'; '.'; ':'; '-'; '='; '+'; '*'; '#' |] in
-  let mx = Array.fold_left Float.max 1e-9 values in
-  String.init (Array.length values) (fun i ->
-      let v = values.(i) /. mx in
-      glyphs.(min 7 (int_of_float (v *. 8.))))
-
 let print_measurement (m : Cloudskulk.Dedup_detector.measurement) =
-  Printf.printf
-    "  %-3s mean %7.0f ns  stddev %6.0f ns  p50 %7.0f ns  p95 %7.0f ns  merged pages \
-     %3.0f%%  |%s|\n"
-    m.Cloudskulk.Dedup_detector.label m.summary.Sim.Stats.mean m.summary.Sim.Stats.stddev
-    m.summary.Sim.Stats.p50 m.summary.Sim.Stats.p95
-    (m.cow_fraction *. 100.)
-    (sparkline (Array.sub m.per_page_ns 0 (min 60 (Array.length m.per_page_ns))))
+  Bench_util.measurement_line ~label:m.Cloudskulk.Dedup_detector.label ~summary:m.summary
+    ~cow_fraction:m.cow_fraction ~per_page_ns:m.per_page_ns ()
 
 let run_scenario scenario_name scenario expected =
   Bench_util.subsection scenario_name;
@@ -38,18 +26,22 @@ let run_scenario scenario_name scenario expected =
            (o.t1.summary.Sim.Stats.mean /. o.t0.summary.Sim.Stats.mean)
            (o.t2.summary.Sim.Stats.mean /. o.t0.summary.Sim.Stats.mean))
 
-let fig5 ?(seed = 7) () =
+let fig5 ctx =
   Bench_util.section "Fig 5: t0, t1, t2 per page - no nested VM (scenario 1)";
   run_scenario "clean host, customer VM at L1"
-    (Cloudskulk.Scenarios.clean ~seed ())
+    (Cloudskulk.Scenarios.clean ctx)
     "t1 significantly larger than t2; t2 similar to t0"
 
-let fig6 ?(seed = 7) () =
+let fig6 ctx =
   Bench_util.section "Fig 6: t0, t1, t2 per page - with a nested VM (scenario 2)";
   run_scenario "CloudSkulk installed, customer at L2 behind the RITM"
-    (Cloudskulk.Scenarios.infected ~seed ())
+    (Cloudskulk.Scenarios.infected ctx)
     "no significant difference between t1 and t2; both far above t0"
 
-let run ?(seed = 7) () =
-  fig5 ~seed ();
-  fig6 ~seed ()
+let specs =
+  [
+    Harness.Experiment.make ~id:"fig5" ~doc:"Fig 5: t0/t1/t2, no nested VM" ~default_seed:7
+      (fun { Harness.Experiment.ctx; _ } -> fig5 ctx);
+    Harness.Experiment.make ~id:"fig6" ~doc:"Fig 6: t0/t1/t2, nested VM present"
+      ~default_seed:7 (fun { Harness.Experiment.ctx; _ } -> fig6 ctx);
+  ]

@@ -2,11 +2,11 @@
    victim - the paper's video demonstrates this taking under a minute,
    dominated by the single-host live migration. *)
 
-let run ?(seed = 3) () =
+let run ctx =
   Bench_util.section "Installation: the four-step attack on an idle victim (Section V-A)";
-  let engine = Sim.Engine.create ~seed () in
-  let uplink = Net.Fabric.Switch.create engine ~name:"uplink" ~link:Net.Link.lan_1gbe in
-  let host = Vmm.Hypervisor.create_l0 engine ~name:"host" ~uplink ~addr:"192.168.1.100" in
+  let ctx = Sim.Ctx.fork ctx in
+  let uplink = Net.Fabric.Switch.create ctx ~name:"uplink" ~link:Net.Link.lan_1gbe in
+  let host = Vmm.Hypervisor.create_l0 ctx ~name:"host" ~uplink ~addr:"192.168.1.100" in
   let registry = Migration.Registry.create () in
   let target_cfg =
     Vmm.Qemu_config.with_hostfwd (Vmm.Qemu_config.default ~name:"guest0") [ (2222, 22) ]
@@ -14,7 +14,7 @@ let run ?(seed = 3) () =
   (match Vmm.Hypervisor.launch host target_cfg with
   | Ok _ -> ()
   | Error e -> failwith e);
-  match Cloudskulk.Install.run engine ~host ~registry ~target_name:"guest0" with
+  match Cloudskulk.Install.run ctx ~host ~registry ~target_name:"guest0" with
   | Error e -> Printf.printf "  install failed: %s\n" e
   | Ok report ->
     let rows =
@@ -45,3 +45,7 @@ let run ?(seed = 3) () =
            (Sim.Time.to_s report.Cloudskulk.Install.total_time)
            (if Sim.Time.to_s report.Cloudskulk.Install.total_time < 60. then "under 1 minute"
             else "OVER 1 minute"))
+
+let spec =
+  Harness.Experiment.make ~id:"install" ~doc:"Section V-A: installation walkthrough"
+    ~default_seed:3 (fun { Harness.Experiment.ctx; _ } -> run ctx)

@@ -3,30 +3,25 @@
    operations on the simulated clock, with per-run noise, exactly the
    way lmbench reports averages. *)
 
-let env_of_level ~seed level =
-  let topo =
-    match Vmm.Level.to_int level with
-    | 0 -> Vmm.Layers.bare_metal ~seed ()
-    | 1 -> Vmm.Layers.single_guest ~seed ()
-    | _ -> Vmm.Layers.nested_guest ~seed ()
-  in
+let env_of_level ctx level =
+  let topo = Vmm.Layers.of_level ctx level in
   Workload.Exec_env.of_layers ~noise_rsd:0.01 topo
 
 let levels = [ Vmm.Level.l0; Vmm.Level.l1; Vmm.Level.l2 ]
 
-let measure_row ~seed op =
+let measure_row ctx op =
   List.map
     (fun level ->
-      let env = env_of_level ~seed level in
+      let env = env_of_level ctx level in
       Workload.Lmbench.measure ~iterations:1000 env op)
     levels
 
-let table2 ?(seed = 1) () =
+let table2 ctx =
   Bench_util.section "Table II: lmbench arithmetic operations (times in ns)";
   let rows =
     List.map
       (fun (name, op) ->
-        name :: List.map (fun ns -> Printf.sprintf "%.2f" ns) (measure_row ~seed op))
+        name :: List.map (fun ns -> Printf.sprintf "%.2f" ns) (measure_row ctx op))
       Workload.Lmbench.arithmetic
   in
   Bench_util.table ~header:[ "operation"; "L0"; "L1"; "L2" ] ~rows;
@@ -34,13 +29,13 @@ let table2 ?(seed = 1) () =
     ~paper:"virtualization has negligible effect on arithmetic (L2 within ~3%)"
     ~measured:"same shape: L0 = L1, L2 ~ +3% (cache/TLB derate)"
 
-let table3 ?(seed = 1) () =
+let table3 ctx =
   Bench_util.section "Table III: lmbench process operations (times in us)";
   let rows =
     List.map
       (fun (name, op) ->
         name
-        :: List.map (fun ns -> Printf.sprintf "%.2f" (ns /. 1000.)) (measure_row ~seed op))
+        :: List.map (fun ns -> Printf.sprintf "%.2f" (ns /. 1000.)) (measure_row ctx op))
       Workload.Lmbench.processes
   in
   Bench_util.table ~header:[ "operation"; "L0"; "L1"; "L2" ] ~rows;
@@ -48,15 +43,15 @@ let table3 ?(seed = 1) () =
     ~paper:"pipe 3.49/6.75/65.49 us; fork+exit 74.6/73.65/242.19 us (traps into L0 [38])"
     ~measured:"anchored: see rows above; nested exits dominate the L2 column"
 
-let table4 ?(seed = 1) () =
+let table4 ctx =
   Bench_util.section
     "Table IV: lmbench file system latency (creations/deletions per second)";
   let rate ns = Printf.sprintf "%.0f" (Workload.Lmbench.ops_per_second ~ns_per_op:ns) in
   let rows =
     List.concat_map
       (fun (row : Workload.Lmbench.fs_row) ->
-        let creates = measure_row ~seed row.Workload.Lmbench.create in
-        let deletes = measure_row ~seed row.Workload.Lmbench.delete in
+        let creates = measure_row ctx row.Workload.Lmbench.create in
+        let deletes = measure_row ctx row.Workload.Lmbench.delete in
         [
           (Printf.sprintf "create %dK" row.Workload.Lmbench.size_kb :: List.map rate creates);
           (Printf.sprintf "delete %dK" row.Workload.Lmbench.size_kb :: List.map rate deletes);
@@ -68,7 +63,12 @@ let table4 ?(seed = 1) () =
     ~paper:"L1/L2 track L0 except create-0K collapsing to 2,430/s at L2"
     ~measured:"same shape, including the create-0K collapse"
 
-let run ?(seed = 1) () =
-  table2 ~seed ();
-  table3 ~seed ();
-  table4 ~seed ()
+let specs =
+  [
+    Harness.Experiment.make ~id:"table2" ~doc:"Table II: lmbench arithmetic"
+      (fun { Harness.Experiment.ctx; _ } -> table2 ctx);
+    Harness.Experiment.make ~id:"table3" ~doc:"Table III: lmbench processes"
+      (fun { Harness.Experiment.ctx; _ } -> table3 ctx);
+    Harness.Experiment.make ~id:"table4" ~doc:"Table IV: lmbench file system"
+      (fun { Harness.Experiment.ctx; _ } -> table4 ctx);
+  ]

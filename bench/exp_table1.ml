@@ -13,3 +13,7 @@ let run () =
          (Cloudskulk.Cve_data.total Cloudskulk.Cve_data.Hyperv)
          (Cloudskulk.Cve_data.total Cloudskulk.Cve_data.Kvm_qemu)
          Cloudskulk.Cve_data.grand_total)
+
+let spec =
+  Harness.Experiment.make ~id:"table1" ~doc:"Table I: VM escape CVEs 2015-2020" (fun _ ->
+      run ())

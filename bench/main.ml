@@ -1,169 +1,22 @@
-(* Benchmark harness: regenerates every table and figure of the
-   CloudSkulk paper (plus the ablations in DESIGN.md) from the
-   simulator. Run with no arguments for everything, or [--only <id>]
-   for one experiment. *)
+(* Benchmark shell: every table, figure and ablation is an
+   {!Harness.Experiment.t} spec registered here in presentation order;
+   flag parsing, context construction and telemetry export all live in
+   {!Harness.Registry}. Run with no arguments for everything, or
+   [--only <id>] for one experiment. *)
 
-let experiments =
-  [
-    ( "table1",
-      "Table I: VM escape CVEs 2015-2020",
-      fun ~runs:_ ~jobs:_ ~faults:_ ~telemetry:_ -> Exp_table1.run () );
-    ( "fig2",
-      "Fig 2: kernel compile timing L0/L1/L2",
-      fun ~runs ~jobs:_ ~faults:_ ~telemetry:_ -> Exp_fig2.run ~runs () );
-    ( "fig3",
-      "Fig 3: Netperf throughput L0/L1/L2",
-      fun ~runs ~jobs:_ ~faults:_ ~telemetry:_ -> Exp_fig3.run ~runs () );
-    ( "fig4",
-      "Fig 4: live migration timing vs workload",
-      fun ~runs ~jobs ~faults:_ ~telemetry -> Exp_fig4.run ~runs ~jobs ?telemetry () );
-    ( "table2",
-      "Table II: lmbench arithmetic",
-      fun ~runs:_ ~jobs:_ ~faults:_ ~telemetry:_ -> Exp_lmbench.table2 () );
-    ( "table3",
-      "Table III: lmbench processes",
-      fun ~runs:_ ~jobs:_ ~faults:_ ~telemetry:_ -> Exp_lmbench.table3 () );
-    ( "table4",
-      "Table IV: lmbench file system",
-      fun ~runs:_ ~jobs:_ ~faults:_ ~telemetry:_ -> Exp_lmbench.table4 () );
-    ("fig5", "Fig 5: t0/t1/t2, no nested VM", fun ~runs:_ ~jobs:_ ~faults:_ ~telemetry:_ -> Exp_fig56.fig5 ());
-    ( "fig6",
-      "Fig 6: t0/t1/t2, nested VM present",
-      fun ~runs:_ ~jobs:_ ~faults:_ ~telemetry:_ -> Exp_fig56.fig6 () );
-    ( "install",
-      "Section V-A: installation walkthrough",
-      fun ~runs:_ ~jobs:_ ~faults:_ ~telemetry:_ -> Exp_install.run () );
-    ( "detect",
-      "Section VI-C: detection accuracy (honours --faults)",
-      fun ~runs ~jobs ~faults ~telemetry -> Exp_detect.run ~trials:runs ~jobs ~faults ?telemetry () );
-    ( "abl-ksm",
-      "Ablation: ksmd pacing vs detector wait",
-      fun ~runs:_ ~jobs:_ ~faults:_ ~telemetry:_ -> Exp_ablations.abl_ksm () );
-    ( "abl-pages",
-      "Ablation: probe size",
-      fun ~runs:_ ~jobs:_ ~faults:_ ~telemetry:_ -> Exp_ablations.abl_pages () );
-    ( "abl-sync",
-      "Ablation: attacker sync evasion cost",
-      fun ~runs:_ ~jobs ~faults:_ ~telemetry:_ -> Exp_ablations.abl_sync ~jobs () );
-    ( "abl-postcopy",
-      "Ablation: pre-copy vs post-copy install",
-      fun ~runs:_ ~jobs:_ ~faults:_ ~telemetry:_ -> Exp_ablations.abl_postcopy () );
-    ( "abl-density",
-      "Ablation: KSM savings across same-image tenants",
-      fun ~runs:_ ~jobs ~faults:_ ~telemetry:_ -> Exp_ablations.abl_density ~jobs () );
-    ( "abl-autoconverge",
-      "Ablation: auto-converge stealth trade-off",
-      fun ~runs:_ ~jobs:_ ~faults:_ ~telemetry:_ -> Exp_ablations.abl_autoconverge () );
-    ( "abl-l2",
-      "Extension: guest-side timing detection arms race",
-      fun ~runs:_ ~jobs:_ ~faults:_ ~telemetry:_ -> Exp_extensions.abl_l2 () );
-    ( "audit",
-      "Extension: host behavioral auditor",
-      fun ~runs:_ ~jobs:_ ~faults:_ ~telemetry:_ -> Exp_extensions.audit () );
-    ( "abl-covert",
-      "Extension: KSM covert channel bandwidth",
-      fun ~runs:_ ~jobs:_ ~faults:_ ~telemetry:_ -> Exp_extensions.abl_covert () );
-    ( "bechamel",
-      "Bechamel simulator micro-benchmarks",
-      fun ~runs:_ ~jobs:_ ~faults:_ ~telemetry:_ -> Bechamel_suite.run () );
-  ]
-
-let write_out path contents =
-  let oc = open_out path in
-  output_string oc contents;
-  close_out oc
-
-let run_experiments ~only ~runs ~jobs ~faults ~metrics_out ~trace_out ~list_only =
-  if list_only then begin
-    List.iter (fun (id, descr, _) -> Printf.printf "%-14s %s\n" id descr) experiments;
-    `Ok ()
-  end
-  else
-    match Sim.Fault.profile_of_string faults with
-    | Error e -> `Error (false, e)
-    | Ok faults -> (
-      let telemetry =
-        if metrics_out <> None || trace_out <> None then Some (Sim.Telemetry.create ())
-        else None
-      in
-      let export () =
-        match telemetry with
-        | None -> ()
-        | Some t ->
-          Option.iter (fun p -> write_out p (Sim.Telemetry.prometheus_string t)) metrics_out;
-          Option.iter (fun p -> write_out p (Sim.Telemetry.jsonl_string t)) trace_out
-      in
-      match only with
-      | Some id -> (
-        match List.find_opt (fun (eid, _, _) -> String.equal eid id) experiments with
-        | Some (_, _, f) ->
-          f ~runs ~jobs ~faults ~telemetry;
-          export ();
-          `Ok ()
-        | None ->
-          `Error
-            ( false,
-              Printf.sprintf "unknown experiment %S; use --list to see the available ids" id ))
-      | None ->
-        Printf.printf "CloudSkulk reproduction: regenerating every table and figure\n";
-        Printf.printf "(simulated substrate; see DESIGN.md for the calibration story)\n";
-        List.iter (fun (_, _, f) -> f ~runs ~jobs ~faults ~telemetry) experiments;
-        export ();
-        `Ok ())
-
-open Cmdliner
-
-let only =
-  let doc = "Run a single experiment (e.g. fig4, table2, abl-pages)." in
-  Arg.(value & opt (some string) None & info [ "only" ] ~docv:"ID" ~doc)
-
-let runs =
-  let doc = "Repetitions per data point (the paper uses 5)." in
-  Arg.(value & opt int 5 & info [ "runs" ] ~docv:"N" ~doc)
-
-let jobs =
-  let doc =
-    "Worker domains for experiments with independent trials (detect, fig4, abl-sync, \
-     abl-density). 1 = sequential; 0 = all available cores. Output is byte-identical \
-     whatever the value: trials are seeded independently and results are rendered in \
-     trial order."
-  in
-  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
-
-let faults =
-  let doc =
-    "Channel fault profile injected into migrations (experiments that honour it: detect). \
-     One of none, lossy, degraded, flaky. Fault schedules are seeded per trial, so output \
-     is still byte-identical across --jobs levels; 'none' reproduces the fault-free runs \
-     exactly."
-  in
-  Arg.(value & opt string "none" & info [ "faults" ] ~docv:"PROFILE" ~doc)
-
-let metrics_out =
-  let doc =
-    "Write Prometheus-style telemetry (counters, gauges, histograms from every simulated \
-     layer) to $(docv) when the run finishes. Off by default: without this flag (and \
-     --trace-out) no telemetry is collected and output is byte-identical to an \
-     uninstrumented build."
-  in
-  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
-
-let trace_out =
-  let doc = "Write the JSONL span trace (sim-time intervals with structured fields) to $(docv)." in
-  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
-
-let list_only =
-  let doc = "List experiment ids and exit." in
-  Arg.(value & flag & info [ "list" ] ~doc)
-
-let cmd =
-  let doc = "Regenerate the CloudSkulk paper's tables and figures" in
-  let info = Cmd.info "cloudskulk-bench" ~doc in
-  Cmd.v info
-    Term.(
-      ret
-        (const (fun only runs jobs faults metrics_out trace_out list_only ->
-             run_experiments ~only ~runs ~jobs ~faults ~metrics_out ~trace_out ~list_only)
-        $ only $ runs $ jobs $ faults $ metrics_out $ trace_out $ list_only))
-
-let () = exit (Cmd.eval cmd)
+let () =
+  List.iter Harness.Registry.register
+    ([ Exp_table1.spec; Exp_fig2.spec; Exp_fig3.spec; Exp_fig4.spec ]
+    @ Exp_lmbench.specs @ Exp_fig56.specs
+    @ [ Exp_install.spec; Exp_detect.spec ]
+    @ Exp_ablations.specs @ Exp_extensions.specs
+    @ [ Bechamel_suite.spec ]);
+  exit
+    (Harness.Registry.main ~name:"cloudskulk-bench"
+       ~doc:"Regenerate the CloudSkulk paper's tables and figures"
+       ~prologue:
+         [
+           "CloudSkulk reproduction: regenerating every table and figure";
+           "(simulated substrate; see DESIGN.md for the calibration story)";
+         ]
+       ())

@@ -3,19 +3,25 @@
      dune exec bin/cloudskulk_cli.exe -- attack
      dune exec bin/cloudskulk_cli.exe -- detect --infected
      dune exec bin/cloudskulk_cli.exe -- monitor --cmd "info qtree"
-     dune exec bin/cloudskulk_cli.exe -- trace --infected *)
+     dune exec bin/cloudskulk_cli.exe -- trace --infected
+
+   Flag definitions come from {!Harness.Flags}, the same surface the
+   bench registry exposes; each subcommand builds one root
+   {!Sim.Ctx.t} and hands it to the library. *)
 
 open Cmdliner
 
-let seed_arg =
-  let doc = "Seed for the deterministic simulation." in
-  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+let seed_arg = Harness.Flags.seed_default 42
+
+(* a root context for one CLI scenario run *)
+let make_ctx ?telemetry ?(faults = Sim.Fault.none) seed =
+  Sim.Ctx.create ~seed ?telemetry ~faults ()
 
 (* attack: run the install and print the report *)
 let attack seed =
-  let engine = Sim.Engine.create ~seed () in
-  let uplink = Net.Fabric.Switch.create engine ~name:"uplink" ~link:Net.Link.lan_1gbe in
-  let host = Vmm.Hypervisor.create_l0 engine ~name:"host" ~uplink ~addr:"192.168.1.100" in
+  let ctx = make_ctx seed in
+  let uplink = Net.Fabric.Switch.create ctx ~name:"uplink" ~link:Net.Link.lan_1gbe in
+  let host = Vmm.Hypervisor.create_l0 ctx ~name:"host" ~uplink ~addr:"192.168.1.100" in
   let registry = Migration.Registry.create () in
   let config =
     Vmm.Qemu_config.with_hostfwd (Vmm.Qemu_config.default ~name:"guest0") [ (2222, 22) ]
@@ -23,7 +29,7 @@ let attack seed =
   (match Vmm.Hypervisor.launch host config with
   | Ok _ -> ()
   | Error e -> failwith e);
-  match Cloudskulk.Install.run engine ~host ~registry ~target_name:"guest0" with
+  match Cloudskulk.Install.run ctx ~host ~registry ~target_name:"guest0" with
   | Ok report ->
     Format.printf "%a" Cloudskulk.Install.pp_report report;
     0
@@ -31,62 +37,55 @@ let attack seed =
     Printf.eprintf "install failed: %s\n" e;
     1
 
-(* write a telemetry export to [path] ("-" for stdout) *)
-let write_out path contents =
-  match path with
-  | "-" -> print_string contents
-  | path ->
-    let oc = open_out path in
-    output_string oc contents;
-    close_out oc
-
 (* detect: run the detector against a clean or infected scenario *)
-let detect seed infected syncs metrics_out trace_out =
-  let telemetry =
-    if metrics_out <> None || trace_out <> None then Some (Sim.Telemetry.create ())
-    else None
-  in
-  let scenario =
-    if infected then
-      Cloudskulk.Scenarios.infected ~seed ?telemetry ~attacker_syncs_changes:syncs ()
-    else Cloudskulk.Scenarios.clean ~seed ?telemetry ()
-  in
-  let export () =
-    match telemetry with
-    | None -> ()
-    | Some t ->
-      Option.iter (fun p -> write_out p (Sim.Telemetry.prometheus_string t)) metrics_out;
-      Option.iter (fun p -> write_out p (Sim.Telemetry.jsonl_string t)) trace_out
-  in
-  Printf.printf "scenario: %s\n" scenario.Cloudskulk.Scenarios.description;
-  match Cloudskulk.Dedup_detector.run scenario.Cloudskulk.Scenarios.detector_env with
-  | Ok o ->
-    export ();
-    let line (m : Cloudskulk.Dedup_detector.measurement) =
-      Printf.printf "%-3s mean %8.0f ns  stddev %7.0f ns  merged %3.0f%%\n"
-        m.Cloudskulk.Dedup_detector.label m.summary.Sim.Stats.mean m.summary.Sim.Stats.stddev
-        (m.cow_fraction *. 100.)
-    in
-    line o.Cloudskulk.Dedup_detector.t0;
-    line o.t1;
-    line o.t2;
-    Printf.printf "verdict: %s\n"
-      (Cloudskulk.Dedup_detector.verdict_to_string o.Cloudskulk.Dedup_detector.verdict);
-    if infected && o.Cloudskulk.Dedup_detector.verdict = Cloudskulk.Dedup_detector.Nested_vm_detected
-       || (not infected)
-          && o.Cloudskulk.Dedup_detector.verdict = Cloudskulk.Dedup_detector.No_nested_vm
-    then 0
-    else 2
+let detect seed infected syncs faults metrics_out trace_out =
+  match Sim.Fault.profile_of_string faults with
   | Error e ->
-    export ();
-    Printf.eprintf "detector failed: %s\n" e;
+    Printf.eprintf "%s\n" e;
     1
+  | Ok faults -> (
+    let telemetry = Harness.Flags.sink ~metrics_out ~trace_out in
+    let ctx = make_ctx ?telemetry ~faults seed in
+    let export () = Harness.Flags.export ~metrics_out ~trace_out telemetry in
+    match
+      if infected then Cloudskulk.Scenarios.infected ~attacker_syncs_changes:syncs ctx
+      else Cloudskulk.Scenarios.clean ctx
+    with
+    | exception Invalid_argument e ->
+      export ();
+      Printf.eprintf "scenario failed: %s\n" e;
+      1
+    | scenario -> (
+      Printf.printf "scenario: %s\n" scenario.Cloudskulk.Scenarios.description;
+      match Cloudskulk.Dedup_detector.run scenario.Cloudskulk.Scenarios.detector_env with
+      | Ok o ->
+        export ();
+        let line (m : Cloudskulk.Dedup_detector.measurement) =
+          Printf.printf "%-3s mean %8.0f ns  stddev %7.0f ns  merged %3.0f%%\n"
+            m.Cloudskulk.Dedup_detector.label m.summary.Sim.Stats.mean
+            m.summary.Sim.Stats.stddev
+            (m.cow_fraction *. 100.)
+        in
+        line o.Cloudskulk.Dedup_detector.t0;
+        line o.t1;
+        line o.t2;
+        Printf.printf "verdict: %s\n"
+          (Cloudskulk.Dedup_detector.verdict_to_string o.Cloudskulk.Dedup_detector.verdict);
+        if infected && o.Cloudskulk.Dedup_detector.verdict = Cloudskulk.Dedup_detector.Nested_vm_detected
+           || (not infected)
+              && o.Cloudskulk.Dedup_detector.verdict = Cloudskulk.Dedup_detector.No_nested_vm
+        then 0
+        else 2
+      | Error e ->
+        export ();
+        Printf.eprintf "detector failed: %s\n" e;
+        1))
 
 (* monitor: run a QEMU monitor command against a fresh guest *)
 let monitor seed cmd =
-  let engine = Sim.Engine.create ~seed () in
-  let uplink = Net.Fabric.Switch.create engine ~name:"uplink" ~link:Net.Link.lan_1gbe in
-  let host = Vmm.Hypervisor.create_l0 engine ~name:"host" ~uplink ~addr:"192.168.1.100" in
+  let ctx = make_ctx seed in
+  let uplink = Net.Fabric.Switch.create ctx ~name:"uplink" ~link:Net.Link.lan_1gbe in
+  let host = Vmm.Hypervisor.create_l0 ctx ~name:"host" ~uplink ~addr:"192.168.1.100" in
   match Vmm.Hypervisor.launch host (Vmm.Qemu_config.default ~name:"guest0") with
   | Error e ->
     Printf.eprintf "%s\n" e;
@@ -104,9 +103,9 @@ let monitor seed cmd =
 
 (* audit: behavioral sweep of a clean or infected host *)
 let audit_host seed infected =
+  let ctx = make_ctx seed in
   let scenario =
-    if infected then Cloudskulk.Scenarios.infected ~seed ()
-    else Cloudskulk.Scenarios.clean ~seed ()
+    if infected then Cloudskulk.Scenarios.infected ctx else Cloudskulk.Scenarios.clean ctx
   in
   Printf.printf "scenario: %s\n" scenario.Cloudskulk.Scenarios.description;
   let findings = Cloudskulk.Install_auditor.audit scenario.Cloudskulk.Scenarios.host in
@@ -123,12 +122,13 @@ let audit_host seed infected =
 
 (* trace: run a scenario and dump its trace *)
 let dump_trace seed infected =
+  let ctx = make_ctx seed in
   let scenario =
-    if infected then Cloudskulk.Scenarios.infected ~seed () else Cloudskulk.Scenarios.clean ~seed ()
+    if infected then Cloudskulk.Scenarios.infected ctx else Cloudskulk.Scenarios.clean ctx
   in
   List.iter
     (fun r -> Format.printf "%a@." Sim.Trace.pp_record r)
-    (Sim.Trace.records scenario.Cloudskulk.Scenarios.trace);
+    (Sim.Trace.records (Sim.Ctx.trace scenario.Cloudskulk.Scenarios.ctx));
   0
 
 let attack_cmd =
@@ -145,22 +145,10 @@ let detect_cmd =
       value & flag
       & info [ "attacker-syncs" ] ~doc:"Model the attacker synchronising page changes.")
   in
-  let metrics_out =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "metrics-out" ] ~docv:"FILE"
-          ~doc:"Write Prometheus-style metrics to $(docv) (\"-\" for stdout).")
-  in
-  let trace_out =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "trace-out" ] ~docv:"FILE"
-          ~doc:"Write the JSONL span trace to $(docv) (\"-\" for stdout).")
-  in
   Cmd.v (Cmd.info "detect" ~doc)
-    Term.(const detect $ seed_arg $ infected $ syncs $ metrics_out $ trace_out)
+    Term.(
+      const detect $ seed_arg $ infected $ syncs $ Harness.Flags.faults
+      $ Harness.Flags.metrics_out $ Harness.Flags.trace_out)
 
 let monitor_cmd =
   let doc = "Execute a QEMU monitor command against a fresh guest" in

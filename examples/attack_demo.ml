@@ -7,9 +7,10 @@
 let banner title = Printf.printf "\n=== %s ===\n" title
 
 let () =
-  let engine = Sim.Engine.create ~seed:11 () in
-  let uplink = Net.Fabric.Switch.create engine ~name:"internet" ~link:Net.Link.lan_1gbe in
-  let host = Vmm.Hypervisor.create_l0 engine ~name:"cloud-host" ~uplink ~addr:"192.168.1.100" in
+  let ctx = Sim.Ctx.create ~seed:11 () in
+  let engine = Sim.Ctx.engine ctx in
+  let uplink = Net.Fabric.Switch.create ctx ~name:"internet" ~link:Net.Link.lan_1gbe in
+  let host = Vmm.Hypervisor.create_l0 ctx ~name:"cloud-host" ~uplink ~addr:"192.168.1.100" in
   let registry = Migration.Registry.create () in
 
   banner "a customer rents a VM and works in it";
@@ -21,8 +22,8 @@ let () =
     (Vmm.Vm.qemu_pid guest0);
   (* the customer's workload: an I/O-heavy file server *)
   let wenv =
-    Workload.Exec_env.make ~vm:guest0 ~engine ~level:(Vmm.Vm.level guest0)
-      ~ram:(Vmm.Vm.ram guest0) ~rng:(Sim.Engine.fork_rng engine) ()
+    Workload.Exec_env.make ~vm:guest0 ~ctx ~level:(Vmm.Vm.level guest0)
+      ~ram:(Vmm.Vm.ram guest0) ~rng:(Sim.Ctx.fork_rng ctx) ()
   in
   let workload = Workload.Background.start wenv (Workload.Filebench.background ()) in
   ignore (Sim.Engine.run_for engine (Sim.Time.s 5.));
@@ -36,7 +37,7 @@ let () =
 
   banner "four steps: GuestX, nested hypervisor, destination, live migration";
   let report =
-    match Cloudskulk.Install.run engine ~host ~registry ~target_name:"guest0" with
+    match Cloudskulk.Install.run ctx ~host ~registry ~target_name:"guest0" with
     | Ok r -> r
     | Error e -> failwith e
   in

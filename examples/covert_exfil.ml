@@ -6,12 +6,12 @@
    Run with: dune exec examples/covert_exfil.exe *)
 
 let () =
-  let engine = Sim.Engine.create ~seed:41 () in
-  let uplink = Net.Fabric.Switch.create engine ~name:"uplink" ~link:Net.Link.lan_1gbe in
+  let ctx = Sim.Ctx.create ~seed:41 () in
+  let uplink = Net.Fabric.Switch.create ctx ~name:"uplink" ~link:Net.Link.lan_1gbe in
   (* an aggressive ksmd makes the channel fast; the default Linux pacing
      still works, just ~1 bit/s (see `bench --only abl-covert`) *)
   let host =
-    Vmm.Hypervisor.create_l0 ~ksm_config:Memory.Ksm.fast_config engine ~name:"host" ~uplink
+    Vmm.Hypervisor.create_l0 ~ksm_config:Memory.Ksm.fast_config ctx ~name:"host" ~uplink
       ~addr:"192.168.1.100"
   in
   let tenant name port =

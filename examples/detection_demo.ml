@@ -26,22 +26,23 @@ let run_on label scenario =
   | Error e -> Printf.printf "  detector error: %s\n" e
 
 let () =
-  run_on "scenario 1: a clean host" (Cloudskulk.Scenarios.clean ~seed:21 ());
-  run_on "scenario 2: CloudSkulk is installed" (Cloudskulk.Scenarios.infected ~seed:21 ());
+  run_on "scenario 1: a clean host" (Cloudskulk.Scenarios.clean (Sim.Ctx.create ~seed:21 ()));
+  run_on "scenario 2: CloudSkulk is installed"
+    (Cloudskulk.Scenarios.infected (Sim.Ctx.create ~seed:21 ()));
 
   banner "why not just scan for VMCS structures? (Section VI-E)";
-  let hw = Cloudskulk.Scenarios.infected ~seed:22 () in
+  let hw = Cloudskulk.Scenarios.infected (Sim.Ctx.create ~seed:22 ()) in
   let hw_scan = Cloudskulk.Vmcs_scan.scan_host hw.Cloudskulk.Scenarios.host in
   Printf.printf "VT-x rootkit:    VMCS scan over %d pages -> found %d signature(s): %s\n"
     hw_scan.Cloudskulk.Vmcs_scan.pages_scanned
     (List.length hw_scan.Cloudskulk.Vmcs_scan.hits)
     (if hw_scan.Cloudskulk.Vmcs_scan.verdict then "detected" else "missed");
   let soft =
-    Cloudskulk.Scenarios.infected ~seed:22
+    Cloudskulk.Scenarios.infected
       ~install_config:
         { (Cloudskulk.Install.default_config ~target_name:"guest0") with
           Cloudskulk.Install.use_vtx = false }
-      ()
+      (Sim.Ctx.create ~seed:22 ())
   in
   let soft_scan = Cloudskulk.Vmcs_scan.scan_host soft.Cloudskulk.Scenarios.host in
   Printf.printf "software rootkit: VMCS scan -> found %d signature(s): %s\n"
@@ -54,7 +55,7 @@ let () =
   | Error e -> Printf.printf "error: %s\n" e);
 
   banner "why not VMI fingerprinting?";
-  let sc = Cloudskulk.Scenarios.infected ~seed:23 () in
+  let sc = Cloudskulk.Scenarios.infected (Sim.Ctx.create ~seed:23 ()) in
   (match sc.Cloudskulk.Scenarios.ritm with
   | Some ritm ->
     let victim = ritm.Cloudskulk.Ritm.victim in

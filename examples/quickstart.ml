@@ -6,14 +6,16 @@
    Run with: dune exec examples/quickstart.exe *)
 
 let () =
-  (* Every experiment owns one discrete-event engine: all time below is
-     simulated virtual time, deterministic per seed. *)
-  let engine = Sim.Engine.create ~seed:1 () in
+  (* Every experiment owns one context: an engine (all time below is
+     simulated virtual time, deterministic per seed), a trace, and an
+     optional telemetry sink, bundled as a Sim.Ctx and threaded down. *)
+  let ctx = Sim.Ctx.create ~seed:1 () in
+  let engine = Sim.Ctx.engine ctx in
 
   (* A physical host: 16 GB of RAM, an L0 QEMU/KVM hypervisor, a ksmd
      thread, and a gateway on an external network. *)
-  let uplink = Net.Fabric.Switch.create engine ~name:"uplink" ~link:Net.Link.lan_1gbe in
-  let host = Vmm.Hypervisor.create_l0 engine ~name:"host" ~uplink ~addr:"192.168.1.100" in
+  let uplink = Net.Fabric.Switch.create ctx ~name:"uplink" ~link:Net.Link.lan_1gbe in
+  let host = Vmm.Hypervisor.create_l0 ctx ~name:"host" ~uplink ~addr:"192.168.1.100" in
 
   (* Launch a guest the way a cloud customer gets one: 1 GB of RAM,
      virtio devices, SSH published on host port 2222. *)
@@ -44,7 +46,7 @@ let () =
     match Vmm.Hypervisor.launch host guestx_config with Ok vm -> vm | Error e -> failwith e
   in
   let nested_hv =
-    match Vmm.Hypervisor.create_nested engine ~vm:guestx ~name:"guestx-kvm" with
+    match Vmm.Hypervisor.create_nested ctx ~vm:guestx ~name:"guestx-kvm" with
     | Ok hv -> hv
     | Error e -> failwith e
   in
@@ -61,7 +63,7 @@ let () =
   (* The key memory fact: load the same file at L2 and in the host, let
      ksmd run, and the two copies merge - nesting hides nothing from
      L0's view of physical memory. *)
-  let rng = Sim.Engine.fork_rng engine in
+  let rng = Sim.Ctx.fork_rng ctx in
   let file = Memory.File_image.generate rng ~name:"file-a" ~pages:100 in
   (match Vmm.Vm.load_file l2 file with Ok _ -> () | Error e -> failwith e);
   let buffer =

@@ -11,9 +11,10 @@
 let tenants = [ "tenant-a"; "tenant-b"; "tenant-c" ]
 
 let () =
-  let engine = Sim.Engine.create ~seed:31 () in
-  let uplink = Net.Fabric.Switch.create engine ~name:"uplink" ~link:Net.Link.lan_1gbe in
-  let host = Vmm.Hypervisor.create_l0 engine ~name:"host" ~uplink ~addr:"192.168.1.100" in
+  let ctx = Sim.Ctx.create ~seed:31 () in
+  let engine = Sim.Ctx.engine ctx in
+  let uplink = Net.Fabric.Switch.create ctx ~name:"uplink" ~link:Net.Link.lan_1gbe in
+  let host = Vmm.Hypervisor.create_l0 ctx ~name:"host" ~uplink ~addr:"192.168.1.100" in
   let registry = Migration.Registry.create () in
 
   (* three tenants, ssh forwarded on 2201..2203 *)
@@ -47,7 +48,7 @@ let () =
     let vm = Hashtbl.find agent_vm tenant in
     let env =
       {
-        Cloudskulk.Dedup_detector.engine;
+        Cloudskulk.Dedup_detector.ctx;
         host;
         deliver_to_guest =
           (fun image ->
@@ -110,7 +111,7 @@ let () =
       Cloudskulk.Install.host_port = 5700;
       ritm_port = 5701 }
   in
-  (match Cloudskulk.Install.run ~config engine ~host ~registry ~target_name:"tenant-b" with
+  (match Cloudskulk.Install.run ~config ctx ~host ~registry ~target_name:"tenant-b" with
   | Ok report ->
     Printf.printf "CloudSkulk installed on tenant-b in %s\n"
       (Sim.Time.to_string report.Cloudskulk.Install.total_time);

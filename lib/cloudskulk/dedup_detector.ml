@@ -26,7 +26,7 @@ let default_config =
   }
 
 type environment = {
-  engine : Sim.Engine.t;
+  ctx : Sim.Ctx.t;
   host : Vmm.Hypervisor.t;
   deliver_to_guest : Memory.File_image.t -> (unit, string) result;
   mutate_in_guest : name:string -> salt:int -> (unit, string) result;
@@ -65,20 +65,20 @@ let wait_time config env =
    detector's process exits and frees its memory. *)
 let load_wait_probe config env ~label image =
   let telemetry = Vmm.Hypervisor.telemetry env.host in
-  let probe_started = Sim.Engine.now env.engine in
+  let probe_started = Sim.Ctx.now env.ctx in
   let* buffer =
     Vmm.Hypervisor.host_buffer env.host ~name:(Printf.sprintf "detector-%s" label)
       ~pages:(Memory.File_image.pages image)
   in
   Memory.File_image.load_into image buffer ~offset:0;
   let wait = wait_time config env in
-  ignore (Sim.Engine.run_for env.engine wait);
-  let rng = Sim.Engine.fork_rng env.engine in
+  ignore (Sim.Engine.run_for (Sim.Ctx.engine env.ctx) wait);
+  let rng = Sim.Ctx.fork_rng env.ctx in
   let probe =
     Memory.Write_probe.probe ~params:config.mem_params ~rng buffer ~offset:0
       ~pages:(Memory.File_image.pages image)
   in
-  ignore (Sim.Engine.run_for env.engine probe.Memory.Write_probe.total);
+  ignore (Sim.Engine.run_for (Sim.Ctx.engine env.ctx) probe.Memory.Write_probe.total);
   Vmm.Hypervisor.release_buffer env.host buffer;
   let per_page_ns = Memory.Write_probe.costs_ns probe in
   let stats = Sim.Stats.of_list (Array.to_list per_page_ns) in
@@ -96,7 +96,7 @@ let load_wait_probe config env ~label image =
     in
     Array.iter (fun ns -> Sim.Telemetry.observe h ns) per_page_ns;
     Sim.Telemetry.span telemetry ~component:"cloudskulk" ~name:"probe" ~start:probe_started
-      ~stop:(Sim.Engine.now env.engine)
+      ~stop:(Sim.Ctx.now env.ctx)
       ~fields:
         [
           ("step", label);
@@ -118,15 +118,15 @@ let run_counter = Atomic.make 0
 let fresh_name prefix = Printf.sprintf "%s-%d" prefix (Atomic.fetch_and_add run_counter 1 + 1)
 
 let measure_t0 ?(config = default_config) env =
-  let rng = Sim.Engine.fork_rng env.engine in
+  let rng = Sim.Ctx.fork_rng env.ctx in
   let lonely =
     Memory.File_image.generate rng ~name:(fresh_name "file-t0") ~pages:config.file_pages
   in
   load_wait_probe config env ~label:"t0" lonely
 
 let run ?(config = default_config) env =
-  let started = Sim.Engine.now env.engine in
-  let rng = Sim.Engine.fork_rng env.engine in
+  let started = Sim.Ctx.now env.ctx in
+  let rng = Sim.Ctx.fork_rng env.ctx in
   let file_a =
     Memory.File_image.generate rng ~name:(fresh_name "file-a") ~pages:config.file_pages
   in
@@ -163,7 +163,7 @@ let run ?(config = default_config) env =
          ~component:"cloudskulk" "verdicts_total");
     if Sim.Telemetry.enabled telemetry then
       Sim.Telemetry.span telemetry ~component:"cloudskulk" ~name:"detect" ~start:started
-        ~stop:(Sim.Engine.now env.engine)
+        ~stop:(Sim.Ctx.now env.ctx)
         ~fields:[ ("verdict", verdict_label) ]
         ();
     Ok
@@ -173,6 +173,6 @@ let run ?(config = default_config) env =
         t2;
         verdict;
         wait_per_step = wait_time config env;
-        elapsed = Sim.Time.diff (Sim.Engine.now env.engine) started;
+        elapsed = Sim.Time.diff (Sim.Ctx.now env.ctx) started;
       }
   end

@@ -39,7 +39,7 @@ type config = {
 val default_config : config
 
 type environment = {
-  engine : Sim.Engine.t;
+  ctx : Sim.Ctx.t;
   host : Vmm.Hypervisor.t;
   deliver_to_guest : Memory.File_image.t -> (unit, string) result;
       (** the web-interface push: lands File-A in the customer VM's

@@ -44,7 +44,7 @@ type registered = {
 }
 
 type t = {
-  engine : Sim.Engine.t;
+  ctx : Sim.Ctx.t;
   host : Vmm.Hypervisor.t;
   policy : policy;
   tenants : (string, registered) Hashtbl.t;
@@ -54,9 +54,9 @@ type t = {
   mutable active : bool;
 }
 
-let create ?(policy = default_policy) engine host =
+let create ?(policy = default_policy) ctx host =
   {
-    engine;
+    ctx;
     host;
     policy;
     tenants = Hashtbl.create 8;
@@ -118,7 +118,7 @@ let sweep_now t =
 let start t =
   if not t.active then begin
     t.active <- true;
-    Sim.Engine.periodic t.engine ~every:t.policy.sweep_every (fun () ->
+    Sim.Engine.periodic (Sim.Ctx.engine t.ctx) ~every:t.policy.sweep_every (fun () ->
         if t.active then ignore (sweep_now t);
         t.active)
   end

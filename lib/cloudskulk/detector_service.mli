@@ -45,7 +45,7 @@ val event_to_string : event -> string
 
 type t
 
-val create : ?policy:policy -> Sim.Engine.t -> Vmm.Hypervisor.t -> t
+val create : ?policy:policy -> Sim.Ctx.t -> Vmm.Hypervisor.t -> t
 
 val register_tenant :
   t -> name:string -> env:(unit -> Dedup_detector.environment) -> unit

@@ -83,9 +83,17 @@ let guestx_config cfg (target : Vmm.Qemu_config.t) =
       };
   }
 
-let run ?config engine ~host ~registry ~target_name =
+let run ?config ctx ~host ~registry ~target_name =
+  let engine = Sim.Ctx.engine ctx in
   let cfg = match config with Some c -> c | None -> default_config ~target_name in
   let cfg = { cfg with target_name } in
+  (* a non-trivial context profile overrides whatever the config
+     carries; the none profile keeps the caller's (or the zero-fault
+     default) untouched *)
+  let cfg =
+    if Sim.Fault.is_none (Sim.Ctx.faults ctx) then cfg
+    else { cfg with faults = Sim.Ctx.faults ctx }
+  in
   let t0 = Sim.Engine.now engine in
   let telemetry = Vmm.Hypervisor.telemetry host in
   let steps = ref [] in
@@ -119,8 +127,11 @@ let run ?config engine ~host ~registry ~target_name =
   in
   (* Step 3: nested hypervisor + matching destination, paused on BBBB. *)
   let s = Sim.Engine.now engine in
+  (* The nested hypervisor is created through a quiet context: same
+     world, same sink, but a private throwaway trace - the rootkit's
+     machinery leaves no records in the host's own trace. *)
   (match
-     Vmm.Hypervisor.create_nested ~use_vtx:cfg.use_vtx ?telemetry engine ~vm:guestx
+     Vmm.Hypervisor.create_nested ~use_vtx:cfg.use_vtx (Sim.Ctx.quiet ctx) ~vm:guestx
        ~name:"guestx-kvm"
    with
   | Error e -> teardown_guestx e
@@ -153,7 +164,7 @@ let run ?config engine ~host ~registry ~target_name =
         else Some (Sim.Fault.create ?telemetry cfg.faults (Sim.Engine.fork_rng engine))
       in
       let wiring =
-        Migration.Wiring.wire_monitor ~strategy:cfg.strategy ?fault engine ~registry
+        Migration.Wiring.wire_monitor ~strategy:cfg.strategy ?fault ctx ~registry
           ~source:target ()
       in
       let migrate_cmd = Printf.sprintf "migrate tcp:%s:%d" host_addr cfg.host_port in

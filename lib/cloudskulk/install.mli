@@ -70,13 +70,16 @@ type report = {
 
 val run :
   ?config:config ->
-  Sim.Engine.t ->
+  Sim.Ctx.t ->
   host:Vmm.Hypervisor.t ->
   registry:Migration.Registry.t ->
   target_name:string ->
   (report, string) result
 (** Execute the full installation. On failure, partial artifacts
-    (a launched GuestX, a registered endpoint) are torn down. *)
+    (a launched GuestX, a registered endpoint) are torn down. A
+    non-trivial {!Sim.Ctx.faults} profile on the context overrides the
+    config's [faults]; the nested hypervisor is built under
+    {!Sim.Ctx.quiet} so it leaves no records in the host's trace. *)
 
 val installation_time : report -> Sim.Time.t
 (** Dominated by the live-migration step, as the paper observes. *)

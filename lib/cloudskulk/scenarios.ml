@@ -1,6 +1,5 @@
 type t = {
-  engine : Sim.Engine.t;
-  trace : Sim.Trace.t;
+  ctx : Sim.Ctx.t;
   host : Vmm.Hypervisor.t;
   registry : Migration.Registry.t;
   customer_vm : Vmm.Vm.t;
@@ -14,17 +13,15 @@ let get_ok what = function
   | Ok v -> v
   | Error e -> invalid_arg (Printf.sprintf "Scenarios.%s: %s" what e)
 
-let make_host ?(seed = 42) ?ksm_config ?telemetry () =
-  let engine = Sim.Engine.create ~seed () in
-  let trace = Sim.Trace.create () in
-  let uplink =
-    Net.Fabric.Switch.create ?telemetry engine ~name:"uplink" ~link:Net.Link.lan_1gbe
-  in
+(* Like {!Vmm.Layers}, each scenario forks the caller's context so it
+   plays out in a fresh world replayed from the context's seed. *)
+let make_host ?ksm_config ctx =
+  let ctx = Sim.Ctx.fork ctx in
+  let uplink = Net.Fabric.Switch.create ctx ~name:"uplink" ~link:Net.Link.lan_1gbe in
   let host =
-    Vmm.Hypervisor.create_l0 ?ksm_config ~trace ?telemetry engine ~name:"host" ~uplink
-      ~addr:"192.168.1.100"
+    Vmm.Hypervisor.create_l0 ?ksm_config ctx ~name:"host" ~uplink ~addr:"192.168.1.100"
   in
-  (engine, trace, host)
+  (ctx, host)
 
 let customer_config () =
   Vmm.Qemu_config.with_hostfwd (Vmm.Qemu_config.default ~name:"guest0") [ (2222, 22) ]
@@ -46,46 +43,33 @@ let mutate_file_in vm ~name ~salt =
     done;
     Ok ()
 
-let clean ?seed ?ksm_config ?telemetry () =
-  let engine, trace, host = make_host ?seed ?ksm_config ?telemetry () in
+let clean ?ksm_config ctx =
+  let ctx, host = make_host ?ksm_config ctx in
   let registry = Migration.Registry.create () in
   let guest0 = get_ok "clean" (Vmm.Hypervisor.launch host (customer_config ())) in
   let deliver_to_guest image = Result.map (fun _ -> ()) (Vmm.Vm.load_file guest0 image) in
   let mutate_in_guest ~name ~salt = mutate_file_in guest0 ~name ~salt in
   {
-    engine;
-    trace;
+    ctx;
     host;
     registry;
     customer_vm = guest0;
     ritm = None;
     install_report = None;
-    detector_env = { Dedup_detector.engine; host; deliver_to_guest; mutate_in_guest };
+    detector_env = { Dedup_detector.ctx; host; deliver_to_guest; mutate_in_guest };
     description = "clean host: customer VM at L1";
   }
 
-let infected ?seed ?ksm_config ?telemetry ?(attacker_syncs_changes = false) ?install_config
-    ?(faults = Sim.Fault.none) () =
-  let engine, trace, host = make_host ?seed ?ksm_config ?telemetry () in
+let infected ?ksm_config ?(attacker_syncs_changes = false) ?install_config ctx =
+  let ctx, host = make_host ?ksm_config ctx in
   let registry = Migration.Registry.create () in
   let guest0 = get_ok "infected(launch)" (Vmm.Hypervisor.launch host (customer_config ())) in
   ignore guest0;
-  let install_config =
-    (* a non-trivial profile overrides whatever the caller's config
-       carries; the default keeps the caller's (or the zero-fault
-       default) untouched *)
-    if Sim.Fault.is_none faults then install_config
-    else
-      let base =
-        match install_config with
-        | Some c -> c
-        | None -> Install.default_config ~target_name:"guest0"
-      in
-      Some { base with Install.faults }
-  in
   let report =
+    (* the context's fault profile (if any) overrides the config's
+       inside {!Install.run} itself *)
     get_ok "infected(install)"
-      (Install.run ?config:install_config engine ~host ~registry ~target_name:"guest0")
+      (Install.run ?config:install_config ctx ~host ~registry ~target_name:"guest0")
   in
   let ritm = report.Install.ritm in
   let victim = ritm.Ritm.victim in
@@ -127,14 +111,13 @@ let infected ?seed ?ksm_config ?telemetry ?(attacker_syncs_changes = false) ?ins
       else Ok ()
   in
   {
-    engine;
-    trace;
+    ctx;
     host;
     registry;
     customer_vm = victim;
     ritm = Some ritm;
     install_report = Some report;
-    detector_env = { Dedup_detector.engine; host; deliver_to_guest; mutate_in_guest };
+    detector_env = { Dedup_detector.ctx; host; deliver_to_guest; mutate_in_guest };
     description =
       (if attacker_syncs_changes then
          "infected host: CloudSkulk installed, attacker syncing file changes"

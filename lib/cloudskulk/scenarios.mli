@@ -9,8 +9,7 @@
     the right VMs. *)
 
 type t = {
-  engine : Sim.Engine.t;
-  trace : Sim.Trace.t;
+  ctx : Sim.Ctx.t;  (** the scenario's (forked) context *)
   host : Vmm.Hypervisor.t;
   registry : Migration.Registry.t;
   customer_vm : Vmm.Vm.t;  (** where the customer's agent actually runs *)
@@ -20,30 +19,28 @@ type t = {
   description : string;
 }
 
-val clean :
-  ?seed:int -> ?ksm_config:Memory.Ksm.config -> ?telemetry:Sim.Telemetry.t -> unit -> t
-(** Scenario 1: a host running the customer's VM (guest0) at L1.
-    [telemetry] is the scenario's instrumentation root, threaded through
-    the uplink switch and the L0 hypervisor (and from there into KSM,
-    VMs, migrations and the detector). *)
+val clean : ?ksm_config:Memory.Ksm.config -> Sim.Ctx.t -> t
+(** Scenario 1: a host running the customer's VM (guest0) at L1. The
+    context is the scenario's instrumentation root, {!Sim.Ctx.fork}ed
+    so the scenario plays out in a fresh world replayed from its seed;
+    its telemetry sink is threaded through the uplink switch and the L0
+    hypervisor (and from there into KSM, VMs, migrations and the
+    detector). *)
 
 val infected :
-  ?seed:int ->
   ?ksm_config:Memory.Ksm.config ->
-  ?telemetry:Sim.Telemetry.t ->
   ?attacker_syncs_changes:bool ->
   ?install_config:Install.config ->
-  ?faults:Sim.Fault.profile ->
-  unit ->
+  Sim.Ctx.t ->
   t
 (** Scenario 2: the same host after a CloudSkulk installation. The
     detector's file delivery reaches the customer's agent (now at L2);
     the attacker, watching the delivery cross the RITM, mirrors the file
     into GuestX to keep impersonating. [attacker_syncs_changes] (default
     false) models the evasion of Section VI-D: the attacker also
-    propagates the customer's page changes into the mirror. [faults]
-    (default {!Sim.Fault.none}) injects channel faults into the install's
-    live migration; a non-trivial profile overrides the one in
+    propagates the customer's page changes into the mirror. The
+    context's {!Sim.Ctx.faults} profile injects channel faults into the
+    install's live migration; a non-trivial profile overrides the one in
     [install_config]. Raises [Invalid_argument] if the installation
     fails - impossible in the default topology, but possible under an
     aggressive fault profile (the caller should be ready for it). *)

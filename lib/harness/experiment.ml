@@ -1,0 +1,14 @@
+type params = {
+  trials : int;
+  jobs : int;
+  ctx : Sim.Ctx.t;
+}
+
+type t = {
+  id : string;
+  doc : string;
+  default_seed : int;
+  run : params -> unit;
+}
+
+let make ?(default_seed = 1) ~id ~doc run = { id; doc; default_seed; run }

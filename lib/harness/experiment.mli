@@ -1,0 +1,30 @@
+(** A declarative experiment specification.
+
+    Every table, figure and ablation is a value of {!t}: an id for
+    [--only], a one-line doc for [--list], and a body that receives the
+    shared parameter surface - trial count, worker domains, and the
+    {!Sim.Ctx.t} carrying seed, telemetry sink and fault profile. The
+    {!Registry} gives all of them one flag set
+    ([--only]/[--trials]/[--jobs]/[--seed]/[--faults]/[--metrics-out]/
+    [--trace-out]/[--list]); the spec never parses flags itself. *)
+
+type params = {
+  trials : int;  (** repetitions per data point ([--trials], default 5) *)
+  jobs : int;  (** worker domains for independent trials ([--jobs]) *)
+  ctx : Sim.Ctx.t;
+      (** the experiment's root context: seeded from [--seed] (or the
+          spec's default), carrying the shared telemetry sink (when
+          [--metrics-out]/[--trace-out] are set) and the [--faults]
+          profile. Bodies derive per-trial children with
+          {!Sim.Parallel.map_ctx} or {!Sim.Ctx.with_seed}. *)
+}
+
+type t = {
+  id : string;  (** the [--only] handle, e.g. ["fig4"] *)
+  doc : string;  (** one-liner shown by [--list] *)
+  default_seed : int;  (** root seed when [--seed] is not given *)
+  run : params -> unit;  (** render the experiment to stdout *)
+}
+
+val make : ?default_seed:int -> id:string -> doc:string -> (params -> unit) -> t
+(** [default_seed] defaults to 1. *)

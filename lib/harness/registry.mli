@@ -1,0 +1,29 @@
+(** The experiment registry and its dispatch shell.
+
+    Experiment modules {!register} their {!Experiment.t} specs; a
+    driver executable is then one call to {!main}. The registry owns
+    the whole flag surface (see {!Flags}), builds one root
+    {!Sim.Ctx.t} per experiment - seeded from [--seed] or the spec's
+    default, carrying the shared sink and the [--faults] profile - and
+    exports telemetry once at the end of the run. *)
+
+val register : Experiment.t -> unit
+(** Append a spec. Registration order is presentation order ([--list]
+    and full runs). Raises [Invalid_argument] on a duplicate id. *)
+
+val all : unit -> Experiment.t list
+(** Registered specs, in registration order. *)
+
+val find : string -> Experiment.t option
+
+val list_lines : unit -> string list
+(** The [--list] output, one line per experiment ([%-14s %s] of id and
+    doc) - exposed so tests can pin it without spawning a process. *)
+
+val term : prologue:string list -> unit Cmdliner.Term.t
+(** The assembled term over the shared flags. [prologue] lines are
+    printed before a full (no [--only]) run. *)
+
+val main : name:string -> doc:string -> ?prologue:string list -> unit -> int
+(** Build the command and [Cmdliner.Cmd.eval] it; returns the exit
+    code. *)

@@ -17,14 +17,14 @@ let rec frame_table t =
 let create_root table ~name ~pages =
   if pages <= 0 then invalid_arg "Address_space.create_root: pages must be positive";
   let frames = Array.init pages (fun _ -> Frame_table.alloc table Page.Content.zero) in
-  let dirty = Dirty.create ?telemetry:(Frame_table.telemetry table) pages in
+  let dirty = Dirty.for_table table pages in
   { name; pages; backing = Root { table; frames }; dirty }
 
 let window parent ~name ~offset ~pages =
   if offset < 0 || pages <= 0 || offset + pages > parent.pages then
     invalid_arg "Address_space.window: range does not fit in parent";
-  let telemetry = Frame_table.telemetry (frame_table parent) in
-  { name; pages; backing = Window { parent; offset }; dirty = Dirty.create ?telemetry pages }
+  let table = frame_table parent in
+  { name; pages; backing = Window { parent; offset }; dirty = Dirty.for_table table pages }
 
 let name t = t.name
 let pages t = t.pages

@@ -12,7 +12,7 @@ type t = {
 
 let bits_per_word = 32
 
-let create ?telemetry n =
+let make telemetry n =
   {
     words = Array.make ((n + bits_per_word - 1) / bits_per_word) 0;
     length = n;
@@ -21,6 +21,9 @@ let create ?telemetry n =
     m_pages_drained =
       Sim.Telemetry.counter telemetry ~component:"memory" "dirty_pages_drained_total";
   }
+
+let create n = make None n
+let for_table table n = make (Frame_table.telemetry table) n
 
 let length t = t.length
 

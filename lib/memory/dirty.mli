@@ -8,11 +8,16 @@
 
 type t
 
-val create : ?telemetry:Sim.Telemetry.t -> int -> t
-(** [create n] is a clean bitmap over [n] pages. With [telemetry], every
-    {!drain} of this bitmap bumps [memory_dirty_drains_total] and
-    [memory_dirty_pages_drained_total]; scratch bitmaps (the [into] side
-    of a drain) are typically created without a sink. *)
+val create : int -> t
+(** [create n] is a clean bitmap over [n] pages, with no telemetry -
+    the right constructor for scratch bitmaps (the [into] side of a
+    drain). *)
+
+val for_table : Frame_table.t -> int -> t
+(** [for_table table n] is {!create} inheriting [table]'s telemetry
+    sink: every {!drain} of this bitmap bumps
+    [memory_dirty_drains_total] and [memory_dirty_pages_drained_total].
+    Address spaces use this so their live bitmaps are instrumented. *)
 
 val length : t -> int
 val set : t -> int -> unit

@@ -18,7 +18,8 @@ type t = {
   m_cow_breaks : Sim.Telemetry.counter;
 }
 
-let create ?telemetry ?capacity_frames () =
+let create ?capacity_frames ctx =
+  let telemetry = Sim.Ctx.telemetry ctx in
   {
     slots = [||];
     used = 0;

@@ -10,12 +10,12 @@ type t
 type frame = int
 (** Frame identifier. *)
 
-val create : ?telemetry:Sim.Telemetry.t -> ?capacity_frames:int -> unit -> t
+val create : ?capacity_frames:int -> Sim.Ctx.t -> t
 (** [capacity_frames] (default unbounded) models the host's physical RAM;
-    allocation beyond it raises {!Out_of_memory_frames}. [telemetry]
-    registers the memory-layer metrics ([memory_cow_breaks_total], dirty
-    drain counters) and is inherited by every address space built over
-    this table. *)
+    allocation beyond it raises {!Out_of_memory_frames}. The context's
+    telemetry sink registers the memory-layer metrics
+    ([memory_cow_breaks_total], dirty drain counters) and is inherited by
+    every address space built over this table. *)
 
 val telemetry : t -> Sim.Telemetry.t option
 (** The sink passed at creation - the memory layer's instrumentation

@@ -62,12 +62,14 @@ type t = {
   m_volatile : Sim.Telemetry.counter;
 }
 
-let create ?(config = default_config) ?trace ?telemetry engine table =
+let create ?(config = default_config) ctx table =
+  let engine = Sim.Ctx.engine ctx in
+  let telemetry = Sim.Ctx.telemetry ctx in
   {
     engine;
     table;
     config;
-    trace;
+    trace = Some (Sim.Ctx.trace ctx);
     slots = [||];
     n_slots = 0;
     stable = Int_tbl.create 4096;

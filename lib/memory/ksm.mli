@@ -22,14 +22,12 @@ val fast_config : config
 
 type t
 
-val create :
-  ?config:config -> ?trace:Sim.Trace.t -> ?telemetry:Sim.Telemetry.t ->
-  Sim.Engine.t -> Frame_table.t -> t
-(** [telemetry] registers the scanner's metric series
-    ([ksm_scan_passes_total], [ksm_pages_scanned_total],
-    [ksm_pages_merged_total], [ksm_pages_volatile_skipped_total]);
-    handles are pre-created here so the scan hot path never touches the
-    registry. *)
+val create : ?config:config -> Sim.Ctx.t -> Frame_table.t -> t
+(** The daemon runs on the context's engine, emits into its trace, and
+    registers its metric series ([ksm_scan_passes_total],
+    [ksm_pages_scanned_total], [ksm_pages_merged_total],
+    [ksm_pages_volatile_skipped_total]) against its sink; handles are
+    pre-created here so the scan hot path never touches the registry. *)
 
 val register : t -> Address_space.t -> unit
 (** Offer a root address space for merging. Raises [Invalid_argument] on

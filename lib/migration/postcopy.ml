@@ -36,7 +36,8 @@ let pow base n =
 
 exception Abort of Outcome.reason
 
-let migrate ?(config = default_config) ?fault engine ~source ~dest () =
+let migrate ?(config = default_config) ?fault ctx ~source ~dest () =
+  let engine = Sim.Ctx.engine ctx in
   match
     (match Vmm.Vm.state source with
     | Vmm.Vm.Running | Vmm.Vm.Paused -> (

@@ -44,7 +44,7 @@ type result = {
 val migrate :
   ?config:config ->
   ?fault:Sim.Fault.t ->
-  Sim.Engine.t ->
+  Sim.Ctx.t ->
   source:Vmm.Vm.t ->
   dest:Vmm.Vm.t ->
   unit ->

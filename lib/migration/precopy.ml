@@ -131,7 +131,8 @@ let copy_pages ~source ~dest pages =
 (* Channel failure mid-migration; carries the QEMU-style abort reason. *)
 exception Abort of Outcome.reason
 
-let migrate ?(config = default_config) ?fault engine ~source ~dest () =
+let migrate ?(config = default_config) ?fault ctx ~source ~dest () =
+  let engine = Sim.Ctx.engine ctx in
   match validate ~source ~dest with
   | Error e -> Error e
   | Ok () ->

@@ -45,7 +45,7 @@ let render_postcopy outcome =
       r.demand_faults (fault_counters outcome)
   | None -> Printf.sprintf "Migration status: %s%s" (Outcome.describe outcome) (fault_counters outcome)
 
-let wire_monitor ?(strategy = Pre_copy Precopy.default_config) ?fault engine ~registry ~source
+let wire_monitor ?(strategy = Pre_copy Precopy.default_config) ?fault ctx ~registry ~source
     () =
   let wiring = { last = None } in
   Vmm.Vm.set_migrate_handler source (fun ~host ~port ->
@@ -55,13 +55,13 @@ let wire_monitor ?(strategy = Pre_copy Precopy.default_config) ?fault engine ~re
         let outcome =
           match strategy with
           | Pre_copy config -> (
-            match Precopy.migrate ~config ?fault engine ~source ~dest () with
+            match Precopy.migrate ~config ?fault ctx ~source ~dest () with
             | Ok o ->
               Vmm.Vm.set_migration_stats source (render_precopy o);
               Ok (Some o, None, o |> Outcome.completed)
             | Error e -> Error e)
           | Post_copy config -> (
-            match Postcopy.migrate ~config ?fault engine ~source ~dest () with
+            match Postcopy.migrate ~config ?fault ctx ~source ~dest () with
             | Ok o ->
               Vmm.Vm.set_migration_stats source (render_postcopy o);
               (* a postcopy-paused destination carries its own status,

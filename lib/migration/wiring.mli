@@ -19,7 +19,7 @@ type t
 val wire_monitor :
   ?strategy:strategy ->
   ?fault:Sim.Fault.t ->
-  Sim.Engine.t ->
+  Sim.Ctx.t ->
   registry:Registry.t ->
   source:Vmm.Vm.t ->
   unit ->

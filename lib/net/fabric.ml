@@ -71,10 +71,11 @@ and switch_send sw packet =
 module Switch = struct
   type t = switch
 
-  let create ?telemetry engine ~name ~link =
+  let create ctx ~name ~link =
+    let telemetry = Sim.Ctx.telemetry ctx in
     let labels = [ ("switch", name) ] in
     {
-      sw_engine = engine;
+      sw_engine = Sim.Ctx.engine ctx;
       sw_name = name;
       link;
       stations = Hashtbl.create 16;

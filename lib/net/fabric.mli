@@ -27,8 +27,8 @@ type tap = Packet.t -> tap_action
 module Switch : sig
   type t = switch
 
-  val create : ?telemetry:Sim.Telemetry.t -> Sim.Engine.t -> name:string -> link:Link.t -> t
-  (** [telemetry] registers per-switch series
+  val create : Sim.Ctx.t -> name:string -> link:Link.t -> t
+  (** The context's sink registers per-switch series
       [net_packets_delivered_total{switch=name}],
       [net_packets_dropped_total{switch=name}] and
       [net_bytes_carried_total{switch=name}]. *)

@@ -10,9 +10,11 @@ let throughput_mbit_s ~bytes ~elapsed =
   let secs = Sim.Time.to_s elapsed in
   if secs <= 0. then 0. else float_of_int bytes *. 8. /. 1e6 /. secs
 
-let run engine ~link ?(derate = 1.) ?(chunk_bytes = 65536) ?(noise_rsd = 0.) ?rng ?fault
-    ?telemetry ~bytes () =
+let run ctx ~link ?(derate = 1.) ?(chunk_bytes = 65536) ?(noise_rsd = 0.) ?rng ?fault ~bytes
+    () =
   if bytes < 0 then invalid_arg "Flow.run: negative byte count";
+  let engine = Sim.Ctx.engine ctx in
+  let telemetry = Sim.Ctx.telemetry ctx in
   let m_bytes = Sim.Telemetry.counter telemetry ~component:"net" "flow_bytes_total" in
   let m_retransmits =
     Sim.Telemetry.counter telemetry ~component:"net" "flow_chunk_retransmits_total"

@@ -19,27 +19,26 @@ type result = {
 }
 
 val run :
-  Sim.Engine.t ->
+  Sim.Ctx.t ->
   link:Link.t ->
   ?derate:float ->
   ?chunk_bytes:int ->
   ?noise_rsd:float ->
   ?rng:Sim.Rng.t ->
   ?fault:Sim.Fault.t ->
-  ?telemetry:Sim.Telemetry.t ->
   bytes:int ->
   unit ->
   result
 (** Simulate transferring [bytes] over [link] with effective bandwidth
     [link.bandwidth * derate] (default derate 1.0). The transfer is
-    executed on the engine's virtual clock in [chunk_bytes] units
+    executed on the context's virtual clock in [chunk_bytes] units
     (default 64 KiB); per-chunk jitter [noise_rsd] (default 0) models
     scheduling noise. [fault] (default absent: the exact fault-free
     behaviour, no extra RNG draws) injects loss, jitter, degradation,
     and outages per chunk. The engine is run until the flow completes -
-    every byte always arrives; faults only cost time. [telemetry] counts
-    [net_flow_bytes_total], [net_flow_chunk_retransmits_total] and
-    [net_flow_link_downtime_ns_total], and records one ["flow"] span per
-    call. *)
+    every byte always arrives; faults only cost time. The context's
+    sink counts [net_flow_bytes_total], [net_flow_chunk_retransmits_total]
+    and [net_flow_link_downtime_ns_total], and records one ["flow"] span
+    per call. *)
 
 val throughput_mbit_s : bytes:int -> elapsed:Sim.Time.t -> float

@@ -1,0 +1,36 @@
+(* The per-instance simulation context. One value carries everything a
+   substrate constructor used to take as separate optionals: the engine
+   (clock + RNG root), the trace, the telemetry sink, and the fault
+   plan. Forking rebuilds the engine from the stored seed, so a forked
+   context replays the exact event/RNG schedule of a fresh one. *)
+
+type t = {
+  seed : int;
+  engine : Engine.t;
+  trace : Trace.t;
+  telemetry : Telemetry.t option;
+  faults : Fault.profile;
+}
+
+let create ?(seed = 42) ?telemetry ?(faults = Fault.none) () =
+  { seed; engine = Engine.create ~seed (); trace = Trace.create (); telemetry; faults }
+
+let seed t = t.seed
+let engine t = t.engine
+let trace t = t.trace
+let telemetry t = t.telemetry
+let faults t = t.faults
+let now t = Engine.now t.engine
+let fork_rng t = Engine.fork_rng t.engine
+
+let fork t = { t with engine = Engine.create ~seed:t.seed (); trace = Trace.create () }
+
+let with_seed t seed =
+  { t with seed; engine = Engine.create ~seed (); trace = Trace.create () }
+
+let with_telemetry t telemetry = { t with telemetry }
+
+(* Same world, private trace: actions taken through the quiet context
+   advance the shared clock but leave no record in the instance's
+   trace - the stealth branch of an install uses exactly this. *)
+let quiet t = { t with trace = Trace.create () }

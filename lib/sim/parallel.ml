@@ -46,16 +46,24 @@ let map ?(jobs = 1) n f =
 let map_seeds ?jobs ~root_seed ~trials f =
   map ?jobs trials (fun i -> f ~seed:(root_seed + i))
 
-(* Instrumented variants: each trial gets its own child sink (no
-   cross-domain sharing), and the children are merged into the parent in
-   trial order after the join - so the merged registry is identical
-   whatever [jobs] is, and each span is tagged with its 1-based trial. *)
-let map_instrumented ?jobs ?telemetry n f =
-  match telemetry with
-  | None -> map ?jobs n (fun i -> f ~telemetry:None i)
+(* Context fan-out: each trial gets its own child context - a fresh
+   engine minted from a per-trial seed and, when the parent carries a
+   sink, its own child sink (no cross-domain sharing). The children are
+   merged into the parent in trial order after the join - so the merged
+   registry is identical whatever [jobs] is, and each span is tagged
+   with its 1-based trial. *)
+let map_ctx ?jobs ?seed_of ~ctx ~trials f =
+  let seed_of =
+    match seed_of with Some g -> g | None -> fun i -> Ctx.seed ctx + i
+  in
+  match Ctx.telemetry ctx with
+  | None -> map ?jobs trials (fun i -> f i (Ctx.with_seed ctx (seed_of i)))
   | Some parent ->
-    let children = Array.init n (fun _ -> Telemetry.create_like parent) in
-    let results = map ?jobs n (fun i -> f ~telemetry:(Some children.(i)) i) in
+    let children = Array.init trials (fun _ -> Telemetry.create_like parent) in
+    let results =
+      map ?jobs trials (fun i ->
+          f i (Ctx.with_telemetry (Ctx.with_seed ctx (seed_of i)) (Some children.(i))))
+    in
     Array.iteri
       (fun i child ->
         Telemetry.merge_into ~into:parent
@@ -63,7 +71,3 @@ let map_instrumented ?jobs ?telemetry n f =
           child)
       children;
     results
-
-let map_seeds_instrumented ?jobs ?telemetry ~root_seed ~trials f =
-  map_instrumented ?jobs ?telemetry trials (fun ~telemetry i ->
-      f ~telemetry ~seed:(root_seed + i))

@@ -29,19 +29,17 @@ val map_seeds : ?jobs:int -> root_seed:int -> trials:int -> (seed:int -> 'a) -> 
     [i] in [0 .. trials - 1] via {!map}: the canonical seed-derivation
     scheme for repeated-trial experiments. *)
 
-val map_instrumented :
-  ?jobs:int -> ?telemetry:Telemetry.t -> int -> (telemetry:Telemetry.t option -> int -> 'a) ->
+val map_ctx :
+  ?jobs:int -> ?seed_of:(int -> int) -> ctx:Ctx.t -> trials:int -> (int -> Ctx.t -> 'a) ->
   'a list
-(** {!map} for instrumented trials. Each trial body receives its own
-    fresh child sink ({!Telemetry.create_like} of the parent, [None] when
-    no parent is given); after all trials finish the children are folded
-    into the parent with {!Telemetry.merge_into} in ascending trial
-    order, each span tagged with a ["trial"] field (1-based). Because the
-    merge order is fixed, the parent's exported metrics and spans are
-    byte-identical whatever [jobs] is. *)
-
-val map_seeds_instrumented :
-  ?jobs:int -> ?telemetry:Telemetry.t -> root_seed:int -> trials:int ->
-  (telemetry:Telemetry.t option -> seed:int -> 'a) -> 'a list
-(** {!map_seeds} with the same per-trial sink threading as
-    {!map_instrumented}. *)
+(** [map_ctx ~ctx ~trials f] runs [f i child] for [i] in
+    [0 .. trials - 1] via {!map}, where [child] is a deterministic child
+    context: {!Ctx.with_seed} of [ctx] at [seed_of i] (default
+    [Ctx.seed ctx + i] - the canonical derivation scheme). When [ctx]
+    carries a telemetry sink each child gets its own fresh sink
+    ({!Telemetry.create_like}); after all trials finish the children are
+    folded into the parent with {!Telemetry.merge_into} in ascending
+    trial order, each span tagged with a ["trial"] field (1-based).
+    Because the seed derivation and the merge order are fixed, both the
+    results and the parent's exported metrics are byte-identical
+    whatever [jobs] is. *)

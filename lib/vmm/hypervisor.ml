@@ -6,6 +6,7 @@ type backing =
           next free page going down. *)
 
 type t = {
+  ctx : Sim.Ctx.t;
   engine : Sim.Engine.t;
   hv_name : string;
   level : Level.t;
@@ -32,22 +33,23 @@ let emit t fmt =
   | Some tr ->
     Sim.Trace.emitf tr (Sim.Engine.now t.engine) Sim.Trace.Info ~component:("hv:" ^ t.hv_name) fmt
 
-let create_l0 ?(ram_gb = 16) ?(ksm_config = Memory.Ksm.default_config) ?trace ?telemetry engine
-    ~name ~uplink ~addr =
+let create_l0 ?(ram_gb = 16) ?(ksm_config = Memory.Ksm.default_config) ctx ~name ~uplink
+    ~addr =
+  let engine = Sim.Ctx.engine ctx in
+  let telemetry = Sim.Ctx.telemetry ctx in
   let capacity_frames = ram_gb * 1024 * 1024 * 1024 / Memory.Page.size_bytes in
-  let table = Memory.Frame_table.create ?telemetry ~capacity_frames () in
-  let switch =
-    Net.Fabric.Switch.create ?telemetry engine ~name:(name ^ "-br0") ~link:Net.Link.loopback
-  in
+  let table = Memory.Frame_table.create ~capacity_frames ctx in
+  let switch = Net.Fabric.Switch.create ctx ~name:(name ^ "-br0") ~link:Net.Link.loopback in
   let gateway = Net.Fabric.Node.create engine ~name:(name ^ "-gw") ~addr in
   Net.Fabric.Node.attach gateway uplink;
   Net.Fabric.Node.attach gateway switch;
   let processes = Process_table.create engine in
   ignore (Process_table.spawn processes ~name:"systemd" ~cmdline:"/usr/lib/systemd/systemd");
   ignore (Process_table.spawn processes ~name:"libvirtd" ~cmdline:"/usr/sbin/libvirtd");
-  let ksm = Memory.Ksm.create ~config:ksm_config ?trace ?telemetry engine table in
+  let ksm = Memory.Ksm.create ~config:ksm_config ctx table in
   Memory.Ksm.start ksm;
   {
+    ctx;
     engine;
     hv_name = name;
     level = Level.l0;
@@ -57,7 +59,7 @@ let create_l0 ?(ram_gb = 16) ?(ksm_config = Memory.Ksm.default_config) ?trace ?t
     uplink;
     gateway;
     ksm = Some ksm;
-    trace;
+    trace = Some (Sim.Ctx.trace ctx);
     telemetry;
     m_kills =
       Sim.Telemetry.counter telemetry ~labels:[ ("hv", name) ] ~component:"vmm" "vm_kills_total";
@@ -70,7 +72,9 @@ let create_l0 ?(ram_gb = 16) ?(ksm_config = Memory.Ksm.default_config) ?trace ?t
     next_vm_index = 1;
   }
 
-let create_nested ?(use_vtx = true) ?trace ?telemetry engine ~vm ~name =
+let create_nested ?(use_vtx = true) ctx ~vm ~name =
+  let engine = Sim.Ctx.engine ctx in
+  let telemetry = Sim.Ctx.telemetry ctx in
   let cfg = Vm.config vm in
   if not cfg.Qemu_config.nested_vmx then
     Error (Vm.name vm ^ ": CPU has no nested VMX (+vmx missing); cannot run a hypervisor")
@@ -82,12 +86,12 @@ let create_nested ?(use_vtx = true) ?trace ?telemetry engine ~vm ~name =
     | Some gateway ->
       let pages = Memory.Address_space.pages (Vm.ram vm) in
       let switch =
-        Net.Fabric.Switch.create ?telemetry engine ~name:(name ^ "-br0")
-          ~link:Net.Link.loopback
+        Net.Fabric.Switch.create ctx ~name:(name ^ "-br0") ~link:Net.Link.loopback
       in
       Net.Fabric.Node.attach gateway switch;
       Ok
         {
+          ctx;
           engine;
           hv_name = name;
           level = Vm.level vm;
@@ -102,7 +106,7 @@ let create_nested ?(use_vtx = true) ?trace ?telemetry engine ~vm ~name =
           uplink = switch;
           gateway;
           ksm = None;
-          trace;
+          trace = Some (Sim.Ctx.trace ctx);
           telemetry;
           m_kills =
             Sim.Telemetry.counter telemetry ~labels:[ ("hv", name) ] ~component:"vmm"
@@ -223,8 +227,8 @@ let launch t (config : Qemu_config.t) =
       let addr = Printf.sprintf "10.%d.0.%d" (Level.to_int t.level) t.next_vm_index in
       t.next_vm_index <- t.next_vm_index + 1;
       let vm =
-        Vm.make ~engine:t.engine ~config ~level:(Level.deeper t.level) ~ram ~disk
-          ~qemu_pid:proc.pid ~addr ?trace:t.trace ?telemetry:t.telemetry ()
+        Vm.make t.ctx ~config ~level:(Level.deeper t.level) ~ram ~disk ~qemu_pid:proc.pid
+          ~addr
       in
       let node = Net.Fabric.Node.create t.engine ~name:vm_name ~addr in
       Net.Fabric.Node.attach node t.switch;

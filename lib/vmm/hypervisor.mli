@@ -14,9 +14,7 @@ type t
 val create_l0 :
   ?ram_gb:int ->
   ?ksm_config:Memory.Ksm.config ->
-  ?trace:Sim.Trace.t ->
-  ?telemetry:Sim.Telemetry.t ->
-  Sim.Engine.t ->
+  Sim.Ctx.t ->
   name:string ->
   uplink:Net.Fabric.switch ->
   addr:Net.Packet.addr ->
@@ -24,20 +22,14 @@ val create_l0 :
 (** A bare-metal QEMU/KVM host: [ram_gb] (default 16, the paper's Dell
     T1700), a frame table, a ksmd instance (started), an internal
     virtual switch and a gateway node [addr] attached to both [uplink]
-    and the internal switch. [telemetry] becomes this host's
-    instrumentation root: it is handed to the frame table, ksmd, the
-    internal switch and every launched VM, and registers the
+    and the internal switch. The context is this host's instrumentation
+    root: its sink is handed to the frame table, ksmd, the internal
+    switch and every launched VM (registering the
     [vmm_vm_launches_total{level=...}], [vmm_vm_kills_total{hv=...}] and
-    [vmm_vms_running{hv=...}] series. *)
+    [vmm_vms_running{hv=...}] series), and its trace receives launch and
+    kill records. *)
 
-val create_nested :
-  ?use_vtx:bool ->
-  ?trace:Sim.Trace.t ->
-  ?telemetry:Sim.Telemetry.t ->
-  Sim.Engine.t ->
-  vm:Vm.t ->
-  name:string ->
-  (t, string) result
+val create_nested : ?use_vtx:bool -> Sim.Ctx.t -> vm:Vm.t -> name:string -> (t, string) result
 (** A hypervisor inside [vm] (the RITM's own QEMU/KVM). Fails when the
     VM's CPU configuration lacks nested VMX, when the VM is not running,
     or when it has no network node. Guest RAM for nested VMs is

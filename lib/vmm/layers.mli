@@ -3,11 +3,16 @@
     The paper evaluates every workload in three execution environments -
     L0 (bare host), L1 (guest), and L2 (nested guest) - and the
     CloudSkulk attack turns a victim's L1 into an L2. This module builds
-    those topologies so benchmarks and tests do not repeat the plumbing. *)
+    those topologies so benchmarks and tests do not repeat the plumbing.
+
+    Every builder {!Sim.Ctx.fork}s the context it is given: the topology
+    lives in a fresh world replayed from the context's seed (and the
+    returned [env] carries that forked context), so building several
+    topologies from one context gives each one an identical, independent
+    schedule. *)
 
 type env = {
-  engine : Sim.Engine.t;
-  trace : Sim.Trace.t;
+  ctx : Sim.Ctx.t;  (** the topology's (forked) context *)
   uplink : Net.Fabric.switch;  (** the world outside the host *)
   host : Hypervisor.t;  (** the L0 hypervisor *)
   exec_level : Level.t;  (** where measured code runs *)
@@ -17,39 +22,31 @@ type env = {
   nested_hv : Hypervisor.t option;  (** GuestX's hypervisor when nested *)
 }
 
-val bare_metal :
-  ?seed:int -> ?ksm_config:Memory.Ksm.config -> ?telemetry:Sim.Telemetry.t ->
-  ?workspace_mb:int -> unit -> env
+val bare_metal : ?ksm_config:Memory.Ksm.config -> ?workspace_mb:int -> Sim.Ctx.t -> env
 (** L0: a host with a [workspace_mb] (default 1024) buffer the measured
-    code runs in. In all constructors here, [telemetry] becomes the
+    code runs in. In all constructors here, the context is the
     topology's instrumentation root (threaded into the uplink switch and
     every hypervisor). *)
 
-val single_guest :
-  ?seed:int -> ?ksm_config:Memory.Ksm.config -> ?telemetry:Sim.Telemetry.t ->
-  ?config:Qemu_config.t -> unit -> env
+val single_guest : ?ksm_config:Memory.Ksm.config -> ?config:Qemu_config.t -> Sim.Ctx.t -> env
 (** L1: a host plus one running guest (default config: the paper's 1 GB
     VM, SSH forwarded from host port 2222). *)
 
 val nested_guest :
-  ?seed:int ->
   ?ksm_config:Memory.Ksm.config ->
-  ?telemetry:Sim.Telemetry.t ->
   ?guestx_memory_mb:int ->
   ?config:Qemu_config.t ->
-  unit ->
+  Sim.Ctx.t ->
   env
 (** L2: a host, a [guestx_memory_mb] (default 2048) L1 VM with nested
     VMX, a hypervisor inside it, and a nested guest (default: the same
     1 GB config as {!single_guest}) running at L2. *)
 
-val of_level :
-  ?seed:int -> ?ksm_config:Memory.Ksm.config -> ?telemetry:Sim.Telemetry.t -> Level.t -> env
+val of_level : ?ksm_config:Memory.Ksm.config -> Sim.Ctx.t -> Level.t -> env
 (** Dispatch on 0, 1 or 2; raises [Invalid_argument] on deeper levels. *)
 
 type migration_pair = {
-  mp_engine : Sim.Engine.t;
-  mp_trace : Sim.Trace.t;
+  mp_ctx : Sim.Ctx.t;  (** the pair's (forked) context *)
   mp_host : Hypervisor.t;
   mp_source : Vm.t;  (** running L1 guest, the migration source *)
   mp_dest : Vm.t;  (** incoming-state destination *)
@@ -58,13 +55,11 @@ type migration_pair = {
 }
 
 val migration_pair :
-  ?seed:int ->
   ?ksm_config:Memory.Ksm.config ->
-  ?telemetry:Sim.Telemetry.t ->
   ?config:Qemu_config.t ->
   ?incoming_port:int ->
   nested_dest:bool ->
-  unit ->
+  Sim.Ctx.t ->
   migration_pair
 (** The Fig 4 topology: a source VM at L1 and a matching destination
     paused in the incoming state - either another L1 VM on the same

@@ -57,7 +57,9 @@ let boot_processes table =
   ignore (Process_table.spawn table ~name:"kthreadd" ~cmdline:"[kthreadd]");
   ignore (Process_table.spawn table ~name:"sshd" ~cmdline:"/usr/sbin/sshd -D")
 
-let make ~engine ~config ~level ~ram ~disk ~qemu_pid ~addr ?trace ?telemetry () =
+let make ctx ~config ~level ~ram ~disk ~qemu_pid ~addr =
+  let engine = Sim.Ctx.engine ctx in
+  let telemetry = Sim.Ctx.telemetry ctx in
   let guest_processes = Process_table.create engine in
   boot_processes guest_processes;
   let level_label = [ ("level", string_of_int (Level.to_int level)) ] in
@@ -69,7 +71,7 @@ let make ~engine ~config ~level ~ram ~disk ~qemu_pid ~addr ?trace ?telemetry () 
     disk;
     qemu_pid;
     addr;
-    trace;
+    trace = Some (Sim.Ctx.trace ctx);
     telemetry;
     m_exits = Sim.Telemetry.counter telemetry ~labels:level_label ~component:"vmm" "exits_total";
     m_fanout =

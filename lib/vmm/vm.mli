@@ -29,17 +29,16 @@ type t
 (** {2 Construction (used by Hypervisor)} *)
 
 val make :
-  engine:Sim.Engine.t ->
+  Sim.Ctx.t ->
   config:Qemu_config.t ->
   level:Level.t ->
   ram:Memory.Address_space.t ->
   disk:Disk_image.t ->
   qemu_pid:Process_table.pid ->
   addr:Net.Packet.addr ->
-  ?trace:Sim.Trace.t ->
-  ?telemetry:Sim.Telemetry.t ->
-  unit ->
   t
+(** The VM lives on the context's engine, emits state changes into its
+    trace, and registers its per-level exit counters against its sink. *)
 
 (** {2 Identity and configuration} *)
 

@@ -1,4 +1,5 @@
 type t = {
+  ctx : Sim.Ctx.t;
   engine : Sim.Engine.t;
   level : Vmm.Level.t;
   ram : Memory.Address_space.t;
@@ -8,14 +9,14 @@ type t = {
   noise_rsd : float;
 }
 
-let make ?(noise_rsd = 0.02) ?(params = Vmm.Cost_model.default_params) ?vm ~engine ~level ~ram
+let make ?(noise_rsd = 0.02) ?(params = Vmm.Cost_model.default_params) ?vm ~ctx ~level ~ram
     ~rng () =
-  { engine; level; ram; rng; vm; params; noise_rsd }
+  { ctx; engine = Sim.Ctx.engine ctx; level; ram; rng; vm; params; noise_rsd }
 
 let of_layers ?noise_rsd ?params (env : Vmm.Layers.env) =
-  make ?noise_rsd ?params ?vm:env.Vmm.Layers.exec_vm ~engine:env.Vmm.Layers.engine
+  make ?noise_rsd ?params ?vm:env.Vmm.Layers.exec_vm ~ctx:env.Vmm.Layers.ctx
     ~level:env.Vmm.Layers.exec_level ~ram:env.Vmm.Layers.exec_ram
-    ~rng:(Sim.Engine.fork_rng env.Vmm.Layers.engine)
+    ~rng:(Sim.Ctx.fork_rng env.Vmm.Layers.ctx)
     ()
 
 let charge_exits t n =

@@ -6,7 +6,8 @@
     counters it bumps (absent at L0). *)
 
 type t = {
-  engine : Sim.Engine.t;
+  ctx : Sim.Ctx.t;  (** the instance context workloads run against *)
+  engine : Sim.Engine.t;  (** [Sim.Ctx.engine ctx], cached for the hot paths *)
   level : Vmm.Level.t;
   ram : Memory.Address_space.t;
   rng : Sim.Rng.t;
@@ -22,7 +23,7 @@ val make :
   ?noise_rsd:float ->
   ?params:Vmm.Cost_model.params ->
   ?vm:Vmm.Vm.t ->
-  engine:Sim.Engine.t ->
+  ctx:Sim.Ctx.t ->
   level:Vmm.Level.t ->
   ram:Memory.Address_space.t ->
   rng:Sim.Rng.t ->

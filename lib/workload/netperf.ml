@@ -36,10 +36,9 @@ let run ?(config = default_config) env =
   let rsd = level_rsd config level in
   let run_noise = Sim.Rng.lognormal_noise env.Exec_env.rng ~rsd in
   let derate = pow config.derate_per_level (Vmm.Level.to_int level) *. run_noise in
-  let telemetry = Option.bind env.Exec_env.vm Vmm.Vm.telemetry in
   let flow =
-    Net.Flow.run env.Exec_env.engine ~link:config.link ~derate ~rng:env.Exec_env.rng
-      ?telemetry ~bytes:config.transfer_bytes ()
+    Net.Flow.run env.Exec_env.ctx ~link:config.link ~derate ~rng:env.Exec_env.rng
+      ~bytes:config.transfer_bytes ()
   in
   (match env.Exec_env.vm with
   | Some vm ->

@@ -7,9 +7,9 @@
 let small_config ?(name = "guest0") ?(memory_mb = 8) () =
   { (Vmm.Qemu_config.default ~name) with Vmm.Qemu_config.memory_mb }
 
-let mk_pair ?(nested = false) () =
+let mk_pair ?(nested = false) ctx =
   Vmm.Layers.migration_pair ~ksm_config:Memory.Ksm.fast_config ~config:(small_config ())
-    ~nested_dest:nested ()
+    ~nested_dest:nested ctx
 
 let contents_equal a b =
   let ca = Memory.Address_space.contents a and cb = Memory.Address_space.contents b in
@@ -25,11 +25,11 @@ let chaos_props =
          ~count:15
          QCheck.(pair small_int (int_range 0 2))
          (fun (seed, pidx) ->
-           let mp = mk_pair ~nested:(seed mod 2 = 0) () in
-           let engine = mp.Vmm.Layers.mp_engine in
+           let mp = mk_pair ~nested:(seed mod 2 = 0) (Sim.Ctx.create ()) in
+           let ctx = mp.Vmm.Layers.mp_ctx in
            let source = mp.Vmm.Layers.mp_source and dest = mp.Vmm.Layers.mp_dest in
            let env =
-             Workload.Exec_env.make ~vm:source ~engine ~level:(Vmm.Vm.level source)
+             Workload.Exec_env.make ~vm:source ~ctx ~level:(Vmm.Vm.level source)
                ~ram:(Vmm.Vm.ram source)
                ~rng:(Sim.Rng.create seed) ()
            in
@@ -39,7 +39,7 @@ let chaos_props =
                (Workload.Kernel_compile.background ~pages_per_second:rate ())
            in
            let fault = Sim.Fault.create profiles.(pidx) (Sim.Rng.create seed) in
-           let r = Migration.Precopy.migrate ~fault engine ~source ~dest () in
+           let r = Migration.Precopy.migrate ~fault ctx ~source ~dest () in
            Workload.Background.stop wl;
            match r with
            | Error _ -> false
@@ -73,8 +73,8 @@ let chaos_props =
          ~name:"postcopy chaos: auto-recovery pulls every remaining page exactly once"
          ~count:12 QCheck.small_int
          (fun seed ->
-           let mp = mk_pair ~nested:(seed mod 2 = 1) () in
-           let engine = mp.Vmm.Layers.mp_engine in
+           let mp = mk_pair ~nested:(seed mod 2 = 1) (Sim.Ctx.create ()) in
+           let ctx = mp.Vmm.Layers.mp_ctx in
            let source = mp.Vmm.Layers.mp_source and dest = mp.Vmm.Layers.mp_dest in
            let rng = Sim.Rng.create seed in
            for _ = 1 to 200 do
@@ -97,7 +97,7 @@ let chaos_props =
              }
            in
            let fault = Sim.Fault.create profile (Sim.Rng.create seed) in
-           match Migration.Postcopy.migrate ~config ~fault engine ~source ~dest () with
+           match Migration.Postcopy.migrate ~config ~fault ctx ~source ~dest () with
            | Error _ -> false
            | Ok (Migration.Outcome.Completed r) | Ok (Migration.Outcome.Recovered (r, _)) ->
              (* exactly-once delivery: the page counter equals the RAM
@@ -116,7 +116,7 @@ let chaos_props =
          (fun seed ->
            (* the fault subsystem must not perturb clean scenarios: a
               host with no nested VM is never flagged, at any seed *)
-           let sc = Cloudskulk.Scenarios.clean ~seed () in
+           let sc = Cloudskulk.Scenarios.clean (Sim.Ctx.create ~seed ()) in
            match Cloudskulk.Dedup_detector.run sc.Cloudskulk.Scenarios.detector_env with
            | Ok o -> o.Cloudskulk.Dedup_detector.verdict = Cloudskulk.Dedup_detector.No_nested_vm
            | Error _ -> false));

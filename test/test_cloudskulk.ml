@@ -45,21 +45,21 @@ let target_config ?(name = "guest0") () =
   Vmm.Qemu_config.with_hostfwd c [ (2222, 22) ]
 
 let mk_world ?(seed = 42) () =
-  let engine = Sim.Engine.create ~seed () in
-  let uplink = Net.Fabric.Switch.create engine ~name:"uplink" ~link:Net.Link.lan_1gbe in
-  let host = Vmm.Hypervisor.create_l0 engine ~name:"host" ~uplink ~addr:"192.168.1.100" in
+  let ctx = Sim.Ctx.create ~seed () in
+  let uplink = Net.Fabric.Switch.create ctx ~name:"uplink" ~link:Net.Link.lan_1gbe in
+  let host = Vmm.Hypervisor.create_l0 ctx ~name:"host" ~uplink ~addr:"192.168.1.100" in
   let registry = Migration.Registry.create () in
-  (engine, uplink, host, registry)
+  (ctx, uplink, host, registry)
 
 let launch_target host = Result.get_ok (Vmm.Hypervisor.launch host (target_config ()))
 
-let install ?(config = None) engine host registry =
+let install ?(config = None) ctx host registry =
   let config =
     match config with
     | Some c -> Some c
     | None -> Some (Cloudskulk.Install.default_config ~target_name:"guest0")
   in
-  match Cloudskulk.Install.run ?config engine ~host ~registry ~target_name:"guest0" with
+  match Cloudskulk.Install.run ?config ctx ~host ~registry ~target_name:"guest0" with
   | Ok r -> r
   | Error e -> Alcotest.fail ("install failed: " ^ e)
 
@@ -111,9 +111,9 @@ let recon_tests =
 let install_tests =
   [
     Alcotest.test_case "four steps complete in order" `Quick (fun () ->
-        let engine, _, host, registry = mk_world () in
+        let ctx, _, host, registry = mk_world () in
         ignore (launch_target host);
-        let r = install engine host registry in
+        let r = install ctx host registry in
         let names =
           List.map (fun s -> Cloudskulk.Install.step_name s.Cloudskulk.Install.step)
             r.Cloudskulk.Install.steps
@@ -122,9 +122,9 @@ let install_tests =
           [ "recon"; "launch-ritm"; "nested-destination"; "live-migration"; "cleanup" ]
           names);
     Alcotest.test_case "victim ends up at L2 inside GuestX" `Quick (fun () ->
-        let engine, _, host, registry = mk_world () in
+        let ctx, _, host, registry = mk_world () in
         ignore (launch_target host);
-        let r = install engine host registry in
+        let r = install ctx host registry in
         let ritm = r.Cloudskulk.Install.ritm in
         Alcotest.(check int) "L2" 2 (Vmm.Level.to_int (Vmm.Vm.level ritm.Cloudskulk.Ritm.victim));
         Alcotest.(check bool) "victim running" true
@@ -135,10 +135,10 @@ let install_tests =
         Alcotest.(check bool) "backed by guestx" true
           (root == Vmm.Vm.ram ritm.Cloudskulk.Ritm.guestx));
     Alcotest.test_case "husk is killed and PID spoofed" `Quick (fun () ->
-        let engine, _, host, registry = mk_world () in
+        let ctx, _, host, registry = mk_world () in
         let target = launch_target host in
         let old_pid = Vmm.Vm.qemu_pid target in
-        let r = install engine host registry in
+        let r = install ctx host registry in
         Alcotest.(check bool) "target dead" false (Vmm.Vm.is_alive target);
         Alcotest.(check int) "old pid" old_pid r.Cloudskulk.Install.old_pid;
         Alcotest.(check int) "guestx wears it" old_pid r.Cloudskulk.Install.new_pid;
@@ -149,37 +149,37 @@ let install_tests =
             (contains_sub p.Vmm.Process_table.cmdline "guestx")
         | None -> Alcotest.fail "pid vanished"));
     Alcotest.test_case "victim's SSH path still works after install" `Quick (fun () ->
-        let engine, uplink, host, registry = mk_world () in
+        let ctx, uplink, host, registry = mk_world () in
         ignore (launch_target host);
-        let r = install engine host registry in
+        let r = install ctx host registry in
         let victim = r.Cloudskulk.Install.ritm.Cloudskulk.Ritm.victim in
         let got = ref None in
         (match Vmm.Vm.node victim with
         | Some node -> Net.Fabric.Node.listen node 22 (fun p -> got := Some p.Net.Packet.payload)
         | None -> Alcotest.fail "victim has no node");
-        let user = Net.Fabric.Node.create engine ~name:"user" ~addr:"203.0.113.5" in
+        let user = Net.Fabric.Node.create (Sim.Ctx.engine ctx) ~name:"user" ~addr:"203.0.113.5" in
         Net.Fabric.Node.attach user uplink;
         Net.Fabric.Node.send user ~via:uplink
           (Net.Packet.make ~id:1
              ~src:(Net.Packet.endpoint "203.0.113.5" 50000)
              ~dst:(Net.Packet.endpoint "192.168.1.100" 2222)
              "ssh after rootkit");
-        ignore (Sim.Engine.run_for engine (Sim.Time.s 1.));
+        ignore (Sim.Engine.run_for (Sim.Ctx.engine ctx) (Sim.Time.s 1.));
         Alcotest.(check (option string)) "delivered to nested victim" (Some "ssh after rootkit")
           !got);
     Alcotest.test_case "impersonation copies the OS identity" `Quick (fun () ->
-        let engine, _, host, registry = mk_world () in
+        let ctx, _, host, registry = mk_world () in
         let target = launch_target host in
         Vmm.Vm.set_os_release target "Fedora 22, Linux 4.4.14-200.fc22.x86_64";
-        let r = install engine host registry in
+        let r = install ctx host registry in
         let ritm = r.Cloudskulk.Install.ritm in
         Alcotest.(check string) "same os string"
           (Vmm.Vm.os_release ritm.Cloudskulk.Ritm.victim)
           (Vmm.Vm.os_release ritm.Cloudskulk.Ritm.guestx));
     Alcotest.test_case "installation time is dominated by migration" `Quick (fun () ->
-        let engine, _, host, registry = mk_world () in
+        let ctx, _, host, registry = mk_world () in
         ignore (launch_target host);
-        let r = install engine host registry in
+        let r = install ctx host registry in
         let mig_step =
           List.find
             (fun s -> s.Cloudskulk.Install.step = Cloudskulk.Install.Live_migration)
@@ -201,12 +201,12 @@ let install_tests =
           r.Cloudskulk.Install.steps;
         Alcotest.(check bool) "migration is most of the total" true (mig_time > 0.5 *. total));
     Alcotest.test_case "missing target fails cleanly" `Quick (fun () ->
-        let engine, _, host, registry = mk_world () in
+        let ctx, _, host, registry = mk_world () in
         Alcotest.(check bool) "error" true
           (Result.is_error
-             (Cloudskulk.Install.run engine ~host ~registry ~target_name:"guest0")));
+             (Cloudskulk.Install.run ctx ~host ~registry ~target_name:"guest0")));
     Alcotest.test_case "post-copy strategy also installs" `Quick (fun () ->
-        let engine, _, host, registry = mk_world () in
+        let ctx, _, host, registry = mk_world () in
         ignore (launch_target host);
         let config =
           {
@@ -215,7 +215,7 @@ let install_tests =
               Migration.Wiring.Post_copy Migration.Postcopy.default_config;
           }
         in
-        let r = install ~config:(Some config) engine host registry in
+        let r = install ~config:(Some config) ctx host registry in
         Alcotest.(check bool) "postcopy result" true (r.Cloudskulk.Install.postcopy <> None);
         Alcotest.(check bool) "intact" true
           (Cloudskulk.Ritm.is_intact r.Cloudskulk.Install.ritm));
@@ -224,9 +224,9 @@ let install_tests =
 let stealth_tests =
   [
     Alcotest.test_case "mirror_file copies contents byte-for-byte" `Quick (fun () ->
-        let engine, _, host, registry = mk_world () in
+        let ctx, _, host, registry = mk_world () in
         ignore (launch_target host);
-        let r = install engine host registry in
+        let r = install ctx host registry in
         let ritm = r.Cloudskulk.Install.ritm in
         let victim = ritm.Cloudskulk.Ritm.victim and guestx = ritm.Cloudskulk.Ritm.guestx in
         let f = Memory.File_image.generate (Sim.Rng.create 3) ~name:"secrets" ~pages:8 in
@@ -240,9 +240,9 @@ let stealth_tests =
           Alcotest.(check bool) "identical" true
             (Memory.File_image.matches f (Vmm.Vm.ram guestx) ~offset:off));
     Alcotest.test_case "sync_victim_page propagates a change" `Quick (fun () ->
-        let engine, _, host, registry = mk_world () in
+        let ctx, _, host, registry = mk_world () in
         ignore (launch_target host);
-        let r = install engine host registry in
+        let r = install ctx host registry in
         let ritm = r.Cloudskulk.Install.ritm in
         let victim = ritm.Cloudskulk.Ritm.victim and guestx = ritm.Cloudskulk.Ritm.guestx in
         let f = Memory.File_image.generate (Sim.Rng.create 3) ~name:"doc" ~pages:4 in
@@ -258,9 +258,9 @@ let stealth_tests =
           (Memory.Page.Content.equal new_c
              (Memory.Address_space.read (Vmm.Vm.ram guestx) (goff + 2))));
     Alcotest.test_case "spoof_pid requires the old pid to be free" `Quick (fun () ->
-        let engine, _, host, registry = mk_world () in
+        let ctx, _, host, registry = mk_world () in
         ignore (launch_target host);
-        let r = install engine host registry in
+        let r = install ctx host registry in
         let guestx = r.Cloudskulk.Install.ritm.Cloudskulk.Ritm.guestx in
         (* try to steal a pid that is still in use *)
         let table = Vmm.Hypervisor.processes host in
@@ -276,79 +276,79 @@ let stealth_tests =
 
 let services_tests =
   let setup () =
-    let engine, _, host, registry = mk_world () in
+    let ctx, _, host, registry = mk_world () in
     ignore (launch_target host);
-    let r = install engine host registry in
-    (engine, r.Cloudskulk.Install.ritm)
+    let r = install ctx host registry in
+    (ctx, r.Cloudskulk.Install.ritm)
   in
   [
     Alcotest.test_case "sniffer captures victim traffic" `Quick (fun () ->
-        let engine, ritm = setup () in
+        let ctx, ritm = setup () in
         let sniffer = Cloudskulk.Services.start_packet_capture ritm in
         Cloudskulk.Services.victim_send ritm
           ~dst:(Net.Packet.endpoint "203.0.113.9" 80)
           "GET /index.html";
-        ignore (Sim.Engine.run_for engine (Sim.Time.s 1.));
+        ignore (Sim.Engine.run_for (Sim.Ctx.engine ctx) (Sim.Time.s 1.));
         let caps = Cloudskulk.Services.captures sniffer in
         Alcotest.(check int) "one" 1 (List.length caps);
         Alcotest.(check string) "payload" "GET /index.html"
           (List.hd caps).Cloudskulk.Services.observed_payload);
     Alcotest.test_case "keylogger records only configured ports" `Quick (fun () ->
-        let engine, ritm = setup () in
+        let ctx, ritm = setup () in
         let kl = Cloudskulk.Services.start_keylogger ritm ~ports:[ 22 ] in
         Cloudskulk.Services.victim_send ritm ~dst:(Net.Packet.endpoint "x" 22) "ls -la";
         Cloudskulk.Services.victim_send ritm ~dst:(Net.Packet.endpoint "x" 80) "GET /";
-        ignore (Sim.Engine.run_for engine (Sim.Time.s 1.));
+        ignore (Sim.Engine.run_for (Sim.Ctx.engine ctx) (Sim.Time.s 1.));
         Alcotest.(check (list string)) "only ssh" [ "ls -la" ]
           (Cloudskulk.Services.keystrokes kl));
     Alcotest.test_case "encryption hides payloads from the sniffer" `Quick (fun () ->
-        let engine, ritm = setup () in
+        let ctx, ritm = setup () in
         let sniffer = Cloudskulk.Services.start_packet_capture ritm in
         Cloudskulk.Services.victim_send ritm ~encrypted:true
           ~dst:(Net.Packet.endpoint "bank" 443)
           "password=hunter2";
-        ignore (Sim.Engine.run_for engine (Sim.Time.s 1.));
+        ignore (Sim.Engine.run_for (Sim.Ctx.engine ctx) (Sim.Time.s 1.));
         Alcotest.(check string) "ciphertext only" "<ciphertext>"
           (List.hd (Cloudskulk.Services.captures sniffer)).Cloudskulk.Services.observed_payload);
     Alcotest.test_case "write trap sees plaintext before encryption" `Quick (fun () ->
-        let engine, ritm = setup () in
+        let ctx, ritm = setup () in
         let trap = Cloudskulk.Services.trap_guest_writes ritm in
         Cloudskulk.Services.victim_send ritm ~encrypted:true
           ~dst:(Net.Packet.endpoint "bank" 443)
           "password=hunter2";
-        ignore (Sim.Engine.run_for engine (Sim.Time.s 1.));
+        ignore (Sim.Engine.run_for (Sim.Ctx.engine ctx) (Sim.Time.s 1.));
         Alcotest.(check (list string)) "plaintext" [ "password=hunter2" ]
           (Cloudskulk.Services.trapped_writes trap);
         Cloudskulk.Services.untrap_guest_writes ritm trap);
     Alcotest.test_case "drop_traffic suppresses a port" `Quick (fun () ->
-        let engine, ritm = setup () in
+        let ctx, ritm = setup () in
         let stats = Cloudskulk.Services.drop_traffic ritm ~port:25 in
         let delivered = ref 0 in
         let uplink = Vmm.Hypervisor.uplink ritm.Cloudskulk.Ritm.host in
-        let sink = Net.Fabric.Node.create engine ~name:"mail" ~addr:"203.0.113.25" in
+        let sink = Net.Fabric.Node.create (Sim.Ctx.engine ctx) ~name:"mail" ~addr:"203.0.113.25" in
         Net.Fabric.Node.attach sink uplink;
         Net.Fabric.Node.listen sink 25 (fun _ -> incr delivered);
         Net.Fabric.Node.listen sink 80 (fun _ -> incr delivered);
         Cloudskulk.Services.victim_send ritm ~dst:(Net.Packet.endpoint "203.0.113.25" 25) "MAIL";
         Cloudskulk.Services.victim_send ritm ~dst:(Net.Packet.endpoint "203.0.113.25" 80) "WEB";
-        ignore (Sim.Engine.run_for engine (Sim.Time.s 1.));
+        ignore (Sim.Engine.run_for (Sim.Ctx.engine ctx) (Sim.Time.s 1.));
         Alcotest.(check int) "only web arrived" 1 !delivered;
         Alcotest.(check int) "one dropped" 1 stats.Cloudskulk.Services.dropped);
     Alcotest.test_case "rewrite_traffic alters plaintext in flight" `Quick (fun () ->
-        let engine, ritm = setup () in
+        let ctx, ritm = setup () in
         let stats =
           Cloudskulk.Services.rewrite_traffic ritm ~port:80 ~pattern:"BUY"
             ~replacement:"SELL"
         in
         let got = ref None in
         let uplink = Vmm.Hypervisor.uplink ritm.Cloudskulk.Ritm.host in
-        let sink = Net.Fabric.Node.create engine ~name:"web" ~addr:"203.0.113.80" in
+        let sink = Net.Fabric.Node.create (Sim.Ctx.engine ctx) ~name:"web" ~addr:"203.0.113.80" in
         Net.Fabric.Node.attach sink uplink;
         Net.Fabric.Node.listen sink 80 (fun p -> got := Some p.Net.Packet.payload);
         Cloudskulk.Services.victim_send ritm
           ~dst:(Net.Packet.endpoint "203.0.113.80" 80)
           "order: BUY 100";
-        ignore (Sim.Engine.run_for engine (Sim.Time.s 1.));
+        ignore (Sim.Engine.run_for (Sim.Ctx.engine ctx) (Sim.Time.s 1.));
         Alcotest.(check (option string)) "tampered" (Some "order: SELL 100") !got;
         Alcotest.(check int) "counted" 1 stats.Cloudskulk.Services.rewritten);
     Alcotest.test_case "parallel malicious OS runs beside the victim" `Quick (fun () ->
@@ -365,19 +365,19 @@ let services_tests =
 let baseline_tests =
   [
     Alcotest.test_case "VMCS scan finds a default (VT-x) install" `Quick (fun () ->
-        let engine, _, host, registry = mk_world () in
+        let ctx, _, host, registry = mk_world () in
         ignore (launch_target host);
-        ignore (install engine host registry);
+        ignore (install ctx host registry);
         let r = Cloudskulk.Vmcs_scan.scan_host host in
         Alcotest.(check bool) "detected" true r.Cloudskulk.Vmcs_scan.verdict);
     Alcotest.test_case "VMCS scan misses a software-emulated install" `Quick (fun () ->
-        let engine, _, host, registry = mk_world () in
+        let ctx, _, host, registry = mk_world () in
         ignore (launch_target host);
         let config =
           { (Cloudskulk.Install.default_config ~target_name:"guest0") with
             Cloudskulk.Install.use_vtx = false }
         in
-        ignore (install ~config:(Some config) engine host registry);
+        ignore (install ~config:(Some config) ctx host registry);
         let r = Cloudskulk.Vmcs_scan.scan_host host in
         Alcotest.(check bool) "missed (the paper's evasion)" false
           r.Cloudskulk.Vmcs_scan.verdict);
@@ -386,10 +386,10 @@ let baseline_tests =
         ignore (launch_target host);
         Alcotest.(check bool) "clean" false (Cloudskulk.Vmcs_scan.scan_host host).verdict);
     Alcotest.test_case "VMI fingerprint is evaded by impersonation" `Quick (fun () ->
-        let engine, _, host, registry = mk_world () in
+        let ctx, _, host, registry = mk_world () in
         let target = launch_target host in
         let expected = Cloudskulk.Vmi_fingerprint.take target in
-        let r = install engine host registry in
+        let r = install ctx host registry in
         let guestx = r.Cloudskulk.Install.ritm.Cloudskulk.Ritm.guestx in
         (* the admin fingerprints what they think is guest0 - really GuestX *)
         let result = Cloudskulk.Vmi_fingerprint.check ~expected guestx in
@@ -405,7 +405,7 @@ let baseline_tests =
                 m.Cloudskulk.Vmi_fingerprint.field)
             ms));
     Alcotest.test_case "VMI fingerprint catches a lazy attacker" `Quick (fun () ->
-        let engine, _, host, registry = mk_world () in
+        let ctx, _, host, registry = mk_world () in
         let target = launch_target host in
         Vmm.Vm.set_os_release target "CustomerOS 7";
         let expected = Cloudskulk.Vmi_fingerprint.take target in
@@ -413,7 +413,7 @@ let baseline_tests =
           { (Cloudskulk.Install.default_config ~target_name:"guest0") with
             Cloudskulk.Install.impersonate = false }
         in
-        let r = install ~config:(Some config) engine host registry in
+        let r = install ~config:(Some config) ctx host registry in
         let guestx = r.Cloudskulk.Install.ritm.Cloudskulk.Ritm.guestx in
         match Cloudskulk.Vmi_fingerprint.check ~expected guestx with
         | Ok () -> Alcotest.fail "should have caught the unimpersonated RITM"

@@ -14,7 +14,7 @@ let detection_tests =
   [
     Alcotest.test_case "scenario 1 (clean): t1 >> t2 ~ t0, verdict clean (Fig 5)" `Slow
       (fun () ->
-        let sc = Cloudskulk.Scenarios.clean () in
+        let sc = Cloudskulk.Scenarios.clean (Sim.Ctx.create ()) in
         let o = run_detector sc in
         Alcotest.(check bool) "verdict" true
           (o.Cloudskulk.Dedup_detector.verdict = Cloudskulk.Dedup_detector.No_nested_vm);
@@ -25,7 +25,7 @@ let detection_tests =
         Alcotest.(check (float 0.01)) "t2 no CoW" 0.0 o.t2.cow_fraction);
     Alcotest.test_case "scenario 2 (infected): t1 ~ t2 >> t0, verdict detected (Fig 6)" `Slow
       (fun () ->
-        let sc = Cloudskulk.Scenarios.infected () in
+        let sc = Cloudskulk.Scenarios.infected (Sim.Ctx.create ()) in
         let o = run_detector sc in
         Alcotest.(check bool) "verdict" true
           (o.Cloudskulk.Dedup_detector.verdict = Cloudskulk.Dedup_detector.Nested_vm_detected);
@@ -34,7 +34,7 @@ let detection_tests =
         let ratio = mean o.t1 /. mean o.t2 in
         Alcotest.(check bool) "t1 ~ t2" true (ratio > 0.8 && ratio < 1.25));
     Alcotest.test_case "per-page series have the figures' shapes" `Slow (fun () ->
-        let clean = run_detector (Cloudskulk.Scenarios.clean ()) in
+        let clean = run_detector (Cloudskulk.Scenarios.clean (Sim.Ctx.create ())) in
         Alcotest.(check int) "100 pages per series" 100
           (Array.length clean.Cloudskulk.Dedup_detector.t1.per_page_ns);
         (* Fig 5: every t1 page is individually slow, every t2 page fast *)
@@ -49,7 +49,7 @@ let detection_tests =
           { (Cloudskulk.Install.default_config ~target_name:"guest0") with
             Cloudskulk.Install.use_vtx = false }
         in
-        let sc = Cloudskulk.Scenarios.infected ~install_config:config () in
+        let sc = Cloudskulk.Scenarios.infected ~install_config:config (Sim.Ctx.create ()) in
         (* VMCS scan is blind... *)
         Alcotest.(check bool) "vmcs scan misses" false
           (Cloudskulk.Vmcs_scan.scan_host sc.Cloudskulk.Scenarios.host).verdict;
@@ -59,7 +59,7 @@ let detection_tests =
           (o.Cloudskulk.Dedup_detector.verdict = Cloudskulk.Dedup_detector.Nested_vm_detected));
     Alcotest.test_case "attacker syncing changes evades, at a cost (Section VI-D)" `Slow
       (fun () ->
-        let sc = Cloudskulk.Scenarios.infected ~attacker_syncs_changes:true () in
+        let sc = Cloudskulk.Scenarios.infected ~attacker_syncs_changes:true (Sim.Ctx.create ()) in
         let o = run_detector sc in
         (* with a perfectly synced mirror, t2 merges against... nothing
            original, so the detector reads it as clean: the evasion
@@ -68,7 +68,7 @@ let detection_tests =
         Alcotest.(check bool) "evaded" true
           (o.Cloudskulk.Dedup_detector.verdict = Cloudskulk.Dedup_detector.No_nested_vm));
     Alcotest.test_case "file never delivered -> inconclusive" `Slow (fun () ->
-        let sc = Cloudskulk.Scenarios.clean () in
+        let sc = Cloudskulk.Scenarios.clean (Sim.Ctx.create ()) in
         let env =
           { sc.Cloudskulk.Scenarios.detector_env with
             Cloudskulk.Dedup_detector.deliver_to_guest = (fun _ -> Ok ());
@@ -84,7 +84,7 @@ let detection_tests =
               (Cloudskulk.Dedup_detector.verdict_to_string v))
         | Error e -> Alcotest.fail e));
     Alcotest.test_case "delivery failure propagates" `Quick (fun () ->
-        let sc = Cloudskulk.Scenarios.clean () in
+        let sc = Cloudskulk.Scenarios.clean (Sim.Ctx.create ()) in
         let env =
           { sc.Cloudskulk.Scenarios.detector_env with
             Cloudskulk.Dedup_detector.deliver_to_guest = (fun _ -> Error "web interface down");
@@ -97,7 +97,7 @@ let detection_tests =
           { Cloudskulk.Dedup_detector.default_config with
             Cloudskulk.Dedup_detector.file_pages = 4 }
         in
-        let sc = Cloudskulk.Scenarios.infected () in
+        let sc = Cloudskulk.Scenarios.infected (Sim.Ctx.create ()) in
         (match Cloudskulk.Dedup_detector.run ~config sc.Cloudskulk.Scenarios.detector_env with
         | Ok o ->
           Alcotest.(check bool) "detected with 4 pages" true
@@ -106,11 +106,11 @@ let detection_tests =
         | Error e -> Alcotest.fail e));
     Alcotest.test_case "verdicts are deterministic per seed" `Slow (fun () ->
         let run seed =
-          (run_detector (Cloudskulk.Scenarios.clean ~seed ())).Cloudskulk.Dedup_detector.verdict
+          (run_detector (Cloudskulk.Scenarios.clean (Sim.Ctx.create ~seed ()))).Cloudskulk.Dedup_detector.verdict
         in
         Alcotest.(check bool) "same verdict" true (run 1 = run 1));
     Alcotest.test_case "measure_t0 alone gives a private-write baseline" `Quick (fun () ->
-        let sc = Cloudskulk.Scenarios.clean () in
+        let sc = Cloudskulk.Scenarios.clean (Sim.Ctx.create ()) in
         match Cloudskulk.Dedup_detector.measure_t0 sc.Cloudskulk.Scenarios.detector_env with
         | Ok m ->
           Alcotest.(check (float 0.001)) "no CoW" 0.0 m.Cloudskulk.Dedup_detector.cow_fraction;
@@ -123,10 +123,10 @@ let accuracy_tests =
     Alcotest.test_case "detector is right in 10/10 mixed trials" `Slow (fun () ->
         let correct = ref 0 in
         for seed = 1 to 5 do
-          let clean = run_detector (Cloudskulk.Scenarios.clean ~seed ()) in
+          let clean = run_detector (Cloudskulk.Scenarios.clean (Sim.Ctx.create ~seed ())) in
           if clean.Cloudskulk.Dedup_detector.verdict = Cloudskulk.Dedup_detector.No_nested_vm
           then incr correct;
-          let infected = run_detector (Cloudskulk.Scenarios.infected ~seed ()) in
+          let infected = run_detector (Cloudskulk.Scenarios.infected (Sim.Ctx.create ~seed ())) in
           if
             infected.Cloudskulk.Dedup_detector.verdict
             = Cloudskulk.Dedup_detector.Nested_vm_detected

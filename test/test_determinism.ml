@@ -4,13 +4,13 @@
    fixes flagged by skulklint's hashtbl-order rule. *)
 
 let mk_host () =
-  let engine = Sim.Engine.create () in
-  let uplink = Net.Fabric.Switch.create engine ~name:"up" ~link:Net.Link.lan_1gbe in
+  let ctx = Sim.Ctx.create () in
+  let uplink = Net.Fabric.Switch.create ctx ~name:"up" ~link:Net.Link.lan_1gbe in
   let host =
-    Vmm.Hypervisor.create_l0 ~ksm_config:Memory.Ksm.fast_config engine ~name:"host" ~uplink
+    Vmm.Hypervisor.create_l0 ~ksm_config:Memory.Ksm.fast_config ctx ~name:"host" ~uplink
       ~addr:"192.168.1.100"
   in
-  (engine, host)
+  (ctx, host)
 
 let launch_exn host cfg =
   match Vmm.Hypervisor.launch host cfg with Ok vm -> vm | Error e -> Alcotest.fail e
@@ -62,9 +62,9 @@ let forwards_tests =
             (443, "10.0.0.5", 443); (5902, "10.0.0.6", 5901) ]
         in
         let listing order =
-          let engine = Sim.Engine.create () in
-          let sw = Net.Fabric.Switch.create engine ~name:"sw" ~link:Net.Link.lan_1gbe in
-          let node = Net.Fabric.Node.create engine ~name:"n" ~addr:"10.0.0.1" in
+          let ctx = Sim.Ctx.create () in
+          let sw = Net.Fabric.Switch.create ctx ~name:"sw" ~link:Net.Link.lan_1gbe in
+          let node = Net.Fabric.Node.create (Sim.Ctx.engine ctx) ~name:"n" ~addr:"10.0.0.1" in
           List.iter
             (fun (from_port, addr, port) ->
               Net.Fabric.Node.add_forward node ~from_port

@@ -7,23 +7,23 @@ let target_config ?(name = "guest0") ?(memory_mb = 64) () =
   Vmm.Qemu_config.with_hostfwd c [ (2222, 22) ]
 
 let mk_world ?(seed = 42) ?ksm_config () =
-  let engine = Sim.Engine.create ~seed () in
-  let uplink = Net.Fabric.Switch.create engine ~name:"uplink" ~link:Net.Link.lan_1gbe in
+  let ctx = Sim.Ctx.create ~seed () in
+  let uplink = Net.Fabric.Switch.create ctx ~name:"uplink" ~link:Net.Link.lan_1gbe in
   let host =
-    Vmm.Hypervisor.create_l0 ?ksm_config engine ~name:"host" ~uplink ~addr:"192.168.1.100"
+    Vmm.Hypervisor.create_l0 ?ksm_config ctx ~name:"host" ~uplink ~addr:"192.168.1.100"
   in
-  (engine, uplink, host, Migration.Registry.create ())
+  (ctx, uplink, host, Migration.Registry.create ())
 
-let install_exn engine host registry =
-  match Cloudskulk.Install.run engine ~host ~registry ~target_name:"guest0" with
+let install_exn ctx host registry =
+  match Cloudskulk.Install.run ctx ~host ~registry ~target_name:"guest0" with
   | Ok r -> r
   | Error e -> Alcotest.fail e
 
 let infected_victim ?seed () =
-  let engine, _, host, registry = mk_world ?seed () in
+  let ctx, _, host, registry = mk_world ?seed () in
   ignore (Result.get_ok (Vmm.Hypervisor.launch host (target_config ())));
-  let r = install_exn engine host registry in
-  (engine, host, r.Cloudskulk.Install.ritm)
+  let r = install_exn ctx host registry in
+  (ctx, host, r.Cloudskulk.Install.ritm)
 
 let l2_timing_tests =
   let open Cloudskulk.L2_timing_detector in
@@ -92,7 +92,7 @@ let auditor_tests =
           (Result.get_ok (Vmm.Hypervisor.launch host (target_config ~name:"other" ())));
         Alcotest.(check bool) "not alarming" false (is_alarming (audit host)));
     Alcotest.test_case "post-install footprints are alarming" `Quick (fun () ->
-        let engine, _, host, registry = mk_world () in
+        let ctx, _, host, registry = mk_world () in
         ignore (Result.get_ok (Vmm.Hypervisor.launch host (target_config ())));
         (* a busy host keeps spawning processes; any process born between
            the victim's QEMU and GuestX makes the later PID spoof show
@@ -101,7 +101,7 @@ let auditor_tests =
           (Vmm.Process_table.spawn
              (Vmm.Hypervisor.processes host)
              ~name:"dnf" ~cmdline:"/usr/bin/dnf makecache");
-        ignore (install_exn engine host registry);
+        ignore (install_exn ctx host registry);
         let findings = audit host in
         let codes = List.map (fun f -> f.code) findings in
         Alcotest.(check bool) "pid inversion seen" true (List.mem Pid_inversion codes);
@@ -110,7 +110,7 @@ let auditor_tests =
         Alcotest.(check bool) "vmcs seen" true (List.mem Vmcs_signature codes);
         Alcotest.(check bool) "alarming" true (is_alarming findings));
     Alcotest.test_case "no-VT-x install still trips the behavioral checks" `Quick (fun () ->
-        let engine, _, host, registry = mk_world () in
+        let ctx, _, host, registry = mk_world () in
         ignore (Result.get_ok (Vmm.Hypervisor.launch host (target_config ())));
         ignore
           (Vmm.Process_table.spawn
@@ -120,7 +120,7 @@ let auditor_tests =
           { (Cloudskulk.Install.default_config ~target_name:"guest0") with
             Cloudskulk.Install.use_vtx = false }
         in
-        (match Cloudskulk.Install.run ~config engine ~host ~registry ~target_name:"guest0" with
+        (match Cloudskulk.Install.run ~config ctx ~host ~registry ~target_name:"guest0" with
         | Ok _ -> ()
         | Error e -> Alcotest.fail e);
         let findings = audit host in
@@ -130,7 +130,7 @@ let auditor_tests =
           (is_alarming findings));
     Alcotest.test_case "mid-install window shows the staging" `Quick (fun () ->
         (* reproduce steps 2-3 by hand and audit before the migration *)
-        let engine, _, host, _ = mk_world () in
+        let ctx, _, host, _ = mk_world () in
         ignore (Result.get_ok (Vmm.Hypervisor.launch host (target_config ())));
         let guestx_cfg =
           Vmm.Qemu_config.with_nested_vmx
@@ -142,7 +142,7 @@ let auditor_tests =
             true
         in
         let guestx = Result.get_ok (Vmm.Hypervisor.launch host guestx_cfg) in
-        let hv = Result.get_ok (Vmm.Hypervisor.create_nested engine ~vm:guestx ~name:"hv") in
+        let hv = Result.get_ok (Vmm.Hypervisor.create_nested ctx ~vm:guestx ~name:"hv") in
         ignore
           (Result.get_ok
              (Vmm.Hypervisor.launch hv
@@ -247,15 +247,15 @@ let covert_props =
 let service_tests =
   let open Cloudskulk.Detector_service in
   let make_world_with_service ?(policy = default_policy) () =
-    let engine, _, host, registry = mk_world () in
+    let ctx, _, host, registry = mk_world () in
     let vm = Result.get_ok (Vmm.Hypervisor.launch host (target_config ())) in
-    let service = create ~policy engine host in
+    let service = create ~policy ctx host in
     let vm_ref = ref vm in
     let ritm_ref = ref None in
     let env () =
       let vm = !vm_ref in
       {
-        Cloudskulk.Dedup_detector.engine;
+        Cloudskulk.Dedup_detector.ctx;
         host;
         deliver_to_guest =
           (fun image ->
@@ -292,7 +292,7 @@ let service_tests =
       }
     in
     register_tenant service ~name:"guest0" ~env;
-    (engine, host, registry, service, vm_ref, ritm_ref)
+    (ctx, host, registry, service, vm_ref, ritm_ref)
   in
   [
     Alcotest.test_case "first sweep probes and records a clean verdict" `Quick (fun () ->
@@ -321,13 +321,13 @@ let service_tests =
         | Some st -> Alcotest.(check int) "probe just ran" 0 st.sweeps_since_dedup
         | None -> Alcotest.fail "tenant missing");
     Alcotest.test_case "an attack flips the verdict and raises events" `Quick (fun () ->
-        let engine, host, registry, service, vm_ref, ritm_ref =
+        let ctx, host, registry, service, vm_ref, ritm_ref =
           make_world_with_service ()
         in
         ignore (sweep_now service);
         (* attack happens between sweeps *)
         let report =
-          match Cloudskulk.Install.run engine ~host ~registry ~target_name:"guest0" with
+          match Cloudskulk.Install.run ctx ~host ~registry ~target_name:"guest0" with
           | Ok r -> r
           | Error e -> Alcotest.fail e
         in
@@ -346,12 +346,12 @@ let service_tests =
         Alcotest.(check (list string)) "tenant listed as compromised" [ "guest0" ]
           (compromised_tenants service));
     Alcotest.test_case "probe failure is an event, not a crash" `Quick (fun () ->
-        let engine, _, _, _, _, _ = make_world_with_service () in
+        let ctx, _, _, _, _, _ = make_world_with_service () in
         let _, _, host2, _ = mk_world () in
-        let service = create engine host2 in
+        let service = create ctx host2 in
         register_tenant service ~name:"ghost" ~env:(fun () ->
             {
-              Cloudskulk.Dedup_detector.engine;
+              Cloudskulk.Dedup_detector.ctx;
               host = host2;
               deliver_to_guest = (fun _ -> Error "agent unreachable");
               mutate_in_guest = (fun ~name:_ ~salt:_ -> Ok ());
@@ -360,13 +360,13 @@ let service_tests =
         Alcotest.(check bool) "probe_failed event" true
           (List.exists (function Probe_failed _ -> true | _ -> false) evs));
     Alcotest.test_case "periodic mode sweeps on its own" `Quick (fun () ->
-        let engine, _, _, service, _, _ =
+        let ctx, _, _, service, _, _ =
           make_world_with_service
             ~policy:{ default_policy with sweep_every = Sim.Time.minutes 5. }
             ()
         in
         start service;
-        ignore (Sim.Engine.run_for engine (Sim.Time.minutes 16.));
+        ignore (Sim.Engine.run_for (Sim.Ctx.engine ctx) (Sim.Time.minutes 16.));
         stop service;
         Alcotest.(check bool) "at least 3 sweeps" true (sweeps_run service >= 3));
     Alcotest.test_case "unregister stops probing a tenant" `Quick (fun () ->

@@ -7,49 +7,47 @@ let target_config ?(name = "guest0") ?(memory_mb = 64) () =
   Vmm.Qemu_config.with_hostfwd c [ (2222, 22) ]
 
 let mk_world ?(seed = 42) () =
-  let engine = Sim.Engine.create ~seed () in
-  let trace = Sim.Trace.create () in
-  let uplink = Net.Fabric.Switch.create engine ~name:"uplink" ~link:Net.Link.lan_1gbe in
-  let host =
-    Vmm.Hypervisor.create_l0 ~trace engine ~name:"host" ~uplink ~addr:"192.168.1.100"
-  in
-  (engine, trace, uplink, host, Migration.Registry.create ())
+  let ctx = Sim.Ctx.create ~seed () in
+  let trace = Sim.Ctx.trace ctx in
+  let uplink = Net.Fabric.Switch.create ctx ~name:"uplink" ~link:Net.Link.lan_1gbe in
+  let host = Vmm.Hypervisor.create_l0 ctx ~name:"host" ~uplink ~addr:"192.168.1.100" in
+  (ctx, trace, uplink, host, Migration.Registry.create ())
 
-let install_exn engine host registry =
-  match Cloudskulk.Install.run engine ~host ~registry ~target_name:"guest0" with
+let install_exn ctx host registry =
+  match Cloudskulk.Install.run ctx ~host ~registry ~target_name:"guest0" with
   | Ok r -> r
   | Error e -> Alcotest.fail e
 
 let story_tests =
   [
     Alcotest.test_case "full story: attack, spy, tamper, detect" `Slow (fun () ->
-        let engine, _, uplink, host, registry = mk_world () in
+        let ctx, _, uplink, host, registry = mk_world () in
         ignore (Result.get_ok (Vmm.Hypervisor.launch host (target_config ())));
         (* attack *)
-        let report = install_exn engine host registry in
+        let report = install_exn ctx host registry in
         let ritm = report.Cloudskulk.Install.ritm in
         (* spy: keystrokes over the forwarded SSH path *)
         let kl = Cloudskulk.Services.start_keylogger ritm ~ports:[ 22 ] in
-        let user = Net.Fabric.Node.create engine ~name:"user" ~addr:"203.0.113.5" in
+        let user = Net.Fabric.Node.create (Sim.Ctx.engine ctx) ~name:"user" ~addr:"203.0.113.5" in
         Net.Fabric.Node.attach user uplink;
         Net.Fabric.Node.send user ~via:uplink
           (Net.Packet.make ~id:1
              ~src:(Net.Packet.endpoint "203.0.113.5" 50000)
              ~dst:(Net.Packet.endpoint "192.168.1.100" 2222)
              "sudo rm -rf /tmp/x");
-        ignore (Sim.Engine.run_for engine (Sim.Time.s 1.));
+        ignore (Sim.Engine.run_for (Sim.Ctx.engine ctx) (Sim.Time.s 1.));
         Alcotest.(check (list string)) "keystrokes" [ "sudo rm -rf /tmp/x" ]
           (Cloudskulk.Services.keystrokes kl);
         (* tamper: drop victim mail *)
         let stats = Cloudskulk.Services.drop_traffic ritm ~port:25 in
         Cloudskulk.Services.victim_send ritm ~dst:(Net.Packet.endpoint "mail" 25) "msg";
-        ignore (Sim.Engine.run_for engine (Sim.Time.s 1.));
+        ignore (Sim.Engine.run_for (Sim.Ctx.engine ctx) (Sim.Time.s 1.));
         Alcotest.(check int) "dropped" 1 stats.Cloudskulk.Services.dropped;
         (* detect from L0 *)
         let victim = ritm.Cloudskulk.Ritm.victim and guestx = ritm.Cloudskulk.Ritm.guestx in
         let env =
           {
-            Cloudskulk.Dedup_detector.engine;
+            Cloudskulk.Dedup_detector.ctx;
             host;
             deliver_to_guest =
               (fun image ->
@@ -81,7 +79,7 @@ let story_tests =
             = Cloudskulk.Dedup_detector.Nested_vm_detected)
         | Error e -> Alcotest.fail e);
     Alcotest.test_case "co-resident VMs survive the attack untouched" `Quick (fun () ->
-        let engine, _, _, host, registry = mk_world () in
+        let ctx, _, _, host, registry = mk_world () in
         ignore (Result.get_ok (Vmm.Hypervisor.launch host (target_config ())));
         let bystander =
           Result.get_ok
@@ -89,23 +87,23 @@ let story_tests =
         in
         let c = Memory.Page.Content.of_int 31337 in
         ignore (Memory.Address_space.write (Vmm.Vm.ram bystander) 5 c);
-        ignore (install_exn engine host registry);
+        ignore (install_exn ctx host registry);
         Alcotest.(check bool) "still running" true (Vmm.Vm.state bystander = Vmm.Vm.Running);
         Alcotest.(check bool) "memory intact" true
           (Memory.Page.Content.equal c (Memory.Address_space.read (Vmm.Vm.ram bystander) 5)));
     Alcotest.test_case "trace records the attack's causal chain" `Quick (fun () ->
-        let engine, trace, _, host, registry = mk_world () in
+        let ctx, trace, _, host, registry = mk_world () in
         ignore (Result.get_ok (Vmm.Hypervisor.launch host (target_config ())));
-        ignore (install_exn engine host registry);
+        ignore (install_exn ctx host registry);
         Alcotest.(check bool) "guestx launched" true
           (Sim.Trace.contains trace ~component:"hv:host" ~substring:"launched guestx");
         Alcotest.(check bool) "guest0 killed" true
           (Sim.Trace.contains trace ~component:"hv:host" ~substring:"killed guest0"));
     Alcotest.test_case "admin's monitor view of GuestX mimics the old guest" `Quick (fun () ->
-        let engine, _, _, host, registry = mk_world () in
+        let ctx, _, _, host, registry = mk_world () in
         let target = Result.get_ok (Vmm.Hypervisor.launch host (target_config ())) in
         let before = Vmm.Monitor.execute_exn target "info qtree" in
-        let r = install_exn engine host registry in
+        let r = install_exn ctx host registry in
         let victim = r.Cloudskulk.Install.ritm.Cloudskulk.Ritm.victim in
         (* the victim VM (at L2) answers with the same device tree *)
         let after = Vmm.Monitor.execute_exn victim "info qtree" in
@@ -118,9 +116,9 @@ let persistence_tests =
         (* SubVirt needs a reboot to engage; BluePill dies on one;
            CloudSkulk survives it, because rebooting L2 cannot escape
            GuestX *)
-        let engine, _, _, host, registry = mk_world () in
+        let ctx, _, _, host, registry = mk_world () in
         ignore (Result.get_ok (Vmm.Hypervisor.launch host (target_config ())));
-        let r = install_exn engine host registry in
+        let r = install_exn ctx host registry in
         let ritm = r.Cloudskulk.Install.ritm in
         let victim = ritm.Cloudskulk.Ritm.victim in
         (match Vmm.Vm.reboot_guest victim with
@@ -132,7 +130,7 @@ let persistence_tests =
         (* and the attacker's taps still see fresh traffic *)
         let kl = Cloudskulk.Services.start_keylogger ritm ~ports:[ 22 ] in
         Cloudskulk.Services.victim_send ritm ~dst:(Net.Packet.endpoint "x" 22) "post-reboot";
-        ignore (Sim.Engine.run_for engine (Sim.Time.s 1.));
+        ignore (Sim.Engine.run_for (Sim.Ctx.engine ctx) (Sim.Time.s 1.));
         ignore kl);
     Alcotest.test_case "guest reboot wipes memory and processes" `Quick (fun () ->
         let _, _, _, host, _ = mk_world () in
@@ -167,21 +165,21 @@ let deep_nesting_tests =
   [
     Alcotest.test_case "an L3 rootkit is possible but ever slower" `Quick (fun () ->
         (* nest once more: a RITM inside the RITM *)
-        let engine, _, _, host, _ = mk_world () in
+        let ctx, _, _, host, _ = mk_world () in
         let l1_cfg =
           Vmm.Qemu_config.with_nested_vmx
             { (Vmm.Qemu_config.default ~name:"l1") with Vmm.Qemu_config.memory_mb = 256 }
             true
         in
         let l1 = Result.get_ok (Vmm.Hypervisor.launch host l1_cfg) in
-        let hv1 = Result.get_ok (Vmm.Hypervisor.create_nested engine ~vm:l1 ~name:"hv1") in
+        let hv1 = Result.get_ok (Vmm.Hypervisor.create_nested ctx ~vm:l1 ~name:"hv1") in
         let l2_cfg =
           Vmm.Qemu_config.with_nested_vmx
             { (Vmm.Qemu_config.default ~name:"l2") with Vmm.Qemu_config.memory_mb = 64 }
             true
         in
         let l2 = Result.get_ok (Vmm.Hypervisor.launch hv1 l2_cfg) in
-        let hv2 = Result.get_ok (Vmm.Hypervisor.create_nested engine ~vm:l2 ~name:"hv2") in
+        let hv2 = Result.get_ok (Vmm.Hypervisor.create_nested ctx ~vm:l2 ~name:"hv2") in
         let l3 =
           Result.get_ok
             (Vmm.Hypervisor.launch hv2
@@ -203,38 +201,38 @@ let failure_tests =
   [
     Alcotest.test_case "install against a paused target still works" `Quick (fun () ->
         (* migration accepts running or paused sources *)
-        let engine, _, _, host, registry = mk_world () in
+        let ctx, _, _, host, registry = mk_world () in
         let target = Result.get_ok (Vmm.Hypervisor.launch host (target_config ())) in
         ignore (Vmm.Vm.pause target);
-        match Cloudskulk.Install.run engine ~host ~registry ~target_name:"guest0" with
+        match Cloudskulk.Install.run ctx ~host ~registry ~target_name:"guest0" with
         | Ok r ->
           Alcotest.(check bool) "victim running" true
             (Vmm.Vm.state r.Cloudskulk.Install.ritm.Cloudskulk.Ritm.victim = Vmm.Vm.Running)
         | Error e -> Alcotest.fail e);
     Alcotest.test_case "install against a stopped target fails without leftovers" `Quick
       (fun () ->
-        let engine, _, _, host, registry = mk_world () in
+        let ctx, _, _, host, registry = mk_world () in
         let target = Result.get_ok (Vmm.Hypervisor.launch host (target_config ())) in
         Vmm.Vm.stop target;
         Alcotest.(check bool) "fails" true
           (Result.is_error
-             (Cloudskulk.Install.run engine ~host ~registry ~target_name:"guest0"));
+             (Cloudskulk.Install.run ctx ~host ~registry ~target_name:"guest0"));
         Alcotest.(check bool) "no guestx left behind" true
           (Vmm.Hypervisor.find_vm host "guestx" = None));
     Alcotest.test_case "double install of the same name fails cleanly" `Quick (fun () ->
-        let engine, _, _, host, registry = mk_world () in
+        let ctx, _, _, host, registry = mk_world () in
         ignore (Result.get_ok (Vmm.Hypervisor.launch host (target_config ())));
-        ignore (install_exn engine host registry);
+        ignore (install_exn ctx host registry);
         (* the original guest0 is gone; a second install finds no target *)
         Alcotest.(check bool) "fails" true
           (Result.is_error
-             (Cloudskulk.Install.run engine ~host ~registry ~target_name:"guest0")));
+             (Cloudskulk.Install.run ctx ~host ~registry ~target_name:"guest0")));
     Alcotest.test_case "host RAM exhaustion surfaces as a launch error" `Quick (fun () ->
-        let engine = Sim.Engine.create () in
-        let uplink = Net.Fabric.Switch.create engine ~name:"up" ~link:Net.Link.lan_1gbe in
+        let ctx = Sim.Ctx.create () in
+        let uplink = Net.Fabric.Switch.create ctx ~name:"up" ~link:Net.Link.lan_1gbe in
         (* a 1 GB host cannot take two 1 GB guests *)
         let host =
-          Vmm.Hypervisor.create_l0 ~ram_gb:1 engine ~name:"small" ~uplink ~addr:"10.0.0.1"
+          Vmm.Hypervisor.create_l0 ~ram_gb:1 ctx ~name:"small" ~uplink ~addr:"10.0.0.1"
         in
         ignore
           (Result.get_ok (Vmm.Hypervisor.launch host (Vmm.Qemu_config.default ~name:"a")));

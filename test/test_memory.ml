@@ -37,13 +37,13 @@ let frame_tests =
   let open Memory.Frame_table in
   [
     Alcotest.test_case "alloc gives private frame" `Quick (fun () ->
-        let t = create () in
+        let t = create (Sim.Ctx.create ()) in
         let f = alloc t (Memory.Page.Content.of_int 1) in
         Alcotest.(check int) "refcount" 1 (refcount t f);
         Alcotest.(check bool) "not shared" false (is_shared t f);
         Alcotest.(check int) "live" 1 (live_frames t));
     Alcotest.test_case "incref/decref lifecycle" `Quick (fun () ->
-        let t = create () in
+        let t = create (Sim.Ctx.create ()) in
         let f = alloc t (Memory.Page.Content.of_int 1) in
         incref t f;
         Alcotest.(check bool) "shared" true (is_shared t f);
@@ -51,13 +51,13 @@ let frame_tests =
         decref t f;
         Alcotest.(check int) "freed" 0 (live_frames t));
     Alcotest.test_case "freed frames are recycled" `Quick (fun () ->
-        let t = create () in
+        let t = create (Sim.Ctx.create ()) in
         let f = alloc t (Memory.Page.Content.of_int 1) in
         decref t f;
         let f2 = alloc t (Memory.Page.Content.of_int 2) in
         Alcotest.(check int) "same slot" f f2);
     Alcotest.test_case "capacity enforced" `Quick (fun () ->
-        let t = create ~capacity_frames:2 () in
+        let t = create ~capacity_frames:2 (Sim.Ctx.create ()) in
         ignore (alloc t (Memory.Page.Content.of_int 1));
         ignore (alloc t (Memory.Page.Content.of_int 2));
         Alcotest.(check bool) "raises OOM" true
@@ -66,7 +66,7 @@ let frame_tests =
              false
            with Out_of_memory_frames -> true));
     Alcotest.test_case "sharing accounting" `Quick (fun () ->
-        let t = create () in
+        let t = create (Sim.Ctx.create ()) in
         let f = alloc t (Memory.Page.Content.of_int 1) in
         incref t f;
         incref t f;
@@ -74,7 +74,7 @@ let frame_tests =
         Alcotest.(check int) "shared frames" 1 (shared_frames t);
         Alcotest.(check int) "savings = refs-1" 2 (sharing_savings_pages t));
     Alcotest.test_case "stable flag" `Quick (fun () ->
-        let t = create () in
+        let t = create (Sim.Ctx.create ()) in
         let f = alloc t (Memory.Page.Content.of_int 1) in
         Alcotest.(check bool) "initially unstable" false (is_stable t f);
         mark_stable t f;
@@ -180,21 +180,21 @@ let dirty_tests =
 let space_tests =
   [
     Alcotest.test_case "fresh root space is all zero" `Quick (fun () ->
-        let ft = Memory.Frame_table.create () in
+        let ft = Memory.Frame_table.create (Sim.Ctx.create ()) in
         let s = Memory.Address_space.create_root ft ~name:"ram" ~pages:16 in
         for i = 0 to 15 do
           Alcotest.(check bool) "zero" true
             (Memory.Page.Content.is_zero (Memory.Address_space.read s i))
         done);
     Alcotest.test_case "write then read" `Quick (fun () ->
-        let ft = Memory.Frame_table.create () in
+        let ft = Memory.Frame_table.create (Sim.Ctx.create ()) in
         let s = Memory.Address_space.create_root ft ~name:"ram" ~pages:4 in
         let c = Memory.Page.Content.of_int 7 in
         ignore (Memory.Address_space.write s 2 c);
         Alcotest.(check bool) "read back" true
           (Memory.Page.Content.equal c (Memory.Address_space.read s 2)));
     Alcotest.test_case "window resolves into parent" `Quick (fun () ->
-        let ft = Memory.Frame_table.create () in
+        let ft = Memory.Frame_table.create (Sim.Ctx.create ()) in
         let parent = Memory.Address_space.create_root ft ~name:"l1" ~pages:32 in
         let w = Memory.Address_space.window parent ~name:"l2" ~offset:8 ~pages:8 in
         let c = Memory.Page.Content.of_int 3 in
@@ -205,7 +205,7 @@ let space_tests =
         Alcotest.(check bool) "root is parent" true (root == parent);
         Alcotest.(check int) "offset applied" 11 idx);
     Alcotest.test_case "nested window of window" `Quick (fun () ->
-        let ft = Memory.Frame_table.create () in
+        let ft = Memory.Frame_table.create (Sim.Ctx.create ()) in
         let l1 = Memory.Address_space.create_root ft ~name:"l1" ~pages:64 in
         let l2 = Memory.Address_space.window l1 ~name:"l2" ~offset:16 ~pages:32 in
         let l3 = Memory.Address_space.window l2 ~name:"l3" ~offset:4 ~pages:8 in
@@ -214,7 +214,7 @@ let space_tests =
         Alcotest.(check bool) "l1 sees it at 21" true
           (Memory.Page.Content.equal c (Memory.Address_space.read l1 21)));
     Alcotest.test_case "window out of range rejected" `Quick (fun () ->
-        let ft = Memory.Frame_table.create () in
+        let ft = Memory.Frame_table.create (Sim.Ctx.create ()) in
         let parent = Memory.Address_space.create_root ft ~name:"l1" ~pages:8 in
         Alcotest.(check bool) "raises" true
           (try
@@ -222,7 +222,7 @@ let space_tests =
              false
            with Invalid_argument _ -> true));
     Alcotest.test_case "write marks dirty along the chain" `Quick (fun () ->
-        let ft = Memory.Frame_table.create () in
+        let ft = Memory.Frame_table.create (Sim.Ctx.create ()) in
         let l1 = Memory.Address_space.create_root ft ~name:"l1" ~pages:32 in
         let l2 = Memory.Address_space.window l1 ~name:"l2" ~offset:8 ~pages:8 in
         Memory.Dirty.clear (Memory.Address_space.dirty l1);
@@ -232,7 +232,7 @@ let space_tests =
         Alcotest.(check bool) "l1 dirty at 10" true
           (Memory.Dirty.is_dirty (Memory.Address_space.dirty l1) 10));
     Alcotest.test_case "write to shared frame is CoW" `Quick (fun () ->
-        let ft = Memory.Frame_table.create () in
+        let ft = Memory.Frame_table.create (Sim.Ctx.create ()) in
         let a = Memory.Address_space.create_root ft ~name:"a" ~pages:2 in
         let b = Memory.Address_space.create_root ft ~name:"b" ~pages:2 in
         let c = Memory.Page.Content.of_int 4 in
@@ -249,7 +249,7 @@ let space_tests =
         Alcotest.(check bool) "frames diverged" true
           (Memory.Address_space.frame_at a 0 <> Memory.Address_space.frame_at b 0));
     Alcotest.test_case "remap refuses windows" `Quick (fun () ->
-        let ft = Memory.Frame_table.create () in
+        let ft = Memory.Frame_table.create (Sim.Ctx.create ()) in
         let parent = Memory.Address_space.create_root ft ~name:"p" ~pages:8 in
         let w = Memory.Address_space.window parent ~name:"w" ~offset:0 ~pages:4 in
         Alcotest.(check bool) "raises" true
@@ -258,7 +258,7 @@ let space_tests =
              false
            with Invalid_argument _ -> true));
     Alcotest.test_case "load and contents round-trip" `Quick (fun () ->
-        let ft = Memory.Frame_table.create () in
+        let ft = Memory.Frame_table.create (Sim.Ctx.create ()) in
         let s = Memory.Address_space.create_root ft ~name:"s" ~pages:8 in
         let data = Array.init 4 (fun i -> Memory.Page.Content.of_int (100 + i)) in
         Memory.Address_space.load s ~offset:2 data;
@@ -270,9 +270,10 @@ let space_tests =
   ]
 
 let make_ksm_world ?(config = Memory.Ksm.fast_config) () =
-  let engine = Sim.Engine.create () in
-  let ft = Memory.Frame_table.create () in
-  let ksm = Memory.Ksm.create ~config engine ft in
+  let ctx = Sim.Ctx.create () in
+  let engine = Sim.Ctx.engine ctx in
+  let ft = Memory.Frame_table.create ctx in
+  let ksm = Memory.Ksm.create ~config ctx ft in
   (engine, ft, ksm)
 
 let run_full_pass engine ksm n =
@@ -508,7 +509,7 @@ let file_tests =
         done;
         Alcotest.(check string) "renamed" "f-v2" (Memory.File_image.name v2));
     Alcotest.test_case "load_into and matches" `Quick (fun () ->
-        let ft = Memory.Frame_table.create () in
+        let ft = Memory.Frame_table.create (Sim.Ctx.create ()) in
         let s = Memory.Address_space.create_root ft ~name:"s" ~pages:32 in
         let f = Memory.File_image.generate (rng ()) ~name:"f" ~pages:8 in
         Memory.File_image.load_into f s ~offset:4;
@@ -523,7 +524,7 @@ let file_tests =
 let probe_tests =
   [
     Alcotest.test_case "private pages probe fast, merged slow" `Quick (fun () ->
-        let ft = Memory.Frame_table.create () in
+        let ft = Memory.Frame_table.create (Sim.Ctx.create ()) in
         let a = Memory.Address_space.create_root ft ~name:"a" ~pages:10 in
         let b = Memory.Address_space.create_root ft ~name:"b" ~pages:10 in
         for i = 0 to 9 do
@@ -547,7 +548,7 @@ let probe_tests =
           Sim.Time.(
             Memory.Write_probe.mean_cost merged > Memory.Write_probe.mean_cost again));
     Alcotest.test_case "probe leaves no identical pages behind" `Quick (fun () ->
-        let ft = Memory.Frame_table.create () in
+        let ft = Memory.Frame_table.create (Sim.Ctx.create ()) in
         let s = Memory.Address_space.create_root ft ~name:"s" ~pages:6 in
         let r = Sim.Rng.create 1 in
         ignore (Memory.Write_probe.probe ~rng:r s ~offset:0 ~pages:6);
@@ -561,7 +562,7 @@ let probe_tests =
         done;
         Alcotest.(check bool) "no duplicates" false !dup);
     Alcotest.test_case "noiseless costs match parameters" `Quick (fun () ->
-        let ft = Memory.Frame_table.create () in
+        let ft = Memory.Frame_table.create (Sim.Ctx.create ()) in
         let s = Memory.Address_space.create_root ft ~name:"s" ~pages:4 in
         let r = Sim.Rng.create 1 in
         let probe =
@@ -572,7 +573,7 @@ let probe_tests =
           (fun ns -> Alcotest.(check (float 1.)) "400ns" 400. ns)
           (Memory.Write_probe.costs_ns probe));
     Alcotest.test_case "fraction_cow" `Quick (fun () ->
-        let ft = Memory.Frame_table.create () in
+        let ft = Memory.Frame_table.create (Sim.Ctx.create ()) in
         let a = Memory.Address_space.create_root ft ~name:"a" ~pages:4 in
         let b = Memory.Address_space.create_root ft ~name:"b" ~pages:4 in
         let c = Memory.Page.Content.of_int 1 in
@@ -645,9 +646,9 @@ let mem_props =
          ~count:40
          QCheck.(small_int)
          (fun seed ->
-           let engine = Sim.Engine.create ~seed () in
-           let ft = Memory.Frame_table.create () in
-           let ksm = Memory.Ksm.create ~config:Memory.Ksm.fast_config engine ft in
+           let ctx = Sim.Ctx.create ~seed () in
+           let ft = Memory.Frame_table.create ctx in
+           let ksm = Memory.Ksm.create ~config:Memory.Ksm.fast_config ctx ft in
            let r = Sim.Rng.create seed in
            let next_space = ref 0 in
            let registered = ref [] in
@@ -718,7 +719,7 @@ let mem_props =
       (QCheck.Test.make ~name:"refcounts never go negative through write storms" ~count:50
          QCheck.(small_int)
          (fun seed ->
-           let ft = Memory.Frame_table.create () in
+           let ft = Memory.Frame_table.create (Sim.Ctx.create ()) in
            let a = Memory.Address_space.create_root ft ~name:"a" ~pages:16 in
            let b = Memory.Address_space.create_root ft ~name:"b" ~pages:16 in
            let r = Sim.Rng.create seed in
@@ -747,9 +748,10 @@ let mem_props =
       (QCheck.Test.make ~name:"ksm merge preserves every space's contents" ~count:20
          QCheck.(small_int)
          (fun seed ->
-           let engine = Sim.Engine.create ~seed () in
-           let ft = Memory.Frame_table.create () in
-           let ksm = Memory.Ksm.create ~config:Memory.Ksm.fast_config engine ft in
+           let ctx = Sim.Ctx.create ~seed () in
+           let engine = Sim.Ctx.engine ctx in
+           let ft = Memory.Frame_table.create ctx in
+           let ksm = Memory.Ksm.create ~config:Memory.Ksm.fast_config ctx ft in
            let r = Sim.Rng.create seed in
            let spaces =
              List.init 3 (fun k ->

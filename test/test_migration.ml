@@ -7,10 +7,10 @@ let small_config ?(name = "guest0") ?(memory_mb = 8) () =
 
 let mk_pair ?(nested = false) ?(memory_mb = 8) () =
   Vmm.Layers.migration_pair ~ksm_config:Memory.Ksm.fast_config
-    ~config:(small_config ~memory_mb ()) ~nested_dest:nested ()
+    ~config:(small_config ~memory_mb ()) ~nested_dest:nested (Sim.Ctx.create ())
 
-let migrate_exn ?config ?fault engine ~source ~dest =
-  match Migration.Precopy.migrate ?config ?fault engine ~source ~dest () with
+let migrate_exn ?config ?fault ctx ~source ~dest =
+  match Migration.Precopy.migrate ?config ?fault ctx ~source ~dest () with
   | Ok o -> Migration.Outcome.stats_exn o
   | Error e -> Alcotest.fail e
 
@@ -59,12 +59,12 @@ let precopy_tests =
   [
     Alcotest.test_case "idle migration completes and moves contents" `Quick (fun () ->
         let mp = mk_pair () in
-        let engine = mp.Vmm.Layers.mp_engine in
+        let ctx = mp.Vmm.Layers.mp_ctx in
         let source = mp.mp_source and dest = mp.mp_dest in
         (* plant recognisable content in the source *)
         let c = Memory.Page.Content.of_int 1234 in
         ignore (Memory.Address_space.write (Vmm.Vm.ram source) 7 c);
-        let r = migrate_exn engine ~source ~dest in
+        let r = migrate_exn ctx ~source ~dest in
         Alcotest.(check bool) "converged" true r.Migration.Precopy.converged;
         Alcotest.(check bool) "dest running" true (Vmm.Vm.state dest = Vmm.Vm.Running);
         Alcotest.(check bool) "source paused" true (Vmm.Vm.state source = Vmm.Vm.Paused);
@@ -72,24 +72,24 @@ let precopy_tests =
           (Memory.Page.Content.equal c (Memory.Address_space.read (Vmm.Vm.ram dest) 7)));
     Alcotest.test_case "all pages sent at least once" `Quick (fun () ->
         let mp = mk_pair () in
-        let r = migrate_exn mp.Vmm.Layers.mp_engine ~source:mp.mp_source ~dest:mp.mp_dest in
+        let r = migrate_exn mp.Vmm.Layers.mp_ctx ~source:mp.mp_source ~dest:mp.mp_dest in
         let pages = Memory.Address_space.pages (Vmm.Vm.ram mp.mp_source) in
         Alcotest.(check bool) "at least full RAM" true (r.Migration.Precopy.total_pages_sent >= pages));
     Alcotest.test_case "downtime below budget when converged" `Quick (fun () ->
         let mp = mk_pair () in
-        let r = migrate_exn mp.Vmm.Layers.mp_engine ~source:mp.mp_source ~dest:mp.mp_dest in
+        let r = migrate_exn mp.Vmm.Layers.mp_ctx ~source:mp.mp_source ~dest:mp.mp_dest in
         Alcotest.(check bool) "within budget" true
           Sim.Time.(
             r.Migration.Precopy.downtime
             <= Sim.Time.add (Sim.Time.ms 300.) (Sim.Time.ms 50.)));
     Alcotest.test_case "dirtying workload forces extra rounds" `Quick (fun () ->
         let mp = mk_pair () in
-        let engine = mp.Vmm.Layers.mp_engine in
+        let ctx = mp.Vmm.Layers.mp_ctx in
         let source = mp.mp_source in
         let env =
-          Workload.Exec_env.make ~vm:source ~engine ~level:(Vmm.Vm.level source)
+          Workload.Exec_env.make ~vm:source ~ctx ~level:(Vmm.Vm.level source)
             ~ram:(Vmm.Vm.ram source)
-            ~rng:(Sim.Engine.fork_rng engine) ()
+            ~rng:(Sim.Ctx.fork_rng ctx) ()
         in
         let wl = Workload.Background.start env (Workload.Kernel_compile.background ()) in
         (* an 8 MB guest fits inside the default 300 ms downtime budget,
@@ -98,24 +98,24 @@ let precopy_tests =
           { Migration.Precopy.default_config with
             Migration.Precopy.max_downtime = Sim.Time.ms 2. }
         in
-        let r = migrate_exn ~config engine ~source ~dest:mp.mp_dest in
+        let r = migrate_exn ~config ctx ~source ~dest:mp.mp_dest in
         Workload.Background.stop wl;
         Alcotest.(check bool) "more than 2 rounds" true
           (List.length r.Migration.Precopy.rounds > 2));
     Alcotest.test_case "non-incoming destination rejected" `Quick (fun () ->
         let mp = mk_pair () in
-        let engine = mp.Vmm.Layers.mp_engine in
+        let ctx = mp.Vmm.Layers.mp_ctx in
         (* complete once, then try again: dest is now Running *)
-        ignore (migrate_exn engine ~source:mp.mp_source ~dest:mp.mp_dest);
+        ignore (migrate_exn ctx ~source:mp.mp_source ~dest:mp.mp_dest);
         (match Vmm.Vm.resume mp.mp_source with Ok () -> () | Error e -> Alcotest.fail e);
         Alcotest.(check bool) "error" true
           (Result.is_error
-             (Migration.Precopy.migrate engine ~source:mp.mp_source ~dest:mp.mp_dest ())));
+             (Migration.Precopy.migrate ctx ~source:mp.mp_source ~dest:mp.mp_dest ())));
     Alcotest.test_case "incompatible configs rejected" `Quick (fun () ->
-        let engine = Sim.Engine.create () in
-        let uplink = Net.Fabric.Switch.create engine ~name:"up" ~link:Net.Link.lan_1gbe in
+        let ctx = Sim.Ctx.create () in
+        let uplink = Net.Fabric.Switch.create ctx ~name:"up" ~link:Net.Link.lan_1gbe in
         let host =
-          Vmm.Hypervisor.create_l0 ~ksm_config:Memory.Ksm.fast_config engine ~name:"h" ~uplink
+          Vmm.Hypervisor.create_l0 ~ksm_config:Memory.Ksm.fast_config ctx ~name:"h" ~uplink
             ~addr:"192.168.1.100"
         in
         let src =
@@ -125,7 +125,7 @@ let precopy_tests =
           Vmm.Qemu_config.with_incoming (small_config ~name:"dst" ~memory_mb:16 ()) ~port:5601
         in
         let dst = Result.get_ok (Vmm.Hypervisor.launch host dst_cfg) in
-        match Migration.Precopy.migrate engine ~source:src ~dest:dst () with
+        match Migration.Precopy.migrate ctx ~source:src ~dest:dst () with
         | Error e ->
           Alcotest.(check bool) "mentions memory" true
             (String.length e > 0)
@@ -133,17 +133,17 @@ let precopy_tests =
     Alcotest.test_case "guest identity follows the migration" `Quick (fun () ->
         let mp = mk_pair () in
         Vmm.Vm.set_os_release mp.mp_source "MarkedOS 9.9";
-        ignore (migrate_exn mp.Vmm.Layers.mp_engine ~source:mp.mp_source ~dest:mp.mp_dest);
+        ignore (migrate_exn mp.Vmm.Layers.mp_ctx ~source:mp.mp_source ~dest:mp.mp_dest);
         Alcotest.(check string) "os release moved" "MarkedOS 9.9"
           (Vmm.Vm.os_release mp.mp_dest));
     Alcotest.test_case "nested destination slower than flat" `Quick (fun () ->
         let flat = mk_pair ~nested:false () in
         let r_flat =
-          migrate_exn flat.Vmm.Layers.mp_engine ~source:flat.mp_source ~dest:flat.mp_dest
+          migrate_exn flat.Vmm.Layers.mp_ctx ~source:flat.mp_source ~dest:flat.mp_dest
         in
         let nested = mk_pair ~nested:true () in
         let r_nested =
-          migrate_exn nested.Vmm.Layers.mp_engine ~source:nested.mp_source
+          migrate_exn nested.Vmm.Layers.mp_ctx ~source:nested.mp_source
             ~dest:nested.mp_dest
         in
         Alcotest.(check bool) "L0-L1 > L0-L0" true
@@ -152,7 +152,7 @@ let precopy_tests =
         let mp = mk_pair () in
         let pages = Memory.Address_space.pages (Vmm.Vm.ram mp.mp_source) in
         let est = Sim.Time.to_s (Migration.Precopy.estimated_idle_time ~pages ()) in
-        let r = migrate_exn mp.Vmm.Layers.mp_engine ~source:mp.mp_source ~dest:mp.mp_dest in
+        let r = migrate_exn mp.Vmm.Layers.mp_ctx ~source:mp.mp_source ~dest:mp.mp_dest in
         let actual = Sim.Time.to_s r.Migration.Precopy.total_time in
         Alcotest.(check bool) "within 2x" true (actual < est *. 2. +. 1.));
     Alcotest.test_case "zero page optimization shrinks idle transfer" `Quick (fun () ->
@@ -161,7 +161,7 @@ let precopy_tests =
           { Migration.Precopy.default_config with Migration.Precopy.zero_page_optimization = true }
         in
         let r =
-          migrate_exn ~config mp.Vmm.Layers.mp_engine ~source:mp.mp_source ~dest:mp.mp_dest
+          migrate_exn ~config mp.Vmm.Layers.mp_ctx ~source:mp.mp_source ~dest:mp.mp_dest
         in
         (* an idle 8 MB guest is almost all zero pages *)
         let full_bytes = 8 * 1024 * 1024 in
@@ -172,12 +172,12 @@ let precopy_tests =
 let auto_converge_tests =
   let run_with_compile ~auto_converge =
     let mp = mk_pair () in
-    let engine = mp.Vmm.Layers.mp_engine in
+    let ctx = mp.Vmm.Layers.mp_ctx in
     let source = mp.mp_source in
     let env =
-      Workload.Exec_env.make ~vm:source ~engine ~level:(Vmm.Vm.level source)
+      Workload.Exec_env.make ~vm:source ~ctx ~level:(Vmm.Vm.level source)
         ~ram:(Vmm.Vm.ram source)
-        ~rng:(Sim.Engine.fork_rng engine) ()
+        ~rng:(Sim.Ctx.fork_rng ctx) ()
     in
     (* dirty faster than the channel drains so plain pre-copy can never
        converge on its own *)
@@ -192,7 +192,7 @@ let auto_converge_tests =
         auto_converge;
       }
     in
-    let r = migrate_exn ~config engine ~source ~dest:mp.mp_dest in
+    let r = migrate_exn ~config ctx ~source ~dest:mp.mp_dest in
     Workload.Background.stop wl;
     (r, wl, source)
   in
@@ -212,12 +212,12 @@ let auto_converge_tests =
     Alcotest.test_case "xbzrle shrinks re-sent bytes" `Quick (fun () ->
         let run ~xbzrle =
           let mp = mk_pair () in
-          let engine = mp.Vmm.Layers.mp_engine in
+          let ctx = mp.Vmm.Layers.mp_ctx in
           let source = mp.mp_source in
           let env =
-            Workload.Exec_env.make ~vm:source ~engine ~level:(Vmm.Vm.level source)
+            Workload.Exec_env.make ~vm:source ~ctx ~level:(Vmm.Vm.level source)
               ~ram:(Vmm.Vm.ram source)
-              ~rng:(Sim.Engine.fork_rng engine) ()
+              ~rng:(Sim.Ctx.fork_rng ctx) ()
           in
           let wl =
             Workload.Background.start env
@@ -229,7 +229,7 @@ let auto_converge_tests =
               xbzrle;
             }
           in
-          let r = migrate_exn ~config engine ~source ~dest:mp.mp_dest in
+          let r = migrate_exn ~config ctx ~source ~dest:mp.mp_dest in
           Workload.Background.stop wl;
           r
         in
@@ -247,7 +247,7 @@ let auto_converge_tests =
         let run ~xbzrle =
           let mp = mk_pair () in
           let config = { Migration.Precopy.default_config with Migration.Precopy.xbzrle } in
-          migrate_exn ~config mp.Vmm.Layers.mp_engine ~source:mp.mp_source ~dest:mp.mp_dest
+          migrate_exn ~config mp.Vmm.Layers.mp_ctx ~source:mp.mp_source ~dest:mp.mp_dest
         in
         Alcotest.(check int) "same bytes either way"
           (run ~xbzrle:false).Migration.Precopy.total_bytes_sent
@@ -271,11 +271,11 @@ let migration_props =
          ~count:15 QCheck.small_int
          (fun seed ->
            let mp = mk_pair ~nested:(seed mod 2 = 0) () in
-           let engine = mp.Vmm.Layers.mp_engine in
+           let ctx = mp.Vmm.Layers.mp_ctx in
            let source = mp.Vmm.Layers.mp_source in
            (* a random background dirtier *)
            let env =
-             Workload.Exec_env.make ~vm:source ~engine ~level:(Vmm.Vm.level source)
+             Workload.Exec_env.make ~vm:source ~ctx ~level:(Vmm.Vm.level source)
                ~ram:(Vmm.Vm.ram source)
                ~rng:(Sim.Rng.create seed) ()
            in
@@ -285,7 +285,7 @@ let migration_props =
                (Workload.Kernel_compile.background ~pages_per_second:rate ())
            in
            let ok =
-             match Migration.Precopy.migrate engine ~source ~dest:mp.Vmm.Layers.mp_dest () with
+             match Migration.Precopy.migrate ctx ~source ~dest:mp.Vmm.Layers.mp_dest () with
              | Ok _ ->
                (* the source is paused at completion, so the final
                   stop-and-copy must have left both sides identical *)
@@ -299,7 +299,7 @@ let migration_props =
          ~count:10 QCheck.small_int
          (fun seed ->
            let mp = mk_pair ~nested:(seed mod 2 = 1) () in
-           let engine = mp.Vmm.Layers.mp_engine in
+           let ctx = mp.Vmm.Layers.mp_ctx in
            let source = mp.Vmm.Layers.mp_source in
            let rng = Sim.Rng.create seed in
            (* pre-dirty the source with random content *)
@@ -309,7 +309,7 @@ let migration_props =
                (Memory.Address_space.write (Vmm.Vm.ram source) i
                   (Memory.Page.Content.random rng))
            done;
-           match Migration.Postcopy.migrate engine ~source ~dest:mp.Vmm.Layers.mp_dest () with
+           match Migration.Postcopy.migrate ctx ~source ~dest:mp.Vmm.Layers.mp_dest () with
            | Ok _ -> contents_equal (Vmm.Vm.ram source) (Vmm.Vm.ram mp.Vmm.Layers.mp_dest)
            | Error _ -> false));
   ]
@@ -321,7 +321,7 @@ let postcopy_tests =
         let c = Memory.Page.Content.of_int 5 in
         ignore (Memory.Address_space.write (Vmm.Vm.ram mp.mp_source) 3 c);
         (match
-           Migration.Postcopy.migrate mp.Vmm.Layers.mp_engine ~source:mp.mp_source
+           Migration.Postcopy.migrate mp.Vmm.Layers.mp_ctx ~source:mp.mp_source
              ~dest:mp.mp_dest ()
          with
         | Error e -> Alcotest.fail e
@@ -338,12 +338,12 @@ let postcopy_tests =
             (Memory.Page.Content.equal c (Memory.Address_space.read (Vmm.Vm.ram mp.mp_dest) 3))));
     Alcotest.test_case "postcopy downtime far below precopy total" `Quick (fun () ->
         let mp1 = mk_pair () in
-        let pre = migrate_exn mp1.Vmm.Layers.mp_engine ~source:mp1.mp_source ~dest:mp1.mp_dest in
+        let pre = migrate_exn mp1.Vmm.Layers.mp_ctx ~source:mp1.mp_source ~dest:mp1.mp_dest in
         let mp2 = mk_pair () in
         let post =
           Migration.Outcome.stats_exn
             (Result.get_ok
-               (Migration.Postcopy.migrate mp2.Vmm.Layers.mp_engine ~source:mp2.mp_source
+               (Migration.Postcopy.migrate mp2.Vmm.Layers.mp_ctx ~source:mp2.mp_source
                   ~dest:mp2.mp_dest ()))
         in
         Alcotest.(check bool) "resume beats total" true
@@ -368,7 +368,7 @@ let fault_tests =
     Alcotest.test_case "fault-free migration is Completed" `Quick (fun () ->
         let mp = mk_pair () in
         match
-          Migration.Precopy.migrate mp.Vmm.Layers.mp_engine ~source:mp.mp_source
+          Migration.Precopy.migrate mp.Vmm.Layers.mp_ctx ~source:mp.mp_source
             ~dest:mp.mp_dest ()
         with
         | Ok (Migration.Outcome.Completed _ as o) ->
@@ -377,17 +377,17 @@ let fault_tests =
         | Error e -> Alcotest.fail e);
     Alcotest.test_case "precopy aborts when the channel stays down" `Quick (fun () ->
         let mp = mk_pair () in
-        let engine = mp.Vmm.Layers.mp_engine in
+        let ctx = mp.Vmm.Layers.mp_ctx in
         (* the link dies ~1 ms into every transmission and no retries
            are allowed: the first round must abort the migration *)
         let fault =
-          Sim.Fault.create (outages ~mtbf_ms:1. ~mttr_ms:2000.) (Sim.Engine.fork_rng engine)
+          Sim.Fault.create (outages ~mtbf_ms:1. ~mttr_ms:2000.) (Sim.Ctx.fork_rng ctx)
         in
         let config =
           { Migration.Precopy.default_config with Migration.Precopy.max_retransmits = 0 }
         in
         match
-          Migration.Precopy.migrate ~config ~fault engine ~source:mp.mp_source
+          Migration.Precopy.migrate ~config ~fault ctx ~source:mp.mp_source
             ~dest:mp.mp_dest ()
         with
         | Ok
@@ -402,14 +402,14 @@ let fault_tests =
         | Error e -> Alcotest.fail e);
     Alcotest.test_case "recovered precopy counts its outages" `Quick (fun () ->
         let mp = mk_pair () in
-        let engine = mp.Vmm.Layers.mp_engine in
+        let ctx = mp.Vmm.Layers.mp_ctx in
         (* a seed whose fault schedule cuts the first round once and
            then lets the retransmission through (fault schedules are a
            pure function of the RNG, so this is stable) *)
         let fault =
           Sim.Fault.create (outages ~mtbf_ms:100. ~mttr_ms:50.) (Sim.Rng.create 21)
         in
-        match Migration.Precopy.migrate ~fault engine ~source:mp.mp_source ~dest:mp.mp_dest () with
+        match Migration.Precopy.migrate ~fault ctx ~source:mp.mp_source ~dest:mp.mp_dest () with
         | Ok (Migration.Outcome.Recovered (r, rc)) ->
           Alcotest.(check bool) "outages counted" true (rc.Migration.Outcome.outages > 0);
           Alcotest.(check bool) "retransmissions counted" true
@@ -422,13 +422,13 @@ let fault_tests =
         | Error e -> Alcotest.fail e);
     Alcotest.test_case "migrate_cancel aborts at a round boundary" `Quick (fun () ->
         let mp = mk_pair () in
-        let engine = mp.Vmm.Layers.mp_engine in
+        let ctx = mp.Vmm.Layers.mp_ctx in
         let source = mp.mp_source in
         (* keep the migration iterating so the cancel lands mid-flight *)
         let env =
-          Workload.Exec_env.make ~vm:source ~engine ~level:(Vmm.Vm.level source)
+          Workload.Exec_env.make ~vm:source ~ctx ~level:(Vmm.Vm.level source)
             ~ram:(Vmm.Vm.ram source)
-            ~rng:(Sim.Engine.fork_rng engine) ()
+            ~rng:(Sim.Ctx.fork_rng ctx) ()
         in
         let wl = Workload.Background.start env (Workload.Kernel_compile.background ()) in
         let config =
@@ -436,9 +436,9 @@ let fault_tests =
             Migration.Precopy.max_downtime = Sim.Time.ms 2. }
         in
         ignore
-          (Sim.Engine.schedule_after engine (Sim.Time.ms 30.) (fun () ->
+          (Sim.Engine.schedule_after (Sim.Ctx.engine ctx) (Sim.Time.ms 30.) (fun () ->
                Vmm.Vm.request_migrate_cancel source));
-        let r = Migration.Precopy.migrate ~config engine ~source ~dest:mp.mp_dest () in
+        let r = Migration.Precopy.migrate ~config ctx ~source ~dest:mp.mp_dest () in
         Workload.Background.stop wl;
         (match r with
         | Ok (Migration.Outcome.Aborted { reason = Migration.Outcome.Cancelled n; _ }) ->
@@ -452,7 +452,7 @@ let fault_tests =
         Alcotest.(check bool) "flag consumed" false (Vmm.Vm.migrate_cancel_requested source));
     Alcotest.test_case "postcopy pause and monitor recovery" `Quick (fun () ->
         let mp = mk_pair () in
-        let engine = mp.Vmm.Layers.mp_engine in
+        let ctx = mp.Vmm.Layers.mp_ctx in
         let source = mp.mp_source and dest = mp.mp_dest in
         let rng = Sim.Rng.create 42 in
         for _ = 1 to 200 do
@@ -471,7 +471,7 @@ let fault_tests =
             auto_recover = false;
           }
         in
-        match Migration.Postcopy.migrate ~config ~fault engine ~source ~dest () with
+        match Migration.Postcopy.migrate ~config ~fault ctx ~source ~dest () with
         | Ok (Migration.Outcome.Aborted { reason = Migration.Outcome.Postcopy_paused; _ }) ->
           Alcotest.(check bool) "dest postcopy-paused" true
             (Vmm.Vm.state dest = Vmm.Vm.Paused);
@@ -495,10 +495,10 @@ let fault_tests =
         | Error e -> Alcotest.fail e);
     Alcotest.test_case "info migrate reports the wired migration" `Quick (fun () ->
         let mp = mk_pair () in
-        let engine = mp.Vmm.Layers.mp_engine in
+        let ctx = mp.Vmm.Layers.mp_ctx in
         let reg = Migration.Registry.create () in
         Migration.Registry.register_incoming reg ~addr:"10.0.0.2" ~port:5601 mp.mp_dest;
-        ignore (Migration.Wiring.wire_monitor engine ~registry:reg ~source:mp.mp_source ());
+        ignore (Migration.Wiring.wire_monitor ctx ~registry:reg ~source:mp.mp_source ());
         (match Vmm.Monitor.execute mp.mp_source "migrate tcp:10.0.0.2:5601" with
         | Vmm.Monitor.Ok_text _ -> ()
         | Vmm.Monitor.Error_text e -> Alcotest.fail e
@@ -514,10 +514,10 @@ let wiring_tests =
   [
     Alcotest.test_case "monitor migrate drives a full migration" `Quick (fun () ->
         let mp = mk_pair () in
-        let engine = mp.Vmm.Layers.mp_engine in
+        let ctx = mp.Vmm.Layers.mp_ctx in
         let reg = Migration.Registry.create () in
         Migration.Registry.register_incoming reg ~addr:"10.0.0.2" ~port:5601 mp.mp_dest;
-        let wiring = Migration.Wiring.wire_monitor engine ~registry:reg ~source:mp.mp_source () in
+        let wiring = Migration.Wiring.wire_monitor ctx ~registry:reg ~source:mp.mp_source () in
         (match Vmm.Monitor.execute mp.mp_source "migrate tcp:10.0.0.2:5601" with
         | Vmm.Monitor.Ok_text _ -> ()
         | Vmm.Monitor.Error_text e -> Alcotest.fail e
@@ -530,12 +530,12 @@ let wiring_tests =
           (Result.is_error (Migration.Registry.resolve reg ~addr:"10.0.0.2" ~port:5601)));
     Alcotest.test_case "post-copy strategy selectable" `Quick (fun () ->
         let mp = mk_pair () in
-        let engine = mp.Vmm.Layers.mp_engine in
+        let ctx = mp.Vmm.Layers.mp_ctx in
         let reg = Migration.Registry.create () in
         Migration.Registry.register_incoming reg ~addr:"10.0.0.2" ~port:5601 mp.mp_dest;
         let wiring =
           Migration.Wiring.wire_monitor
-            ~strategy:(Migration.Wiring.Post_copy Migration.Postcopy.default_config) engine
+            ~strategy:(Migration.Wiring.Post_copy Migration.Postcopy.default_config) ctx
             ~registry:reg ~source:mp.mp_source ()
         in
         (match Vmm.Monitor.execute mp.mp_source "migrate tcp:10.0.0.2:5601" with
@@ -549,7 +549,7 @@ let wiring_tests =
         let mp = mk_pair () in
         let reg = Migration.Registry.create () in
         ignore
-          (Migration.Wiring.wire_monitor mp.Vmm.Layers.mp_engine ~registry:reg
+          (Migration.Wiring.wire_monitor mp.Vmm.Layers.mp_ctx ~registry:reg
              ~source:mp.mp_source ());
         match Vmm.Monitor.execute mp.mp_source "migrate tcp:9.9.9.9:1" with
         | Vmm.Monitor.Error_text _ -> ()

@@ -1,7 +1,7 @@
 (* Tests for the network substrate: links, packet routing, taps,
    port forwarding, and flows. *)
 
-let engine () = Sim.Engine.create ()
+let engine () = Sim.Ctx.create ()
 
 let link_tests =
   let open Net.Link in
@@ -82,14 +82,14 @@ let mk_world () =
 
 let send_and_run e sw packet =
   Net.Fabric.Switch.send sw packet;
-  ignore (Sim.Engine.run e)
+  ignore (Sim.Engine.run (Sim.Ctx.engine e))
 
 let fabric_tests =
   let open Net.Fabric in
   [
     Alcotest.test_case "delivery to listening port" `Quick (fun () ->
         let e, sw = mk_world () in
-        let n = Node.create e ~name:"n" ~addr:"10.0.0.1" in
+        let n = Node.create (Sim.Ctx.engine e) ~name:"n" ~addr:"10.0.0.1" in
         Node.attach n sw;
         let got = ref None in
         Node.listen n 80 (fun p -> got := Some p.Net.Packet.payload);
@@ -109,7 +109,7 @@ let fabric_tests =
         Alcotest.(check int) "dropped" 1 (Switch.packets_dropped sw));
     Alcotest.test_case "unhandled port counted" `Quick (fun () ->
         let e, sw = mk_world () in
-        let n = Node.create e ~name:"n" ~addr:"10.0.0.1" in
+        let n = Node.create (Sim.Ctx.engine e) ~name:"n" ~addr:"10.0.0.1" in
         Node.attach n sw;
         send_and_run e sw
           (Net.Packet.make ~id:1
@@ -119,8 +119,8 @@ let fabric_tests =
         Alcotest.(check int) "unhandled" 1 (Node.packets_unhandled n));
     Alcotest.test_case "port forward rewrites and relays" `Quick (fun () ->
         let e, sw = mk_world () in
-        let gw = Node.create e ~name:"gw" ~addr:"192.168.1.100" in
-        let vm = Node.create e ~name:"vm" ~addr:"10.0.0.5" in
+        let gw = Node.create (Sim.Ctx.engine e) ~name:"gw" ~addr:"192.168.1.100" in
+        let vm = Node.create (Sim.Ctx.engine e) ~name:"vm" ~addr:"10.0.0.5" in
         Node.attach gw sw;
         Node.attach vm sw;
         Node.add_forward gw ~from_port:2222 ~to_:(Net.Packet.endpoint "10.0.0.5" 22) ~via:sw;
@@ -138,9 +138,9 @@ let fabric_tests =
         let e = engine () in
         let host_sw = Net.Fabric.Switch.create e ~name:"host" ~link:Net.Link.loopback in
         let nested_sw = Net.Fabric.Switch.create e ~name:"nested" ~link:Net.Link.loopback in
-        let gw = Node.create e ~name:"gw" ~addr:"192.168.1.100" in
-        let guestx = Node.create e ~name:"guestx" ~addr:"10.0.0.7" in
-        let victim = Node.create e ~name:"victim" ~addr:"10.1.0.1" in
+        let gw = Node.create (Sim.Ctx.engine e) ~name:"gw" ~addr:"192.168.1.100" in
+        let guestx = Node.create (Sim.Ctx.engine e) ~name:"guestx" ~addr:"10.0.0.7" in
+        let victim = Node.create (Sim.Ctx.engine e) ~name:"victim" ~addr:"10.1.0.1" in
         Node.attach gw host_sw;
         Node.attach guestx host_sw;
         Node.attach guestx nested_sw;
@@ -159,7 +159,7 @@ let fabric_tests =
         Alcotest.(check (option string)) "two hops" (Some "ssh login") !got);
     Alcotest.test_case "tap observes, drop kills, rewrite alters" `Quick (fun () ->
         let e, sw = mk_world () in
-        let n = Node.create e ~name:"n" ~addr:"10.0.0.1" in
+        let n = Node.create (Sim.Ctx.engine e) ~name:"n" ~addr:"10.0.0.1" in
         Node.attach n sw;
         let seen = ref [] in
         let got = ref [] in
@@ -186,7 +186,7 @@ let fabric_tests =
         Alcotest.(check (list string)) "handler saw filtered" [ "ok"; "fixed" ] (List.rev !got));
     Alcotest.test_case "remove_tap restores flow" `Quick (fun () ->
         let e, sw = mk_world () in
-        let n = Node.create e ~name:"n" ~addr:"10.0.0.1" in
+        let n = Node.create (Sim.Ctx.engine e) ~name:"n" ~addr:"10.0.0.1" in
         Node.attach n sw;
         Node.add_tap n ~name:"dropper" (fun _ -> Drop);
         let got = ref 0 in
@@ -205,7 +205,7 @@ let fabric_tests =
         Alcotest.(check int) "flows again" 1 !got);
     Alcotest.test_case "detach stops delivery" `Quick (fun () ->
         let e, sw = mk_world () in
-        let n = Node.create e ~name:"n" ~addr:"10.0.0.1" in
+        let n = Node.create (Sim.Ctx.engine e) ~name:"n" ~addr:"10.0.0.1" in
         Node.attach n sw;
         Node.detach n sw;
         send_and_run e sw
@@ -216,7 +216,7 @@ let fabric_tests =
         Alcotest.(check int) "dropped" 1 (Switch.packets_dropped sw));
     Alcotest.test_case "route_through applies taps without delivering" `Quick (fun () ->
         let e, _ = mk_world () in
-        let n = Node.create e ~name:"mb" ~addr:"10.0.0.9" in
+        let n = Node.create (Sim.Ctx.engine e) ~name:"mb" ~addr:"10.0.0.9" in
         Node.add_tap n ~name:"rw" (fun p -> Rewrite { p with Net.Packet.payload = "X" });
         let p =
           Net.Packet.make ~id:1 ~src:(Net.Packet.endpoint "a" 1)
@@ -231,16 +231,16 @@ let fabric_tests =
         let e = engine () in
         let link = Net.Link.make ~latency:(Sim.Time.ms 10.) ~bandwidth_mbytes_per_s:1000. in
         let sw = Net.Fabric.Switch.create e ~name:"slow" ~link in
-        let n = Node.create e ~name:"n" ~addr:"10.0.0.1" in
+        let n = Node.create (Sim.Ctx.engine e) ~name:"n" ~addr:"10.0.0.1" in
         Node.attach n sw;
         let at = ref Sim.Time.zero in
-        Node.listen n 80 (fun _ -> at := Sim.Engine.now e);
+        Node.listen n 80 (fun _ -> at := Sim.Engine.now (Sim.Ctx.engine e));
         Net.Fabric.Switch.send sw
           (Net.Packet.make ~id:1
              ~src:(Net.Packet.endpoint "x" 1)
              ~dst:(Net.Packet.endpoint "10.0.0.1" 80)
              "p");
-        ignore (Sim.Engine.run e);
+        ignore (Sim.Engine.run (Sim.Ctx.engine e));
         Alcotest.(check bool) "after latency" true Sim.Time.(!at >= Sim.Time.ms 10.));
   ]
 
@@ -267,9 +267,9 @@ let flow_tests =
     Alcotest.test_case "flow advances virtual time" `Quick (fun () ->
         let e = engine () in
         let link = Net.Link.make ~latency:Sim.Time.zero ~bandwidth_mbytes_per_s:10. in
-        let before = Sim.Engine.now e in
+        let before = Sim.Engine.now (Sim.Ctx.engine e) in
         ignore (Net.Flow.run e ~link ~bytes:(10 * 1024 * 1024) ());
-        let elapsed = Sim.Time.diff (Sim.Engine.now e) before in
+        let elapsed = Sim.Time.diff (Sim.Engine.now (Sim.Ctx.engine e)) before in
         Alcotest.(check bool) "about 1s" true
           (Float.abs (Sim.Time.to_s elapsed -. 1.) < 0.05));
     Alcotest.test_case "no injector means no fault accounting" `Quick (fun () ->
@@ -283,7 +283,7 @@ let flow_tests =
         let link = Net.Link.make ~latency:Sim.Time.zero ~bandwidth_mbytes_per_s:100. in
         let clean = Net.Flow.run (engine ()) ~link ~bytes () in
         let e = engine () in
-        let fault = Sim.Fault.create Sim.Fault.lossy (Sim.Engine.fork_rng e) in
+        let fault = Sim.Fault.create Sim.Fault.lossy (Sim.Ctx.fork_rng e) in
         let r = Net.Flow.run e ~link ~fault ~bytes () in
         Alcotest.(check int) "all bytes arrive" bytes r.Net.Flow.bytes;
         Alcotest.(check bool) "no faster than fault-free" true
@@ -295,7 +295,7 @@ let flow_tests =
         let profile =
           { Sim.Fault.lossy with Sim.Fault.mtbf = Some (Sim.Time.ms 50.); mttr = Sim.Time.ms 200. }
         in
-        let fault = Sim.Fault.create profile (Sim.Engine.fork_rng e) in
+        let fault = Sim.Fault.create profile (Sim.Ctx.fork_rng e) in
         let link = Net.Link.make ~latency:Sim.Time.zero ~bandwidth_mbytes_per_s:10. in
         let r = Net.Flow.run e ~link ~fault ~bytes:(10 * 1024 * 1024) () in
         Alcotest.(check bool) "downtime recorded" true
@@ -312,12 +312,12 @@ let net_props =
          (fun (seed, hops) ->
            (* build a chain of [hops] gateways, each forwarding port 1000
               to the next node, ending at a listener *)
-           let e = Sim.Engine.create ~seed () in
+           let e = Sim.Ctx.create ~seed () in
            let sw = Net.Fabric.Switch.create e ~name:"sw" ~link:Net.Link.loopback in
            let nodes =
              List.init (hops + 1) (fun i ->
                  let n =
-                   Net.Fabric.Node.create e ~name:(Printf.sprintf "n%d" i)
+                   Net.Fabric.Node.create (Sim.Ctx.engine e) ~name:(Printf.sprintf "n%d" i)
                      ~addr:(Printf.sprintf "10.0.0.%d" (i + 1))
                  in
                  Net.Fabric.Node.attach n sw;
@@ -340,13 +340,13 @@ let net_props =
                 ~src:(Net.Packet.endpoint "src" 1)
                 ~dst:(Net.Packet.endpoint "10.0.0.1" 1000)
                 "x");
-           ignore (Sim.Engine.run e);
+           ignore (Sim.Engine.run (Sim.Ctx.engine e));
            !got));
     QCheck_alcotest.to_alcotest
       (QCheck.Test.make ~name:"flow time scales linearly with bytes" ~count:100
          QCheck.(int_range 1 64)
          (fun mib ->
-           let e = Sim.Engine.create () in
+           let e = Sim.Ctx.create () in
            let link = Net.Link.make ~latency:Sim.Time.zero ~bandwidth_mbytes_per_s:64. in
            let r = Net.Flow.run e ~link ~bytes:(mib * 1024 * 1024) () in
            Float.abs (Sim.Time.to_s r.Net.Flow.elapsed -. (float_of_int mib /. 64.)) < 0.01));
@@ -354,9 +354,9 @@ let net_props =
       (QCheck.Test.make ~name:"taps never duplicate deliveries" ~count:100
          QCheck.(int_range 0 5)
          (fun n_taps ->
-           let e = Sim.Engine.create () in
+           let e = Sim.Ctx.create () in
            let sw = Net.Fabric.Switch.create e ~name:"sw" ~link:Net.Link.loopback in
-           let node = Net.Fabric.Node.create e ~name:"n" ~addr:"10.0.0.1" in
+           let node = Net.Fabric.Node.create (Sim.Ctx.engine e) ~name:"n" ~addr:"10.0.0.1" in
            Net.Fabric.Node.attach node sw;
            for i = 1 to n_taps do
              Net.Fabric.Node.add_tap node ~name:(string_of_int i) (fun _ -> Net.Fabric.Forward)
@@ -368,7 +368,7 @@ let net_props =
                 ~src:(Net.Packet.endpoint "s" 1)
                 ~dst:(Net.Packet.endpoint "10.0.0.1" 80)
                 "x");
-           ignore (Sim.Engine.run e);
+           ignore (Sim.Engine.run (Sim.Ctx.engine e));
            !count = 1));
     QCheck_alcotest.to_alcotest
       (QCheck.Test.make ~name:"faulted flows deliver every byte under any seed" ~count:50
@@ -376,8 +376,8 @@ let net_props =
          (fun (seed, mib) ->
            let bytes = mib * 1024 * 1024 in
            let link = Net.Link.make ~latency:Sim.Time.zero ~bandwidth_mbytes_per_s:64. in
-           let e = Sim.Engine.create ~seed () in
-           let fault = Sim.Fault.create Sim.Fault.flaky (Sim.Engine.fork_rng e) in
+           let e = Sim.Ctx.create ~seed () in
+           let fault = Sim.Fault.create Sim.Fault.flaky (Sim.Ctx.fork_rng e) in
            let r = Net.Flow.run e ~link ~fault ~bytes () in
            (* faults cost time, never data: the full payload lands, the
               stream sat through at least the injected downtime, and a

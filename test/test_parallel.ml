@@ -52,8 +52,8 @@ let detect_trial ~seed =
     | Ok o -> Cloudskulk.Dedup_detector.verdict_to_string o.Cloudskulk.Dedup_detector.verdict
     | Error e -> Alcotest.fail ("detector: " ^ e)
   in
-  let clean = verdict (Cloudskulk.Scenarios.clean ~seed ()) in
-  let infected = verdict (Cloudskulk.Scenarios.infected ~seed ()) in
+  let clean = verdict (Cloudskulk.Scenarios.clean (Sim.Ctx.create ~seed ())) in
+  let infected = verdict (Cloudskulk.Scenarios.infected (Sim.Ctx.create ~seed ())) in
   (clean, infected)
 
 (* The faulted variant of the same trial: channel faults injected into
@@ -61,7 +61,7 @@ let detect_trial ~seed =
    migration outcome string, install wall time - so the comparison below
    catches any divergence in the fault schedule, not just the verdict. *)
 let faulted_trial ~seed =
-  match Cloudskulk.Scenarios.infected ~seed ~faults:Sim.Fault.flaky () with
+  match Cloudskulk.Scenarios.infected (Sim.Ctx.create ~seed ~faults:Sim.Fault.flaky ()) with
   | sc ->
     let verdict =
       match Cloudskulk.Dedup_detector.run sc.Cloudskulk.Scenarios.detector_env with

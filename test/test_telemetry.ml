@@ -173,10 +173,11 @@ let merge_tests =
 let determinism_tests =
   let run_batch ~jobs =
     let t = Sim.Telemetry.create () in
+    let ctx = Sim.Ctx.create ~seed:1 ~telemetry:t () in
     let _ =
-      Sim.Parallel.map_seeds_instrumented ~jobs ~telemetry:t ~root_seed:1 ~trials:3
-        (fun ~telemetry ~seed ->
-          let sc = Cloudskulk.Scenarios.clean ~seed ?telemetry () in
+      Sim.Parallel.map_ctx ~jobs ~ctx ~trials:3
+        (fun _ child ->
+          let sc = Cloudskulk.Scenarios.clean child in
           match Cloudskulk.Dedup_detector.run sc.Cloudskulk.Scenarios.detector_env with
           | Ok o -> Cloudskulk.Dedup_detector.verdict_to_string o.Cloudskulk.Dedup_detector.verdict
           | Error e -> e)
@@ -191,7 +192,7 @@ let determinism_tests =
         Alcotest.(check string) "spans" s1 s4);
     Alcotest.test_case "scenario metrics cover the layers" `Slow (fun () ->
         let t = Sim.Telemetry.create () in
-        let sc = Cloudskulk.Scenarios.infected ~seed:3 ~telemetry:t () in
+        let sc = Cloudskulk.Scenarios.infected (Sim.Ctx.create ~seed:3 ~telemetry:t ()) in
         (match Cloudskulk.Dedup_detector.run sc.Cloudskulk.Scenarios.detector_env with
         | Ok _ -> ()
         | Error e -> Alcotest.fail e);
@@ -214,7 +215,7 @@ let determinism_tests =
           ]);
     Alcotest.test_case "disabled telemetry leaves behaviour unchanged" `Slow (fun () ->
         let verdict telemetry =
-          let sc = Cloudskulk.Scenarios.infected ~seed:5 ?telemetry () in
+          let sc = Cloudskulk.Scenarios.infected (Sim.Ctx.create ~seed:5 ?telemetry ()) in
           match Cloudskulk.Dedup_detector.run sc.Cloudskulk.Scenarios.detector_env with
           | Ok o ->
             ( Cloudskulk.Dedup_detector.verdict_to_string o.Cloudskulk.Dedup_detector.verdict,

@@ -205,13 +205,13 @@ let qemu_config_tests =
   ]
 
 let mk_host () =
-  let engine = Sim.Engine.create () in
-  let uplink = Net.Fabric.Switch.create engine ~name:"up" ~link:Net.Link.lan_1gbe in
+  let ctx = Sim.Ctx.create () in
+  let uplink = Net.Fabric.Switch.create ctx ~name:"up" ~link:Net.Link.lan_1gbe in
   let host =
-    Vmm.Hypervisor.create_l0 ~ksm_config:Memory.Ksm.fast_config engine ~name:"host" ~uplink
+    Vmm.Hypervisor.create_l0 ~ksm_config:Memory.Ksm.fast_config ctx ~name:"host" ~uplink
       ~addr:"192.168.1.100"
   in
-  (engine, host)
+  (ctx, host)
 
 let small_vm ?(name = "vm") ?(memory_mb = 8) ?(vmx = false) () =
   let c = { (Vmm.Qemu_config.default ~name) with Vmm.Qemu_config.memory_mb } in
@@ -291,15 +291,15 @@ let vm_tests =
 let nested_tests =
   [
     Alcotest.test_case "nested hypervisor requires vmx" `Quick (fun () ->
-        let engine, host = mk_host () in
+        let ctx, host = mk_host () in
         let vm = launch_exn host (small_vm ()) in
         Alcotest.(check bool) "refused" true
-          (Result.is_error (Vmm.Hypervisor.create_nested engine ~vm ~name:"hv")));
+          (Result.is_error (Vmm.Hypervisor.create_nested ctx ~vm ~name:"hv")));
     Alcotest.test_case "nested launch carves RAM from the guest" `Quick (fun () ->
-        let engine, host = mk_host () in
+        let ctx, host = mk_host () in
         let guestx = launch_exn host (small_vm ~name:"guestx" ~memory_mb:16 ~vmx:true ()) in
         let hv =
-          match Vmm.Hypervisor.create_nested engine ~vm:guestx ~name:"hv" with
+          match Vmm.Hypervisor.create_nested ctx ~vm:guestx ~name:"hv" with
           | Ok hv -> hv
           | Error e -> Alcotest.fail e
         in
@@ -315,28 +315,28 @@ let nested_tests =
         Alcotest.(check bool) "content visible" true
           (Memory.Page.Content.equal c (Memory.Address_space.read (Vmm.Vm.ram guestx) idx)));
     Alcotest.test_case "nested launch with vtx plants a VMCS" `Quick (fun () ->
-        let engine, host = mk_host () in
+        let ctx, host = mk_host () in
         let guestx = launch_exn host (small_vm ~name:"guestx" ~memory_mb:16 ~vmx:true ()) in
         let hv =
-          Result.get_ok (Vmm.Hypervisor.create_nested engine ~vm:guestx ~name:"hv")
+          Result.get_ok (Vmm.Hypervisor.create_nested ctx ~vm:guestx ~name:"hv")
         in
         ignore (launch_exn hv (small_vm ~name:"l2" ~memory_mb:4 ()));
         Alcotest.(check bool) "signature present" true
           (Vmm.Vmcs.scan (Vmm.Vm.ram guestx) <> []));
     Alcotest.test_case "software nesting leaves no VMCS" `Quick (fun () ->
-        let engine, host = mk_host () in
+        let ctx, host = mk_host () in
         let guestx = launch_exn host (small_vm ~name:"guestx" ~memory_mb:16 ~vmx:true ()) in
         let hv =
           Result.get_ok
-            (Vmm.Hypervisor.create_nested ~use_vtx:false engine ~vm:guestx ~name:"hv")
+            (Vmm.Hypervisor.create_nested ~use_vtx:false ctx ~vm:guestx ~name:"hv")
         in
         ignore (launch_exn hv (small_vm ~name:"l2" ~memory_mb:4 ()));
         Alcotest.(check (list int)) "no signature" [] (Vmm.Vmcs.scan (Vmm.Vm.ram guestx)));
     Alcotest.test_case "nested allocation exhausts" `Quick (fun () ->
-        let engine, host = mk_host () in
+        let ctx, host = mk_host () in
         let guestx = launch_exn host (small_vm ~name:"guestx" ~memory_mb:8 ~vmx:true ()) in
         let hv =
-          Result.get_ok (Vmm.Hypervisor.create_nested engine ~vm:guestx ~name:"hv")
+          Result.get_ok (Vmm.Hypervisor.create_nested ctx ~vm:guestx ~name:"hv")
         in
         (* 8 MB guest: 2048 pages, floor at 512 -> at most ~1.5K pages for
            nested VMs; a 8 MB nested VM cannot fit *)
@@ -393,12 +393,12 @@ let monitor_tests =
         let uuid1 = exec vm "info uuid" in
         Alcotest.(check string) "uuid stable" uuid1 (exec vm "info uuid"));
     Alcotest.test_case "monitor commands consume a little virtual time" `Quick (fun () ->
-        let engine, host = mk_host () in
+        let ctx, host = mk_host () in
         let vm = launch_exn host (small_vm ()) in
-        let before = Sim.Engine.now engine in
+        let before = Sim.Engine.now (Sim.Ctx.engine ctx) in
         ignore (exec vm "info status");
         Alcotest.(check bool) "clock advanced" true
-          Sim.Time.(Sim.Engine.now engine > before));
+          Sim.Time.(Sim.Engine.now (Sim.Ctx.engine ctx) > before));
     Alcotest.test_case "unknown commands and topics fail" `Quick (fun () ->
         let _, host = mk_host () in
         let vm = launch_exn host (small_vm ()) in
@@ -478,18 +478,18 @@ let disk_tests =
 let layers_tests =
   [
     Alcotest.test_case "bare_metal runs at L0" `Quick (fun () ->
-        let env = Vmm.Layers.bare_metal ~ksm_config:Memory.Ksm.fast_config ~workspace_mb:8 () in
+        let env = Vmm.Layers.bare_metal ~ksm_config:Memory.Ksm.fast_config ~workspace_mb:8 (Sim.Ctx.create ()) in
         Alcotest.(check int) "L0" 0 (Vmm.Level.to_int env.Vmm.Layers.exec_level);
         Alcotest.(check bool) "no vm" true (env.Vmm.Layers.exec_vm = None));
     Alcotest.test_case "single_guest runs at L1" `Quick (fun () ->
         let config = { (Vmm.Qemu_config.default ~name:"guest0") with Vmm.Qemu_config.memory_mb = 8 } in
-        let env = Vmm.Layers.single_guest ~ksm_config:Memory.Ksm.fast_config ~config () in
+        let env = Vmm.Layers.single_guest ~ksm_config:Memory.Ksm.fast_config ~config (Sim.Ctx.create ()) in
         Alcotest.(check int) "L1" 1 (Vmm.Level.to_int env.Vmm.Layers.exec_level));
     Alcotest.test_case "nested_guest runs at L2" `Quick (fun () ->
         let config = { (Vmm.Qemu_config.default ~name:"guest0") with Vmm.Qemu_config.memory_mb = 8 } in
         let env =
           Vmm.Layers.nested_guest ~ksm_config:Memory.Ksm.fast_config ~guestx_memory_mb:64
-            ~config ()
+            ~config (Sim.Ctx.create ())
         in
         Alcotest.(check int) "L2" 2 (Vmm.Level.to_int env.Vmm.Layers.exec_level);
         Alcotest.(check bool) "guestx present" true (env.Vmm.Layers.guestx <> None));
@@ -497,7 +497,7 @@ let layers_tests =
         let config = { (Vmm.Qemu_config.default ~name:"guest0") with Vmm.Qemu_config.memory_mb = 8 } in
         let mp =
           Vmm.Layers.migration_pair ~ksm_config:Memory.Ksm.fast_config ~config ~nested_dest:true
-            ()
+            (Sim.Ctx.create ())
         in
         Alcotest.(check int) "dest L2" 2 (Vmm.Level.to_int (Vmm.Vm.level mp.Vmm.Layers.mp_dest));
         Alcotest.(check bool) "incoming" true

@@ -3,10 +3,10 @@
    the lmbench calibration (Tables II-IV). *)
 
 let mk_env ?(level = Vmm.Level.l0) ?(pages = 4096) ?(noise_rsd = 0.) () =
-  let engine = Sim.Engine.create () in
-  let ft = Memory.Frame_table.create () in
+  let ctx = Sim.Ctx.create () in
+  let ft = Memory.Frame_table.create ctx in
   let ram = Memory.Address_space.create_root ft ~name:"ws" ~pages in
-  Workload.Exec_env.make ~noise_rsd ~engine ~level ~ram ~rng:(Sim.Rng.create 7) ()
+  Workload.Exec_env.make ~noise_rsd ~ctx ~level ~ram ~rng:(Sim.Rng.create 7) ()
 
 let background_tests =
   [

@@ -25,6 +25,13 @@
                       [Sim.Parallel]: all fan-out goes through the
                       deterministic trial runner.
 
+   context-discipline —
+     ctx-discipline   a function in lib/ (outside lib/sim/) taking its
+                      own [?telemetry] or [?faults] optional: those ride
+                      in the [Sim.Ctx] the caller threads down. The
+                      singular [?fault] (a migration-local injection
+                      point) is deliberately exempt.
+
    telemetry-discipline —
      counter-name     counters are named [*_total]; gauges/histograms
                       are not (Prometheus conventions, and the exporters
@@ -52,6 +59,10 @@ type rule = {
 let everywhere _ = true
 let lib_only path = String.length path >= 4 && String.sub path 0 4 = "lib/"
 
+let under dir path =
+  let n = String.length dir in
+  String.length path >= n && String.sub path 0 n = dir
+
 let catalogue =
   [
     { name = "random-global"; family = "determinism";
@@ -68,6 +79,9 @@ let catalogue =
     { name = "domain-spawn"; family = "domain-safety";
       summary = "raw Domain.spawn outside Sim.Parallel";
       applies = (fun p -> p <> "lib/sim/parallel.ml") };
+    { name = "ctx-discipline"; family = "context";
+      summary = "substrates take a Sim.Ctx, not their own ?telemetry/?faults optionals";
+      applies = (fun p -> lib_only p && not (under "lib/sim/" p)) };
     { name = "counter-name"; family = "telemetry";
       summary = "counters end in _total; gauges/histograms do not"; applies = everywhere };
     { name = "counter-monotonic"; family = "telemetry";
@@ -305,6 +319,22 @@ let check_apply ctx e =
     | Some _ | None -> ())
   | _ -> ()
 
+(* ---- context discipline ---- *)
+
+(* Only the exact plural labels the Ctx record bundles: [?fault] (one
+   injection point handed to a single migration) stays a legitimate
+   per-call optional. *)
+let check_ctx_discipline ctx e =
+  match e.pexp_desc with
+  | Pexp_fun ((Asttypes.Optional ("telemetry" | "faults")) as label, _, _, _) ->
+    let name = match label with Asttypes.Optional l -> l | _ -> assert false in
+    emit ctx ~loc:e.pexp_loc "ctx-discipline"
+      (Printf.sprintf
+         "optional ?%s on a lib/ function: it rides in the Sim.Ctx the caller threads down \
+          (Ctx.create ~%s / Ctx.with_telemetry), not in a per-constructor optional"
+         name name)
+  | _ -> ()
+
 (* ---- module-level mutable state ---- *)
 
 let mutable_allocator e =
@@ -402,6 +432,7 @@ let run ~path structure =
         (fun self e ->
           sanction_sorted_folds ctx e;
           check_apply ctx e;
+          check_ctx_discipline ctx e;
           (match e.pexp_desc with
           | Pexp_ident id ->
             if not (check_ident_raw ctx id.txt id.loc) then

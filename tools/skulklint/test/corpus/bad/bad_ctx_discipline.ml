@@ -1,0 +1,17 @@
+(* known-bad: substrate constructors growing their own ?telemetry /
+   ?faults optionals instead of taking the Sim.Ctx that already carries
+   both. Fires ctx-discipline twice when linted under a lib/ path
+   outside lib/sim/; the singular ?fault - one injection point handed to
+   one migration call - is deliberately fine. *)
+
+let create ?telemetry ~name () =
+  ignore telemetry;
+  name
+
+let connect ?(faults = []) ~name () =
+  ignore faults;
+  name
+
+let migrate ?fault source =
+  ignore fault;
+  source

@@ -61,6 +61,14 @@ let bad_tests =
         check_rules "bench sinks ok"
           [ "counter-name"; "counter-name"; "counter-monotonic"; "sink-discipline" ]
           f);
+    Alcotest.test_case "ctx-discipline: ?telemetry and ?faults, not ?fault" `Quick (fun () ->
+        let f, _ = lint ~path:"lib/vmm/bad_ctx_discipline.ml" "bad/bad_ctx_discipline.ml" in
+        check_rules "ctx" [ "ctx-discipline"; "ctx-discipline" ] f);
+    Alcotest.test_case "ctx-discipline exempts lib/sim/ and non-lib paths" `Quick (fun () ->
+        let f, _ = lint ~path:"lib/sim/ctx.ml" "bad/bad_ctx_discipline.ml" in
+        check_rules "lib/sim exempt" [] f;
+        let f, _ = lint ~path:"bench/bad_ctx_discipline.ml" "bad/bad_ctx_discipline.ml" in
+        check_rules "bench exempt" [] f);
     Alcotest.test_case "span-pairing: zero-width and split" `Quick (fun () ->
         let f, _ = lint ~path:"lib/net/bad_span.ml" "bad/bad_span.ml" in
         check_rules "span" [ "span-pairing"; "span-pairing" ] f);
@@ -154,6 +162,7 @@ let meta_tests =
               ("lib/workload/f.ml", "bad/bad_domain_spawn.ml");
               ("lib/net/g.ml", "bad/bad_telemetry.ml");
               ("lib/net/h.ml", "bad/bad_span.ml");
+              ("lib/vmm/i.ml", "bad/bad_ctx_discipline.ml");
             ]
         in
         List.iter
