@@ -124,6 +124,22 @@ let test_dirty_iter =
   Test.make ~name:"perf/dirty-fold-64k-sparse"
     (Staged.stage (fun () -> ignore (Memory.Dirty.fold_dirty d (fun acc i -> acc + i) 0)))
 
+(* The event queue's steady-state regime at low and high occupancy,
+   plus the binary-heap reference at high occupancy for comparison.
+   Each run is one schedule+expire pair on a persistent prefilled
+   queue (see Event_bench.steady_state_op). *)
+let test_event_queue_1e3 =
+  let op = Event_bench.steady_state_op Event_bench.wheel ~pending:1_000 in
+  Test.make ~name:"event_queue/schedule-expire-1e3-pending" (Staged.stage op)
+
+let test_event_queue_1e5 =
+  let op = Event_bench.steady_state_op Event_bench.wheel ~pending:100_000 in
+  Test.make ~name:"event_queue/schedule-expire-1e5-pending" (Staged.stage op)
+
+let test_event_heap_1e5 =
+  let op = Event_bench.steady_state_op Event_bench.heap ~pending:100_000 in
+  Test.make ~name:"event_queue/heap-reference-1e5-pending" (Staged.stage op)
+
 (* The parallel trial runner: fan 8 small self-contained engine trials
    over 2 domains (spawn + join dominate; the point is to track that
    fan-out overhead stays in the low milliseconds). *)
@@ -147,6 +163,9 @@ let tests =
       test_install;
       test_ksm_scan_hot;
       test_dirty_iter;
+      test_event_queue_1e3;
+      test_event_queue_1e5;
+      test_event_heap_1e5;
       test_parallel_runner;
     ]
 
@@ -180,12 +199,25 @@ let scan_report () =
   done;
   (* skulklint: allow wall-clock — closes the host-clock interval opened above *)
   let dirty_ns = (Sys.time () -. t1) *. 1e9 /. dirty_pages in
+  (* Event-engine record: the heap rows are measured live (Event_heap is
+     the pre-overhaul implementation, preserved in-tree as the reference
+     oracle), so the wheel-vs-heap speedup is an apples-to-apples number
+     from the same machine and build. *)
+  let q_ops = 1_000_000 in
+  let wheel_1e3 = Event_bench.queue_ns_per_op Event_bench.wheel ~pending:1_000 ~ops:q_ops in
+  let heap_1e3 = Event_bench.queue_ns_per_op Event_bench.heap ~pending:1_000 ~ops:q_ops in
+  let wheel_1e5 = Event_bench.queue_ns_per_op Event_bench.wheel ~pending:100_000 ~ops:q_ops in
+  let heap_1e5 = Event_bench.queue_ns_per_op Event_bench.heap ~pending:100_000 ~ops:q_ops in
+  let rescan_full = Event_bench.ksm_rescan_ns_per_dirtied_page ~incremental:false ~iters:200 in
+  let rescan_incr = Event_bench.ksm_rescan_ns_per_dirtied_page ~incremental:true ~iters:200 in
   let json =
     Printf.sprintf
       {|{
   "workload": {
     "ksm_scan": "scan_once, 64 spaces x 256 distinct pages (16384 pages), fast config",
-    "dirty_fold": "fold_dirty over 65536 pages at 1%% dirty"
+    "dirty_fold": "fold_dirty over 65536 pages at 1%% dirty",
+    "event_queue": "steady-state schedule+expire pairs at fixed occupancy; replacement deltas drawn from the engine period mix (90%% <=1ms packet-scale, 9%% <=100ms device-scale, 1%% <=10s housekeeping), best of 3 runs",
+    "ksm_rescan": "steady-state wakeups over the 16384-page population with ~1%% (164 pages) dirtied between wakeups; cost normalised per dirtied page"
   },
   "seed_baseline": {
     "ksm_scan_minor_words_per_page": 83.02,
@@ -196,10 +228,24 @@ let scan_report () =
     "ksm_scan_minor_words_per_page": %.2f,
     "ksm_scan_ns_per_page": %.1f,
     "dirty_iter_ns_per_page": %.2f
+  },
+  "events_per_sec": {
+    "heap_reference_1e3_pending": %.0f,
+    "heap_reference_1e5_pending": %.0f,
+    "wheel_1e3_pending": %.0f,
+    "wheel_1e5_pending": %.0f,
+    "wheel_speedup_1e5_pending": %.2f
+  },
+  "ksm_rescan_ns_per_page": {
+    "full_sweep_per_dirtied_page": %.1f,
+    "incremental_per_dirtied_page": %.1f,
+    "incremental_speedup": %.2f
   }
 }
 |}
-      scan_words scan_ns dirty_ns
+      scan_words scan_ns dirty_ns (1e9 /. heap_1e3) (1e9 /. heap_1e5) (1e9 /. wheel_1e3)
+      (1e9 /. wheel_1e5) (heap_1e5 /. wheel_1e5) rescan_full rescan_incr
+      (rescan_full /. rescan_incr)
   in
   let oc = open_out "BENCH_scan.json" in
   output_string oc json;
@@ -208,6 +254,11 @@ let scan_report () =
     "\n  hot-path record (BENCH_scan.json): ksm scan %.2f minor words/page (seed: 83.02), \
      %.1f ns/page (seed: 543.5); dirty fold %.2f ns/page (seed: 4.21)\n"
     scan_words scan_ns dirty_ns;
+  Printf.printf
+    "  event queue at 1e5 pending: wheel %.0f ns/op vs heap %.0f ns/op (%.2fx); ksm rescan \
+     %.1f -> %.1f ns/dirtied page (%.2fx)\n"
+    wheel_1e5 heap_1e5 (heap_1e5 /. wheel_1e5) rescan_full rescan_incr
+    (rescan_full /. rescan_incr);
   ignore !sink
 
 let run () =

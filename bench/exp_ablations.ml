@@ -7,10 +7,10 @@ let abl_ksm ctx =
   Bench_util.section "abl-ksm: detector wait vs ksmd scan rate";
   let configs =
     [
-      ("25 pages / 20 ms", { Memory.Ksm.pages_to_scan = 25; sleep = Sim.Time.ms 20. });
+      ("25 pages / 20 ms", { Memory.Ksm.pages_to_scan = 25; sleep = Sim.Time.ms 20.; incremental = false });
       ("100 pages / 20 ms (Linux default)", Memory.Ksm.default_config);
-      ("400 pages / 20 ms", { Memory.Ksm.pages_to_scan = 400; sleep = Sim.Time.ms 20. });
-      ("1600 pages / 20 ms", { Memory.Ksm.pages_to_scan = 1600; sleep = Sim.Time.ms 20. });
+      ("400 pages / 20 ms", { Memory.Ksm.pages_to_scan = 400; sleep = Sim.Time.ms 20.; incremental = false });
+      ("1600 pages / 20 ms", { Memory.Ksm.pages_to_scan = 1600; sleep = Sim.Time.ms 20.; incremental = false });
     ]
   in
   let rows =

@@ -111,7 +111,7 @@ let abl_covert ctx =
   let configs =
     [
       ("100 pages / 20 ms (default)", Memory.Ksm.default_config);
-      ("400 pages / 20 ms", { Memory.Ksm.pages_to_scan = 400; sleep = Sim.Time.ms 20. });
+      ("400 pages / 20 ms", { Memory.Ksm.pages_to_scan = 400; sleep = Sim.Time.ms 20.; incremental = false });
       ("4096 pages / 1 ms (aggressive)", Memory.Ksm.fast_config);
     ]
   in

@@ -1,0 +1,48 @@
+(* Standalone event-engine benchmark, used as the CI perf smoke: prints
+   wheel-vs-heap queue throughput and incremental-vs-full KSM rescan
+   cost, and exits non-zero if the timing wheel stops clearly beating
+   the heap at high occupancy or the incremental rescan stops clearly
+   beating the full sweep. The gates are deliberately looser than the
+   speedups recorded in BENCH_scan.json (~6x and ~10x+ on a quiet
+   machine) so shared CI runners do not flake; a real regression - the
+   wheel degrading to heap-like behaviour - trips them immediately.
+
+   Usage: queue_bench [--quick]   (--quick shrinks iteration counts) *)
+
+let () =
+  let quick = Array.exists (fun a -> String.equal a "--quick") Sys.argv in
+  let ops = if quick then 200_000 else 1_000_000 in
+  let rescan_iters = if quick then 40 else 200 in
+  let row name ns = Printf.printf "  %-34s %10.1f ns/op %12.0f events/s\n" name ns (1e9 /. ns) in
+  Printf.printf "event queue: steady-state schedule+expire (%d ops)\n" ops;
+  let wheel_1e3 = Event_bench.queue_ns_per_op Event_bench.wheel ~pending:1_000 ~ops in
+  let heap_1e3 = Event_bench.queue_ns_per_op Event_bench.heap ~pending:1_000 ~ops in
+  let wheel_1e5 = Event_bench.queue_ns_per_op Event_bench.wheel ~pending:100_000 ~ops in
+  let heap_1e5 = Event_bench.queue_ns_per_op Event_bench.heap ~pending:100_000 ~ops in
+  row "wheel, 1e3 pending" wheel_1e3;
+  row "heap,  1e3 pending" heap_1e3;
+  row "wheel, 1e5 pending" wheel_1e5;
+  row "heap,  1e5 pending" heap_1e5;
+  let speedup = heap_1e5 /. wheel_1e5 in
+  Printf.printf "  wheel speedup at 1e5 pending: %.2fx\n" speedup;
+  Printf.printf "ksm rescan: 16384 pages, ~1%% dirtied per wakeup (%d wakeups)\n" rescan_iters;
+  let full =
+    Event_bench.ksm_rescan_ns_per_dirtied_page ~incremental:false ~iters:rescan_iters
+  in
+  let incr_ =
+    Event_bench.ksm_rescan_ns_per_dirtied_page ~incremental:true ~iters:rescan_iters
+  in
+  Printf.printf "  %-34s %10.1f ns/dirtied page\n" "full sweep" full;
+  Printf.printf "  %-34s %10.1f ns/dirtied page\n" "incremental sweep" incr_;
+  let rescan_speedup = full /. incr_ in
+  Printf.printf "  incremental speedup: %.2fx\n" rescan_speedup;
+  let failures = ref [] in
+  if speedup < 2. then
+    failures := Printf.sprintf "wheel speedup %.2fx < 2x at 1e5 pending" speedup :: !failures;
+  if rescan_speedup < 2. then
+    failures := Printf.sprintf "incremental rescan speedup %.2fx < 2x" rescan_speedup :: !failures;
+  match !failures with
+  | [] -> print_endline "smoke: OK"
+  | fs ->
+    List.iter (fun f -> Printf.eprintf "smoke FAIL: %s\n" f) fs;
+    exit 1

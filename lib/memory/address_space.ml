@@ -7,6 +7,11 @@ and t = {
   pages : int;
   backing : backing;
   dirty : Dirty.t;
+  (* extra bitmaps fired on every write to this space (after delegation
+     translation); lets several consumers - migration's live bitmap and
+     KSM's rescan filter - observe writes without sharing clear
+     schedules. Usually empty or a single element. *)
+  mutable watchers : Dirty.t list;
 }
 
 let rec frame_table t =
@@ -18,13 +23,19 @@ let create_root table ~name ~pages =
   if pages <= 0 then invalid_arg "Address_space.create_root: pages must be positive";
   let frames = Array.init pages (fun _ -> Frame_table.alloc table Page.Content.zero) in
   let dirty = Dirty.for_table table pages in
-  { name; pages; backing = Root { table; frames }; dirty }
+  { name; pages; backing = Root { table; frames }; dirty; watchers = [] }
 
 let window parent ~name ~offset ~pages =
   if offset < 0 || pages <= 0 || offset + pages > parent.pages then
     invalid_arg "Address_space.window: range does not fit in parent";
   let table = frame_table parent in
-  { name; pages; backing = Window { parent; offset }; dirty = Dirty.for_table table pages }
+  {
+    name;
+    pages;
+    backing = Window { parent; offset };
+    dirty = Dirty.for_table table pages;
+    watchers = [];
+  }
 
 let name t = t.name
 let pages t = t.pages
@@ -73,6 +84,9 @@ type write_kind = Private_write | Cow_break
 (* Mark dirty in this space and every ancestor on the delegation path. *)
 let rec mark_dirty_chain t i =
   Dirty.set t.dirty i;
+  (match t.watchers with
+  | [] -> ()
+  | ws -> List.iter (fun d -> Dirty.set d i) ws);
   match t.backing with
   | Root _ -> ()
   | Window w -> mark_dirty_chain w.parent (w.offset + i)
@@ -113,6 +127,13 @@ let remap t i f =
     end
 
 let dirty t = t.dirty
+
+let watch_writes t d =
+  if Dirty.length d <> t.pages then
+    invalid_arg "Address_space.watch_writes: bitmap length must equal pages";
+  if not (List.memq d t.watchers) then t.watchers <- d :: t.watchers
+
+let unwatch_writes t d = t.watchers <- List.filter (fun d' -> not (d' == d)) t.watchers
 
 let load t ~offset contents =
   Array.iteri (fun k c -> ignore (write t (offset + k) c)) contents

@@ -55,6 +55,18 @@ val remap : t -> int -> Frame_table.frame -> unit
 val dirty : t -> Dirty.t
 (** This space's dirty bitmap (local indices). *)
 
+val watch_writes : t -> Dirty.t -> unit
+(** [watch_writes t d] registers [d] (length [pages t]) as an extra
+    write-observer bitmap: every subsequent write to [t] - direct or
+    delegated through a window - also sets the corresponding bit of [d].
+    The observer owns its own clear schedule, so consumers with
+    different cadences (migration rounds, KSM rescans) do not steal each
+    other's dirt. Registering the same bitmap twice is a no-op. Raises
+    [Invalid_argument] on a length mismatch. *)
+
+val unwatch_writes : t -> Dirty.t -> unit
+(** Remove a previously registered write observer (no-op if absent). *)
+
 val load : t -> offset:int -> Page.Content.t array -> unit
 (** Bulk write of consecutive page contents starting at [offset]
     (e.g. loading File-A into memory). *)

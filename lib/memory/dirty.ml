@@ -43,6 +43,43 @@ let set t i =
     t.count <- t.count + 1
   end
 
+let test_and_clear t i =
+  check t i;
+  let w = i lsr 5 in
+  let mask = 1 lsl (i land 31) in
+  let old = t.words.(w) in
+  if old land mask = 0 then false
+  else begin
+    t.words.(w) <- old land lnot mask;
+    t.count <- t.count - 1;
+    true
+  end
+
+let next_dirty_from t from =
+  if from >= t.length then None
+  else begin
+    check t from;
+    let words = t.words in
+    let n_words = Array.length words in
+    let rec from_word w first_bit =
+      if w >= n_words then None
+      else begin
+        let word = Array.unsafe_get words w lsr first_bit in
+        if word = 0 then from_word (w + 1) 0
+        else begin
+          (* find the lowest set bit of the shifted word *)
+          let rest = ref word and bit = ref first_bit in
+          while !rest land 1 = 0 do
+            rest := !rest lsr 1;
+            incr bit
+          done;
+          Some ((w lsl 5) + !bit)
+        end
+      end
+    in
+    from_word (from lsr 5) (from land 31)
+  end
+
 let dirty_count t = t.count
 
 let clear t =

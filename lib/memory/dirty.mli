@@ -22,6 +22,17 @@ val for_table : Frame_table.t -> int -> t
 val length : t -> int
 val set : t -> int -> unit
 val is_dirty : t -> int -> bool
+
+val test_and_clear : t -> int -> bool
+(** [test_and_clear t i] is [is_dirty t i], clearing the bit as a side
+    effect - the one-page analogue of {!drain}, used by consumers that
+    retire dirt page by page (e.g. an incremental KSM rescan). *)
+
+val next_dirty_from : t -> int -> int option
+(** [next_dirty_from t i] is the smallest dirty index [>= i], skipping
+    clean ranges a word (32 pages) per compare. [None] if no bit at or
+    after [i] is set; the bitmap is not modified. *)
+
 val dirty_count : t -> int
 val clear : t -> unit
 

@@ -1,10 +1,11 @@
 type config = {
   pages_to_scan : int;
   sleep : Sim.Time.t;
+  incremental : bool;
 }
 
-let default_config = { pages_to_scan = 100; sleep = Sim.Time.ms 20. }
-let fast_config = { pages_to_scan = 4096; sleep = Sim.Time.ms 1. }
+let default_config = { pages_to_scan = 100; sleep = Sim.Time.ms 20.; incremental = false }
+let fast_config = { pages_to_scan = 4096; sleep = Sim.Time.ms 1.; incremental = false }
 
 (* Both trees are keyed by the page's integer content hash - computed
    once per scan and reused - rather than the boxed content itself.
@@ -27,6 +28,11 @@ end)
 type slot = {
   space : Address_space.t;
   checksums : int array;
+  (* write-observer bitmap: bit [i] set means page [i] was written (or
+     never examined) since the scanner last visited it. The full sweep
+     uses it to reuse cached checksums on clean pages; the incremental
+     sweep additionally uses it to pick which pages to visit at all. *)
+  rescan : Dirty.t;
 }
 
 let never_scanned = -1
@@ -53,6 +59,12 @@ type t = {
   mutable full_scans : int;
   mutable merges : int;
   mutable volatile_skips : int;
+  mutable clean_skips : int;
+      (* pages whose cached checksum was reused because no write was
+         observed since their previous scan *)
+  mutable scanned_since_pass : bool;
+      (* incremental mode: only count a pass when it examined something,
+         so an idle scanner does not spin the pass counter *)
   mutable active : bool;
   (* pre-created handles: bumping one is a single match + float add, so
      the scan hot path stays free of per-event registry lookups *)
@@ -79,6 +91,8 @@ let create ?(config = default_config) ctx table =
     full_scans = 0;
     merges = 0;
     volatile_skips = 0;
+    clean_skips = 0;
+    scanned_since_pass = false;
     active = false;
     m_passes = Sim.Telemetry.counter telemetry ~component:"ksm" "scan_passes_total";
     m_scanned = Sim.Telemetry.counter telemetry ~component:"ksm" "pages_scanned_total";
@@ -104,7 +118,15 @@ let register t space =
   if not (Address_space.is_root space) then
     invalid_arg "Ksm.register: only root address spaces are mergeable";
   if slot_index t space = None then begin
-    let slot = { space; checksums = Array.make (Address_space.pages space) never_scanned } in
+    let pages = Address_space.pages space in
+    let rescan = Dirty.create pages in
+    (* every page starts pending: never-scanned pages must be visited
+       even though no write has been observed yet *)
+    for i = 0 to pages - 1 do
+      Dirty.set rescan i
+    done;
+    Address_space.watch_writes space rescan;
+    let slot = { space; checksums = Array.make pages never_scanned; rescan } in
     if t.n_slots = Array.length t.slots then begin
       let grown = Array.make (max 4 (2 * t.n_slots)) slot in
       Array.blit t.slots 0 grown 0 t.n_slots;
@@ -119,6 +141,7 @@ let unregister t space =
   match slot_index t space with
   | None -> ()
   | Some idx ->
+    Address_space.unwatch_writes space t.slots.(idx).rescan;
     (* drop this pass's unstable candidates that point into the removed
        space; the rest of the pass's progress is kept (entries for later
        slots drift one index and are caught by content re-validation) *)
@@ -143,7 +166,9 @@ let unregister t space =
 
 (* A stable-tree entry is valid only while its frame is still live,
    flagged stable, and holding the content it was indexed under (CoW can
-   have recycled it). Invalid entries are pruned on lookup. *)
+   have recycled it). Invalid entries are pruned on lookup. [content] is
+   lazy so a checksum miss - the overwhelmingly common case - never
+   reads the probing page at all. *)
 let stable_lookup t content checksum =
   match Int_tbl.find_opt t.stable checksum with
   | None -> None
@@ -151,7 +176,7 @@ let stable_lookup t content checksum =
     let valid =
       Frame_table.is_live t.table f
       && Frame_table.is_stable t.table f
-      && Page.Content.equal (Frame_table.content t.table f) content
+      && Page.Content.equal (Frame_table.content t.table f) (Lazy.force content)
     in
     if valid then Some f
     else begin
@@ -184,7 +209,7 @@ let scan_unstable t slot_idx space i content checksum f =
       &&
       let space' = t.slots.(idx').space in
       i' < Address_space.pages space'
-      && Page.Content.equal (Address_space.read space' i') content
+      && Page.Content.equal (Address_space.read space' i') (Lazy.force content)
     in
     if not valid then Int_tbl.replace t.unstable checksum self
     else
@@ -202,9 +227,21 @@ let scan_unstable t slot_idx space i content checksum f =
 
 let scan_page t slot_idx slot i =
   let space = slot.space in
-  let content = Address_space.read space i in
-  let checksum = Page.Content.hash content in
+  let was_written = Dirty.test_and_clear slot.rescan i in
   let previous = slot.checksums.(i) in
+  let content = lazy (Address_space.read space i) in
+  (* Cached-checksum fast path: if no write was observed since the
+     previous scan, the content - and therefore its hash - cannot have
+     changed (every content change goes through [Address_space.write],
+     and KSM's own remaps are content-preserving), so the expensive
+     read + hash is skipped. Behaviour is identical by construction. *)
+  let checksum =
+    if (not was_written) && previous <> never_scanned then begin
+      t.clean_skips <- t.clean_skips + 1;
+      previous
+    end
+    else Page.Content.hash (Lazy.force content)
+  in
   slot.checksums.(i) <- checksum;
   let f = Address_space.frame_at space i in
   if Frame_table.is_stable t.table f then
@@ -220,7 +257,12 @@ let scan_page t slot_idx slot i =
          skip). A page seen for the first time is taken at face value. *)
       if previous <> never_scanned && previous <> checksum then begin
         t.volatile_skips <- t.volatile_skips + 1;
-        Sim.Telemetry.incr t.m_volatile
+        Sim.Telemetry.incr t.m_volatile;
+        (* keep the churner in the rescan set: the incremental sweep
+           only visits dirty pages, and a page that settles after one
+           write must still get the quiescent revisit that admits it to
+           the unstable tree *)
+        Dirty.set slot.rescan i
       end
       else scan_unstable t slot_idx space i content checksum f
 
@@ -231,6 +273,16 @@ let total_pages t =
   done;
   !acc
 
+let complete_pass t =
+  t.full_scans <- t.full_scans + 1;
+  Sim.Telemetry.incr t.m_passes;
+  (* The incremental sweep keeps its unstable candidates across passes:
+     clean pages are never revisited, so dropping their entries would
+     lose the merge partners they advertise. Entries are re-validated by
+     content on every hit, which keeps staleness harmless. *)
+  if not t.config.incremental then Int_tbl.reset t.unstable;
+  emit t "full pass %d complete (%d merges so far)" t.full_scans t.merges
+
 let advance_cursor t =
   if t.n_slots > 0 then begin
     t.cursor_page <- t.cursor_page + 1;
@@ -239,29 +291,66 @@ let advance_cursor t =
       t.cursor_space <- t.cursor_space + 1;
       if t.cursor_space >= t.n_slots then begin
         t.cursor_space <- 0;
-        t.full_scans <- t.full_scans + 1;
-        Sim.Telemetry.incr t.m_passes;
-        Int_tbl.reset t.unstable;
-        emit t "full pass %d complete (%d merges so far)" t.full_scans t.merges
+        complete_pass t
       end
     end
   end
 
-let scan_once t =
-  if t.n_slots > 0 then begin
-    let scanned = ref 0 in
-    for _ = 1 to t.config.pages_to_scan do
-      if t.cursor_space < t.n_slots then begin
-        let slot = t.slots.(t.cursor_space) in
-        if t.cursor_page < Address_space.pages slot.space then begin
-          scan_page t t.cursor_space slot t.cursor_page;
-          incr scanned
-        end;
-        advance_cursor t
+let scan_once_full t =
+  let scanned = ref 0 in
+  for _ = 1 to t.config.pages_to_scan do
+    if t.cursor_space < t.n_slots then begin
+      let slot = t.slots.(t.cursor_space) in
+      if t.cursor_page < Address_space.pages slot.space then begin
+        scan_page t t.cursor_space slot t.cursor_page;
+        incr scanned
+      end;
+      advance_cursor t
+    end
+  done;
+  Sim.Telemetry.add t.m_scanned !scanned
+
+(* Incremental sweep: visit only pages whose rescan bit is set (written
+   since their last visit, or never scanned), skipping clean ranges a
+   word at a time. The wakeup budget is spent on examined pages, so a
+   steady state where few pages are dirtied costs O(dirtied), not
+   O(table). The slot-hop budget bounds an idle sweep to one lap, and a
+   lap that examined nothing does not count as a pass. *)
+let scan_once_incremental t =
+  let next_slot t =
+    t.cursor_page <- 0;
+    t.cursor_space <- t.cursor_space + 1;
+    if t.cursor_space >= t.n_slots then begin
+      t.cursor_space <- 0;
+      if t.scanned_since_pass then begin
+        t.scanned_since_pass <- false;
+        complete_pass t
       end
-    done;
-    Sim.Telemetry.add t.m_scanned !scanned
-  end
+    end
+  in
+  let scanned = ref 0 in
+  let budget = ref t.config.pages_to_scan in
+  let hops = ref 0 in
+  while !budget > 0 && !hops <= t.n_slots && t.n_slots > 0 do
+    let slot = t.slots.(t.cursor_space) in
+    match Dirty.next_dirty_from slot.rescan t.cursor_page with
+    | Some i ->
+      scan_page t t.cursor_space slot i;
+      incr scanned;
+      decr budget;
+      hops := 0;
+      t.scanned_since_pass <- true;
+      t.cursor_page <- i + 1;
+      if t.cursor_page >= Address_space.pages slot.space then next_slot t
+    | None ->
+      incr hops;
+      next_slot t
+  done;
+  Sim.Telemetry.add t.m_scanned !scanned
+
+let scan_once t =
+  if t.n_slots > 0 then
+    if t.config.incremental then scan_once_incremental t else scan_once_full t
 
 let start t =
   if not t.active then begin
@@ -276,6 +365,7 @@ let running t = t.active
 let full_scans t = t.full_scans
 let pages_merged t = t.merges
 let pages_volatile_skipped t = t.volatile_skips
+let pages_rescan_avoided t = t.clean_skips
 
 let pages_shared t =
   Int_tbl.fold

@@ -13,6 +13,14 @@
 type config = {
   pages_to_scan : int;  (** pages examined per wakeup (Linux default 100) *)
   sleep : Sim.Time.t;  (** pause between wakeups (Linux default 20 ms) *)
+  incremental : bool;
+      (** when set, a wakeup only visits pages written since their last
+          scan (plus never-scanned pages), so a steady-state rescan costs
+          O(dirtied pages) instead of O(table); the unstable tree is kept
+          across passes and re-validated on hit instead of being rebuilt.
+          Merge outcomes converge to the same sharing as full sweeps, but
+          pass pacing differs - experiments that count passes or scanned
+          pages keep the (default) full sweep. *)
 }
 
 val default_config : config
@@ -60,6 +68,12 @@ val pages_volatile_skipped : t -> int
 (** Scans that skipped the unstable tree because the page's content had
     changed since its previous scan (the checksum gate; cf. Linux's
     [pages_volatile]). *)
+
+val pages_rescan_avoided : t -> int
+(** Page examinations that reused the cached checksum because no write
+    was observed since the page's previous scan - the read + hash was
+    skipped. Applies in both full and incremental modes; behaviour is
+    unchanged, only cost. *)
 
 val pages_shared : t -> int
 (** Stable-tree frames currently live (Linux's [pages_shared]). *)

@@ -53,6 +53,13 @@ and apply_taps taps packet =
     | Drop -> None
     | Rewrite p -> apply_taps rest p)
 
+and deliver_on_wire sw node packet =
+  sw.delivered <- sw.delivered + 1;
+  sw.bytes <- sw.bytes + packet.Packet.size_bytes;
+  Sim.Telemetry.incr sw.m_delivered;
+  Sim.Telemetry.add sw.m_bytes packet.Packet.size_bytes;
+  deliver node packet
+
 and switch_send sw packet =
   match Hashtbl.find_opt sw.stations packet.Packet.dst.Packet.addr with
   | None ->
@@ -60,13 +67,39 @@ and switch_send sw packet =
     Sim.Telemetry.incr sw.m_dropped
   | Some node ->
     let delay = Link.transfer_time sw.link packet.Packet.size_bytes in
+    ignore (Sim.Engine.schedule_after sw.sw_engine delay (fun () -> deliver_on_wire sw node packet))
+
+(* One engine event for the whole burst instead of one per packet: the
+   wire is serial, so the burst completes after the link latency plus
+   the sum of per-packet serialisation times, and every packet is
+   handed up at that instant, in burst order. Destinations are resolved
+   (and unknown addresses counted dropped) at send time, exactly as
+   [switch_send] does. *)
+and switch_send_burst sw packets =
+  let resolved =
+    List.filter_map
+      (fun p ->
+        match Hashtbl.find_opt sw.stations p.Packet.dst.Packet.addr with
+        | None ->
+          sw.dropped <- sw.dropped + 1;
+          Sim.Telemetry.incr sw.m_dropped;
+          None
+        | Some node -> Some (node, p))
+      packets
+  in
+  match resolved with
+  | [] -> ()
+  | resolved ->
+    let serialisation =
+      List.fold_left
+        (fun acc (_, p) ->
+          Sim.Time.add acc (Link.serialisation_time sw.link p.Packet.size_bytes))
+        Sim.Time.zero resolved
+    in
+    let delay = Sim.Time.add sw.link.Link.latency serialisation in
     ignore
       (Sim.Engine.schedule_after sw.sw_engine delay (fun () ->
-           sw.delivered <- sw.delivered + 1;
-           sw.bytes <- sw.bytes + packet.Packet.size_bytes;
-           Sim.Telemetry.incr sw.m_delivered;
-           Sim.Telemetry.add sw.m_bytes packet.Packet.size_bytes;
-           deliver node packet))
+           List.iter (fun (node, p) -> deliver_on_wire sw node p) resolved))
 
 module Switch = struct
   type t = switch
@@ -92,6 +125,7 @@ module Switch = struct
 
   let name t = t.sw_name
   let send = switch_send
+  let send_burst = switch_send_burst
   let packets_delivered t = t.delivered
   let packets_dropped t = t.dropped
   let bytes_carried t = t.bytes

@@ -40,6 +40,16 @@ module Switch : sig
       after the link's transfer time. Packets to unknown addresses are
       counted as dropped. *)
 
+  val send_burst : t -> Packet.t list -> unit
+  (** Route a burst of packets with a single engine event: the burst is
+      delivered (in order) after the link latency plus the sum of the
+      packets' serialisation times - a serial wire pays latency once
+      per back-to-back train. Destinations are resolved and unknown
+      addresses counted dropped at send time, as {!send} does. An empty
+      burst is a no-op. Use for high-rate senders (packet generators,
+      covert-channel pulses) where per-packet events dominate engine
+      cost. *)
+
   val packets_delivered : t -> int
   val packets_dropped : t -> int
   val bytes_carried : t -> int

@@ -1,13 +1,10 @@
-(** Priority queue of timestamped events.
+(** Binary-heap event queue (reference implementation).
 
-    A hierarchical timing wheel (5 levels x 256 slots over 64 ns ticks,
-    plus an overflow list for events beyond ~19.5 simulated hours):
-    schedule, expire and cancel are O(1) amortised for the near-horizon
-    events that dominate a simulation. Events are delivered ordered by
-    [(time, sequence)]; the sequence number breaks ties so that events
-    scheduled for the same instant fire in scheduling order, which keeps
-    simulations deterministic. The observable behaviour is identical to
-    the binary-heap reference implementation {!Event_heap}. *)
+    This is the original [(time, sequence)]-keyed binary min-heap that
+    {!Event_queue} replaced with a hierarchical timing wheel. It is kept
+    for differential testing (the wheel must produce identical observable
+    traces) and for the throughput benchmarks that document the win. The
+    interface mirrors {!Event_queue} exactly. *)
 
 type 'a t
 
@@ -16,10 +13,12 @@ type handle
 
 val create : unit -> 'a t
 val is_empty : 'a t -> bool
+
 val size : 'a t -> int
 (** Number of live (non-cancelled) events. *)
 
 val push : 'a t -> Time.t -> 'a -> handle
+
 val cancel : 'a t -> handle -> unit
 (** Cancelling an already-fired or already-cancelled event is a no-op. *)
 

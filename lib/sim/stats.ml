@@ -10,6 +10,9 @@ type t = {
   mutable max_v : float;
   mutable sum_v : float;
   mutable rev_samples : float list;
+  mutable sorted : float array option;
+      (* cache for percentile queries, invalidated by [add] so a summary
+         (p50/p95/p99) sorts once instead of three times *)
 }
 
 let create () =
@@ -21,6 +24,7 @@ let create () =
     max_v = Float.neg_infinity;
     sum_v = 0.;
     rev_samples = [];
+    sorted = None;
   }
 
 let add t x =
@@ -31,7 +35,8 @@ let add t x =
   if x < t.min_v then t.min_v <- x;
   if x > t.max_v then t.max_v <- x;
   t.sum_v <- t.sum_v +. x;
-  t.rev_samples <- x :: t.rev_samples
+  t.rev_samples <- x :: t.rev_samples;
+  t.sorted <- None
 
 let add_time t d = add t (Int64.to_float (Time.to_ns d))
 let count t = t.n
@@ -53,11 +58,19 @@ let of_list xs =
   List.iter (add t) xs;
   t
 
+let sorted_samples t =
+  match t.sorted with
+  | Some arr -> arr
+  | None ->
+    let arr = Array.of_list t.rev_samples in
+    Array.sort Float.compare arr;
+    t.sorted <- Some arr;
+    arr
+
 let percentile t p =
   if t.n = 0 then Float.nan
   else begin
-    let arr = Array.of_list t.rev_samples in
-    Array.sort Float.compare arr;
+    let arr = sorted_samples t in
     let p = Float.max 0. (Float.min 100. p) in
     let rank = p /. 100. *. float_of_int (Array.length arr - 1) in
     let lo = int_of_float (Float.floor rank) in

@@ -175,6 +175,26 @@ let dirty_tests =
              drain d ~into:scratch;
              false
            with Invalid_argument _ -> true));
+    Alcotest.test_case "test_and_clear retires one bit" `Quick (fun () ->
+        let d = create 40 in
+        set d 7;
+        set d 32;
+        Alcotest.(check bool) "clean page" false (test_and_clear d 8);
+        Alcotest.(check bool) "dirty page" true (test_and_clear d 7);
+        Alcotest.(check bool) "cleared by the test" false (is_dirty d 7);
+        Alcotest.(check bool) "second call clean" false (test_and_clear d 7);
+        Alcotest.(check int) "count follows" 1 (dirty_count d));
+    Alcotest.test_case "next_dirty_from skips clean ranges" `Quick (fun () ->
+        let d = create 100 in
+        List.iter (set d) [ 2; 31; 32; 64; 97 ];
+        Alcotest.(check (option int)) "from 0" (Some 2) (next_dirty_from d 0);
+        Alcotest.(check (option int)) "from itself" (Some 2) (next_dirty_from d 2);
+        Alcotest.(check (option int)) "word boundary" (Some 31) (next_dirty_from d 3);
+        Alcotest.(check (option int)) "next word" (Some 32) (next_dirty_from d 32);
+        Alcotest.(check (option int)) "across clean word" (Some 97) (next_dirty_from d 65);
+        Alcotest.(check (option int)) "past the last bit" None (next_dirty_from d 98);
+        Alcotest.(check (option int)) "at length" None (next_dirty_from d 100);
+        Alcotest.(check int) "non-mutating" 5 (dirty_count d));
   ]
 
 let space_tests =
@@ -380,7 +400,7 @@ let ksm_tests =
         (* 20 identical pages collapse to 1 frame: 19 pages saved *)
         Alcotest.(check bool) "savings >= 19" true (Memory.Ksm.pages_sharing ksm >= 19));
     Alcotest.test_case "time_for_full_pass scales with population" `Quick (fun () ->
-        let _, ft, ksm = make_ksm_world ~config:{ pages_to_scan = 10; sleep = Sim.Time.ms 1. } () in
+        let _, ft, ksm = make_ksm_world ~config:{ pages_to_scan = 10; sleep = Sim.Time.ms 1.; incremental = false } () in
         let a = Memory.Address_space.create_root ft ~name:"a" ~pages:100 in
         Memory.Ksm.register ksm a;
         Alcotest.(check int64) "10 wakeups" (Sim.Time.to_ns (Sim.Time.ms 10.))
@@ -391,7 +411,7 @@ let ksm_tests =
            the next 6 pages finish it, and the candidate recorded for a0
            earlier in the pass still merges with b2. *)
         let _, ft, ksm =
-          make_ksm_world ~config:{ pages_to_scan = 6; sleep = Sim.Time.ms 1. } ()
+          make_ksm_world ~config:{ pages_to_scan = 6; sleep = Sim.Time.ms 1.; incremental = false } ()
         in
         let mk name base =
           let s = Memory.Address_space.create_root ft ~name ~pages:4 in
@@ -416,7 +436,7 @@ let ksm_tests =
     Alcotest.test_case "unregister of the space under the cursor resumes at its successor" `Quick
       (fun () ->
         let _, ft, ksm =
-          make_ksm_world ~config:{ pages_to_scan = 6; sleep = Sim.Time.ms 1. } ()
+          make_ksm_world ~config:{ pages_to_scan = 6; sleep = Sim.Time.ms 1.; incremental = false } ()
         in
         let mk name base =
           let s = Memory.Address_space.create_root ft ~name ~pages:4 in
@@ -440,7 +460,7 @@ let ksm_tests =
     Alcotest.test_case "a space registered mid-pass is scanned before the pass completes" `Quick
       (fun () ->
         let _, ft, ksm =
-          make_ksm_world ~config:{ pages_to_scan = 2; sleep = Sim.Time.ms 1. } ()
+          make_ksm_world ~config:{ pages_to_scan = 2; sleep = Sim.Time.ms 1.; incremental = false } ()
         in
         let a = Memory.Address_space.create_root ft ~name:"a" ~pages:4 in
         for i = 0 to 3 do
@@ -468,7 +488,7 @@ let ksm_tests =
            them out of the unstable tree: no merge until they hold
            still for a pass (pass 3). *)
         let _, ft, ksm =
-          make_ksm_world ~config:{ pages_to_scan = 4; sleep = Sim.Time.ms 1. } ()
+          make_ksm_world ~config:{ pages_to_scan = 4; sleep = Sim.Time.ms 1.; incremental = false } ()
         in
         let a = Memory.Address_space.create_root ft ~name:"a" ~pages:2 in
         let b = Memory.Address_space.create_root ft ~name:"b" ~pages:2 in
@@ -492,6 +512,162 @@ let ksm_tests =
         Alcotest.(check int) "quiescent pages merge" (Memory.Address_space.frame_at a 0)
           (Memory.Address_space.frame_at b 0);
         Alcotest.(check int) "no further skips" 2 (Memory.Ksm.pages_volatile_skipped ksm));
+  ]
+
+(* ---- write observers and the incremental rescan ---- *)
+
+let watcher_tests =
+  let open Memory.Address_space in
+  [
+    Alcotest.test_case "watch_writes sees direct and windowed writes" `Quick (fun () ->
+        let ft = Memory.Frame_table.create (Sim.Ctx.create ()) in
+        let s = create_root ft ~name:"ram" ~pages:16 in
+        let w = window s ~name:"w" ~offset:4 ~pages:8 in
+        let obs = Memory.Dirty.create 16 in
+        watch_writes s obs;
+        ignore (write s 1 (Memory.Page.Content.of_int 1));
+        ignore (write w 2 (Memory.Page.Content.of_int 2));
+        Alcotest.(check bool) "direct write" true (Memory.Dirty.is_dirty obs 1);
+        Alcotest.(check bool) "windowed write at parent index" true
+          (Memory.Dirty.is_dirty obs 6);
+        Alcotest.(check int) "nothing else" 2 (Memory.Dirty.dirty_count obs);
+        unwatch_writes s obs;
+        ignore (write s 3 (Memory.Page.Content.of_int 3));
+        Alcotest.(check bool) "unwatched" false (Memory.Dirty.is_dirty obs 3));
+    Alcotest.test_case "duplicate registration is a no-op; bad length raises" `Quick
+      (fun () ->
+        let ft = Memory.Frame_table.create (Sim.Ctx.create ()) in
+        let s = create_root ft ~name:"ram" ~pages:8 in
+        let obs = Memory.Dirty.create 8 in
+        watch_writes s obs;
+        watch_writes s obs;
+        ignore (write s 0 (Memory.Page.Content.of_int 9));
+        Alcotest.(check int) "counted once" 1 (Memory.Dirty.dirty_count obs);
+        Alcotest.(check bool) "length mismatch raises" true
+          (try
+             watch_writes s (Memory.Dirty.create 9);
+             false
+           with Invalid_argument _ -> true));
+  ]
+
+let incremental_tests =
+  [
+    Alcotest.test_case "full scan reuses cached checksums for clean pages" `Quick (fun () ->
+        let _, ft, ksm =
+          make_ksm_world
+            ~config:{ pages_to_scan = 32; sleep = Sim.Time.ms 1.; incremental = false }
+            ()
+        in
+        let s = Memory.Address_space.create_root ft ~name:"s" ~pages:32 in
+        for i = 0 to 31 do
+          ignore (Memory.Address_space.write s i (Memory.Page.Content.of_int (100 + i)))
+        done;
+        Memory.Ksm.register ksm s;
+        Memory.Ksm.scan_once ksm;
+        Alcotest.(check int) "first pass hashes everything" 0
+          (Memory.Ksm.pages_rescan_avoided ksm);
+        Memory.Ksm.scan_once ksm;
+        Alcotest.(check int) "second pass reuses all 32" 32
+          (Memory.Ksm.pages_rescan_avoided ksm);
+        for i = 0 to 4 do
+          ignore (Memory.Address_space.write s i (Memory.Page.Content.of_int (200 + i)))
+        done;
+        Memory.Ksm.scan_once ksm;
+        Alcotest.(check int) "third pass rehashes only the 5 written" (32 + 27)
+          (Memory.Ksm.pages_rescan_avoided ksm));
+    Alcotest.test_case "incremental mode merges what the full scan merges" `Quick (fun () ->
+        let run incremental =
+          let _, ft, ksm =
+            make_ksm_world
+              ~config:{ pages_to_scan = 64; sleep = Sim.Time.ms 1.; incremental }
+              ()
+          in
+          let a = Memory.Address_space.create_root ft ~name:"a" ~pages:8 in
+          let b = Memory.Address_space.create_root ft ~name:"b" ~pages:8 in
+          for i = 0 to 3 do
+            ignore (Memory.Address_space.write a i (Memory.Page.Content.of_int (7 + i)));
+            ignore (Memory.Address_space.write b (7 - i) (Memory.Page.Content.of_int (7 + i)))
+          done;
+          Memory.Ksm.register ksm a;
+          Memory.Ksm.register ksm b;
+          for _ = 1 to 4 do
+            Memory.Ksm.scan_once ksm
+          done;
+          (match Memory.Ksm.check_invariants ksm with
+          | Ok () -> ()
+          | Error e -> Alcotest.fail e);
+          (Memory.Ksm.pages_merged ksm, Memory.Ksm.pages_sharing ksm)
+        in
+        let fm, fs = run false and im, is_ = run true in
+        Alcotest.(check bool) "full mode merges" true (fm > 0);
+        Alcotest.(check int) "same merges" fm im;
+        Alcotest.(check int) "same sharing" fs is_);
+    Alcotest.test_case "incremental steady state visits only dirtied pages" `Quick (fun () ->
+        let telemetry = Sim.Telemetry.create () in
+        let ctx = Sim.Ctx.create ~telemetry () in
+        let ft = Memory.Frame_table.create ctx in
+        let ksm =
+          Memory.Ksm.create
+            ~config:{ pages_to_scan = 4096; sleep = Sim.Time.ms 1.; incremental = true }
+            ctx ft
+        in
+        let s = Memory.Address_space.create_root ft ~name:"s" ~pages:64 in
+        for i = 0 to 63 do
+          ignore (Memory.Address_space.write s i (Memory.Page.Content.of_int (1000 + i)))
+        done;
+        Memory.Ksm.register ksm s;
+        let scanned () =
+          match Sim.Telemetry.value telemetry "ksm_pages_scanned_total" with
+          | Some v -> int_of_float v
+          | None -> Alcotest.fail "no ksm_pages_scanned_total series"
+        in
+        Memory.Ksm.scan_once ksm;
+        Alcotest.(check int) "first sweep visits all" 64 (scanned ());
+        Alcotest.(check int) "one pass" 1 (Memory.Ksm.full_scans ksm);
+        Memory.Ksm.scan_once ksm;
+        Alcotest.(check int) "idle sweep visits nothing" 64 (scanned ());
+        Alcotest.(check int) "idle sweep is not a pass" 1 (Memory.Ksm.full_scans ksm);
+        for i = 10 to 12 do
+          ignore (Memory.Address_space.write s i (Memory.Page.Content.of_int (2000 + i)))
+        done;
+        Memory.Ksm.scan_once ksm;
+        (* each dirtied page is seen twice: once as a volatile churner
+           (which re-arms it) and once to confirm it has settled - still
+           O(dirtied), never O(table) *)
+        Alcotest.(check int) "steady state visits only the 3 dirtied" (64 + (2 * 3))
+          (scanned ());
+        Memory.Ksm.scan_once ksm;
+        Alcotest.(check int) "then goes quiet again" (64 + (2 * 3)) (scanned ()));
+    Alcotest.test_case "incremental scan finds duplicates written after start" `Quick
+      (fun () ->
+        let _, ft, ksm =
+          make_ksm_world
+            ~config:{ pages_to_scan = 64; sleep = Sim.Time.ms 1.; incremental = true }
+            ()
+        in
+        let a = Memory.Address_space.create_root ft ~name:"a" ~pages:8 in
+        let b = Memory.Address_space.create_root ft ~name:"b" ~pages:8 in
+        for i = 0 to 7 do
+          ignore (Memory.Address_space.write a i (Memory.Page.Content.of_int (30 + i)));
+          ignore (Memory.Address_space.write b i (Memory.Page.Content.of_int (50 + i)))
+        done;
+        Memory.Ksm.register ksm a;
+        Memory.Ksm.register ksm b;
+        Memory.Ksm.scan_once ksm;
+        Alcotest.(check int) "nothing to merge yet" 0 (Memory.Ksm.pages_merged ksm);
+        let c = Memory.Page.Content.of_int 424242 in
+        ignore (Memory.Address_space.write a 2 c);
+        ignore (Memory.Address_space.write b 5 c);
+        (* the duplicate must hold still for a pass (checksum gate),
+           then merge on the next one - all without full rescans *)
+        Memory.Ksm.scan_once ksm;
+        Memory.Ksm.scan_once ksm;
+        Memory.Ksm.scan_once ksm;
+        Alcotest.(check int) "late duplicate merged" (Memory.Address_space.frame_at a 2)
+          (Memory.Address_space.frame_at b 5);
+        match Memory.Ksm.check_invariants ksm with
+        | Ok () -> ()
+        | Error e -> Alcotest.fail e);
   ]
 
 let file_tests =
@@ -782,7 +958,9 @@ let () =
       ("frame_table", frame_tests);
       ("dirty", dirty_tests);
       ("address_space", space_tests);
+      ("write_watchers", watcher_tests);
       ("ksm", ksm_tests);
+      ("ksm_incremental", incremental_tests);
       ("file_image", file_tests);
       ("write_probe", probe_tests);
       ("properties", mem_props);

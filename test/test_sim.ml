@@ -131,6 +131,18 @@ let stats_tests =
         Alcotest.(check (float 0.)) "min" 1. (min t);
         Alcotest.(check (float 0.)) "max" 3. (max t);
         Alcotest.(check (float 0.)) "sum" 6. (sum t));
+    Alcotest.test_case "percentile cache invalidates on add" `Quick (fun () ->
+        (* the sorted-sample array is cached between percentile calls;
+           adding a sample must invalidate it, including one that sorts
+           before everything already seen *)
+        let t = of_list [ 5.; 1.; 3. ] in
+        Alcotest.(check (float 1e-9)) "p100 primes cache" 5. (percentile t 100.);
+        Alcotest.(check (float 1e-9)) "p0 reuses cache" 1. (percentile t 0.);
+        add t 0.5;
+        Alcotest.(check (float 1e-9)) "p0 sees new min" 0.5 (percentile t 0.);
+        add t 9.;
+        Alcotest.(check (float 1e-9)) "p100 sees new max" 9. (percentile t 100.);
+        Alcotest.(check (float 1e-9)) "p50 consistent" 3. (percentile t 50.));
     Alcotest.test_case "percentiles interpolate" `Quick (fun () ->
         let t = of_list [ 1.; 2.; 3.; 4.; 5. ] in
         Alcotest.(check (float 1e-9)) "p0" 1. (percentile t 0.);
