@@ -16,8 +16,8 @@ let run_with_faults ~trials ~jobs ~ctx =
        (Sim.Fault.profile_name (Sim.Ctx.faults ctx)));
   let results =
     Sim.Parallel.map_ctx ~jobs ~ctx ~trials (fun _ cctx ->
-        match Cloudskulk.Scenarios.infected cctx with
-        | sc ->
+        match Cloudskulk.Scenarios.infected_result cctx with
+        | Ok sc ->
           let outcome =
             match sc.Cloudskulk.Scenarios.install_report with
             | Some r ->
@@ -26,7 +26,11 @@ let run_with_faults ~trials ~jobs ~ctx =
             | None -> "no install report"
           in
           (outcome, verdict_of sc)
-        | exception Invalid_argument e -> ("install failed: " ^ e, "-"))
+        | Error f ->
+          (* render exactly what the raising surface used to print, so
+             faulted runs stay byte-identical to the historical output *)
+          ( "install failed: Scenarios." ^ Cloudskulk.Scenarios.install_failure_to_string f,
+            "-" ))
   in
   let detected = ref 0 and attempted = ref 0 in
   let rows =

@@ -48,14 +48,17 @@ let detect seed infected syncs faults metrics_out trace_out =
     let ctx = make_ctx ?telemetry ~faults seed in
     let export () = Harness.Flags.export ~metrics_out ~trace_out telemetry in
     match
-      if infected then Cloudskulk.Scenarios.infected ~attacker_syncs_changes:syncs ctx
-      else Cloudskulk.Scenarios.clean ctx
+      if infected then
+        Result.map_error
+          (fun f -> "Scenarios." ^ Cloudskulk.Scenarios.install_failure_to_string f)
+          (Cloudskulk.Scenarios.infected_result ~attacker_syncs_changes:syncs ctx)
+      else Ok (Cloudskulk.Scenarios.clean ctx)
     with
-    | exception Invalid_argument e ->
+    | Error e ->
       export ();
       Printf.eprintf "scenario failed: %s\n" e;
       1
-    | scenario -> (
+    | Ok scenario -> (
       Printf.printf "scenario: %s\n" scenario.Cloudskulk.Scenarios.description;
       match Cloudskulk.Dedup_detector.run scenario.Cloudskulk.Scenarios.detector_env with
       | Ok o ->

@@ -9,6 +9,14 @@ type t = {
   description : string;
 }
 
+type install_failure =
+  | Launch_failed of string
+  | Install_failed of string
+
+let install_failure_to_string = function
+  | Launch_failed e -> "infected(launch): " ^ e
+  | Install_failed e -> "infected(install): " ^ e
+
 let get_ok what = function
   | Ok v -> v
   | Error e -> invalid_arg (Printf.sprintf "Scenarios.%s: %s" what e)
@@ -23,8 +31,14 @@ let make_host ?ksm_config ctx =
   in
   (ctx, host)
 
-let customer_config () =
-  Vmm.Qemu_config.with_hostfwd (Vmm.Qemu_config.default ~name:"guest0") [ (2222, 22) ]
+let customer_config ?memory_mb () =
+  let base = Vmm.Qemu_config.default ~name:"guest0" in
+  let base =
+    match memory_mb with
+    | None -> base
+    | Some m -> { base with Vmm.Qemu_config.memory_mb = m }
+  in
+  Vmm.Qemu_config.with_hostfwd base [ (2222, 22) ]
 
 (* Change every page of a named file inside a VM's memory. *)
 let mutate_file_in vm ~name ~salt =
@@ -43,10 +57,12 @@ let mutate_file_in vm ~name ~salt =
     done;
     Ok ()
 
-let clean ?ksm_config ctx =
+let clean ?ksm_config ?customer_memory_mb ctx =
   let ctx, host = make_host ?ksm_config ctx in
   let registry = Migration.Registry.create () in
-  let guest0 = get_ok "clean" (Vmm.Hypervisor.launch host (customer_config ())) in
+  let guest0 =
+    get_ok "clean" (Vmm.Hypervisor.launch host (customer_config ?memory_mb:customer_memory_mb ()))
+  in
   let deliver_to_guest image = Result.map (fun _ -> ()) (Vmm.Vm.load_file guest0 image) in
   let mutate_in_guest ~name ~salt = mutate_file_in guest0 ~name ~salt in
   {
@@ -60,15 +76,24 @@ let clean ?ksm_config ctx =
     description = "clean host: customer VM at L1";
   }
 
-let infected ?ksm_config ?(attacker_syncs_changes = false) ?install_config ctx =
+let ( let* ) r f = Result.bind r f
+
+let infected_result ?ksm_config ?customer_memory_mb ?(attacker_syncs_changes = false)
+    ?install_config ctx =
   let ctx, host = make_host ?ksm_config ctx in
   let registry = Migration.Registry.create () in
-  let guest0 = get_ok "infected(launch)" (Vmm.Hypervisor.launch host (customer_config ())) in
+  let* guest0 =
+    Result.map_error
+      (fun e -> Launch_failed e)
+      (Vmm.Hypervisor.launch host (customer_config ?memory_mb:customer_memory_mb ()))
+  in
   ignore guest0;
-  let report =
+  let* report =
     (* the context's fault profile (if any) overrides the config's
-       inside {!Install.run} itself *)
-    get_ok "infected(install)"
+       inside {!Install.run} itself; an abort (possible under an
+       aggressive profile) is a legal outcome here, not an exception *)
+    Result.map_error
+      (fun e -> Install_failed e)
       (Install.run ?config:install_config ctx ~host ~registry ~target_name:"guest0")
   in
   let ritm = report.Install.ritm in
@@ -110,18 +135,27 @@ let infected ?ksm_config ?(attacker_syncs_changes = false) ?install_config ctx =
       end
       else Ok ()
   in
-  {
-    ctx;
-    host;
-    registry;
-    customer_vm = victim;
-    ritm = Some ritm;
-    install_report = Some report;
-    detector_env = { Dedup_detector.ctx; host; deliver_to_guest; mutate_in_guest };
-    description =
-      (if attacker_syncs_changes then
-         "infected host: CloudSkulk installed, attacker syncing file changes"
-       else "infected host: CloudSkulk installed");
-  }
+  Ok
+    {
+      ctx;
+      host;
+      registry;
+      customer_vm = victim;
+      ritm = Some ritm;
+      install_report = Some report;
+      detector_env = { Dedup_detector.ctx; host; deliver_to_guest; mutate_in_guest };
+      description =
+        (if attacker_syncs_changes then
+           "infected host: CloudSkulk installed, attacker syncing file changes"
+         else "infected host: CloudSkulk installed");
+    }
+
+let infected ?ksm_config ?customer_memory_mb ?attacker_syncs_changes ?install_config ctx =
+  match
+    infected_result ?ksm_config ?customer_memory_mb ?attacker_syncs_changes ?install_config
+      ctx
+  with
+  | Ok t -> t
+  | Error f -> invalid_arg ("Scenarios." ^ install_failure_to_string f)
 
 let is_infected t = Option.is_some t.ritm

@@ -19,20 +19,31 @@ type t = {
   description : string;
 }
 
-val clean : ?ksm_config:Memory.Ksm.config -> Sim.Ctx.t -> t
+type install_failure =
+  | Launch_failed of string  (** the customer VM itself never came up *)
+  | Install_failed of string
+      (** the CloudSkulk installation aborted (e.g. its live migration
+          died under an aggressive fault profile) and was torn down *)
+
+val install_failure_to_string : install_failure -> string
+
+val clean : ?ksm_config:Memory.Ksm.config -> ?customer_memory_mb:int -> Sim.Ctx.t -> t
 (** Scenario 1: a host running the customer's VM (guest0) at L1. The
     context is the scenario's instrumentation root, {!Sim.Ctx.fork}ed
     so the scenario plays out in a fresh world replayed from its seed;
     its telemetry sink is threaded through the uplink switch and the L0
     hypervisor (and from there into KSM, VMs, migrations and the
-    detector). *)
+    detector). [customer_memory_mb] (default 1024, the paper's guest)
+    sizes the customer VM - the fuzzer runs smaller guests to afford
+    many scenarios per budget. *)
 
-val infected :
+val infected_result :
   ?ksm_config:Memory.Ksm.config ->
+  ?customer_memory_mb:int ->
   ?attacker_syncs_changes:bool ->
   ?install_config:Install.config ->
   Sim.Ctx.t ->
-  t
+  (t, install_failure) result
 (** Scenario 2: the same host after a CloudSkulk installation. The
     detector's file delivery reaches the customer's agent (now at L2);
     the attacker, watching the delivery cross the RITM, mirrors the file
@@ -41,8 +52,20 @@ val infected :
     propagates the customer's page changes into the mirror. The
     context's {!Sim.Ctx.faults} profile injects channel faults into the
     install's live migration; a non-trivial profile overrides the one in
-    [install_config]. Raises [Invalid_argument] if the installation
-    fails - impossible in the default topology, but possible under an
-    aggressive fault profile (the caller should be ready for it). *)
+    [install_config]. An installation that fails - impossible in the
+    default topology, but an ordinary outcome under an aggressive fault
+    profile - is returned as [Error]: partial artifacts are already torn
+    down and the host keeps running the (un-hijacked) customer VM. *)
+
+val infected :
+  ?ksm_config:Memory.Ksm.config ->
+  ?customer_memory_mb:int ->
+  ?attacker_syncs_changes:bool ->
+  ?install_config:Install.config ->
+  Sim.Ctx.t ->
+  t
+(** {!infected_result}, raising [Invalid_argument] on failure - the
+    historical surface, fine wherever the fault profile cannot abort the
+    install. Fuzz drivers and chaos tests use {!infected_result}. *)
 
 val is_infected : t -> bool

@@ -1,0 +1,88 @@
+type entry = {
+  name : string;
+  program : Program.t;
+  expect_violation : string option;
+  expect_signature : string;
+}
+
+let entry_of_outcome ~name program (o : Exec.outcome) =
+  {
+    name;
+    program;
+    expect_violation = Option.map (fun v -> v.Oracle.oracle) o.violation;
+    expect_signature = Coverage.hex o.signature;
+  }
+
+let expect_line e =
+  match e.expect_violation with
+  | None -> Printf.sprintf "expect ok %s" e.expect_signature
+  | Some oracle -> Printf.sprintf "expect violation %s %s" oracle e.expect_signature
+
+let entry_to_string e = Program.to_string e.program ^ expect_line e ^ "\n"
+
+let ( let* ) r f = Result.bind r f
+
+let entry_of_string ~name s =
+  let* program = Program.of_string s in
+  let lines = String.split_on_char '\n' s |> List.map String.trim in
+  let expect =
+    List.find_opt (fun l -> String.length l >= 7 && String.equal (String.sub l 0 7) "expect ") lines
+  in
+  match expect with
+  | None -> Error (Printf.sprintf "%s: no expect line" name)
+  | Some l -> (
+    match String.split_on_char ' ' l |> List.filter (fun t -> not (String.equal t "")) with
+    | [ "expect"; "ok"; sg ] ->
+      Ok { name; program; expect_violation = None; expect_signature = sg }
+    | [ "expect"; "violation"; oracle; sg ] ->
+      Ok { name; program; expect_violation = Some oracle; expect_signature = sg }
+    | _ -> Error (Printf.sprintf "%s: bad expect line %S" name l))
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let has_suffix s suf =
+  let n = String.length s and m = String.length suf in
+  n >= m && String.equal (String.sub s (n - m) m) suf
+
+let load_dir dir =
+  if not (Sys.file_exists dir) then Ok []
+  else
+    let files =
+      Sys.readdir dir |> Array.to_list
+      |> List.filter (fun f -> has_suffix f ".skulkfuzz")
+      |> List.sort String.compare
+    in
+    List.fold_left
+      (fun acc f ->
+        let* entries = acc in
+        let* e = entry_of_string ~name:f (read_file (Filename.concat dir f)) in
+        Ok (e :: entries))
+      (Ok []) files
+    |> Result.map List.rev
+
+let save ~dir e =
+  let path = Filename.concat dir e.name in
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (entry_to_string e));
+  path
+
+let check e =
+  let o = Exec.run e.program in
+  let got_violation = Option.map (fun v -> v.Oracle.oracle) o.violation in
+  let got_signature = Coverage.hex o.signature in
+  let show = function None -> "ok" | Some oracle -> "violation " ^ oracle in
+  if not (Option.equal String.equal got_violation e.expect_violation) then
+    Error
+      (Printf.sprintf "%s: expected %s, replay produced %s" e.name (show e.expect_violation)
+         (show got_violation))
+  else if not (String.equal got_signature e.expect_signature) then
+    Error
+      (Printf.sprintf "%s: coverage signature drifted: recorded %s, replay %s" e.name
+         e.expect_signature got_signature)
+  else Ok ()

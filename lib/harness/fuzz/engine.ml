@@ -1,0 +1,149 @@
+type config = {
+  budget : int;
+  batch : int;
+  jobs : int;
+  seed : int;
+  initial : Program.t list;
+  baseline : bool;
+}
+
+type find = {
+  find_program : Program.t;
+  find_violation : Oracle.violation;
+  find_outcome : Exec.outcome;
+}
+
+type stats = {
+  executed : int;
+  corpus : Program.t list;
+  guided_features : int;
+  guided_signatures : int;
+  random_features : int;
+  random_signatures : int;
+  finds : find list;
+  feature_table : (string * int) list;
+}
+
+let reproduces p ~oracle =
+  match (Exec.run p).Exec.violation with
+  | Some v -> String.equal v.Oracle.oracle oracle
+  | None -> false
+
+(* Delete-from-end passes (a dropped action often invalidates later
+   ones, so scanning back to front converges fast), then numeric
+   shrinks, repeated to a fixed point. Every accepted step replays the
+   violation. *)
+let minimise p ~oracle =
+  let current = ref p in
+  let progressed = ref true in
+  while !progressed do
+    progressed := false;
+    (* action deletion *)
+    let n = List.length !current.Program.actions in
+    for i = n - 1 downto 0 do
+      let cand =
+        { !current with Program.actions = List.filteri (fun j _ -> j <> i) !current.Program.actions }
+      in
+      if
+        List.length cand.Program.actions < List.length !current.Program.actions
+        && reproduces cand ~oracle
+      then begin
+        current := cand;
+        progressed := true
+      end
+    done;
+    (* numeric shrinks *)
+    let continue = ref true in
+    while !continue do
+      continue := false;
+      match List.find_opt (fun cand -> reproduces cand ~oracle) (Program.shrink !current) with
+      | Some cand ->
+        current := cand;
+        continue := true;
+        progressed := true
+      | None -> ()
+    done
+  done;
+  !current
+
+(* One batch: build candidates sequentially from the stream, execute
+   them in parallel, return them paired with outcomes in order. *)
+let run_batch ~jobs candidates =
+  let arr = Array.of_list candidates in
+  let outs = Sim.Parallel.map ~jobs (Array.length arr) (fun i -> Exec.run arr.(i)) in
+  List.combine candidates outs
+
+let run ?(progress = fun _ -> ()) cfg =
+  if cfg.budget < 0 then invalid_arg "Fuzz.Engine.run: negative budget";
+  if cfg.batch <= 0 then invalid_arg "Fuzz.Engine.run: batch must be positive";
+  let rng = Sim.Rng.create cfg.seed in
+  let cov = Coverage.create () in
+  let sigs = Hashtbl.create 256 in
+  let corpus = ref (List.rev cfg.initial) (* kept newest-first; reversed at the end *) in
+  let corpus_n = ref (List.length cfg.initial) in
+  let finds = ref [] in
+  let found_oracles = Hashtbl.create 4 in
+  let executed = ref 0 in
+  while !executed < cfg.budget do
+    let n = min cfg.batch (cfg.budget - !executed) in
+    let candidates =
+      List.init n (fun _ ->
+          if !corpus_n = 0 || Sim.Rng.int rng 2 = 0 then Program.generate rng
+          else
+            let i = Sim.Rng.int rng !corpus_n in
+            Program.mutate rng (List.nth !corpus i))
+    in
+    List.iter
+      (fun (p, (o : Exec.outcome)) ->
+        incr executed;
+        Hashtbl.replace sigs o.signature ();
+        let fresh = Coverage.add cov o.features in
+        if fresh > 0 then begin
+          corpus := p :: !corpus;
+          incr corpus_n
+        end;
+        match o.violation with
+        | Some v when not (Hashtbl.mem found_oracles v.Oracle.oracle) ->
+          Hashtbl.add found_oracles v.Oracle.oracle ();
+          progress (Printf.sprintf "violation (%s): minimising [%s]" v.Oracle.oracle (Program.summary p));
+          let small = minimise p ~oracle:v.Oracle.oracle in
+          let so = Exec.run small in
+          let sv = match so.Exec.violation with Some sv -> sv | None -> v in
+          finds := { find_program = small; find_violation = sv; find_outcome = so } :: !finds
+        | _ -> ())
+      (run_batch ~jobs:cfg.jobs candidates);
+    progress
+      (Printf.sprintf "guided: %d/%d executed, %d features, %d corpus" !executed cfg.budget
+         (Coverage.distinct cov) !corpus_n)
+  done;
+  (* The feedback-free baseline: same seed, same budget, same batching,
+     but pure generation - no corpus, no mutation. The structural edge
+     of the guided loop (mutation compounds interesting programs into
+     longer ones than generate ever emits) is what this run measures. *)
+  let rrng = Sim.Rng.create cfg.seed in
+  let rcov = Coverage.create () in
+  let rsigs = Hashtbl.create 256 in
+  let rexecuted = ref 0 in
+  while cfg.baseline && !rexecuted < cfg.budget do
+    let n = min cfg.batch (cfg.budget - !rexecuted) in
+    let candidates = List.init n (fun _ -> Program.generate rrng) in
+    List.iter
+      (fun (_, (o : Exec.outcome)) ->
+        incr rexecuted;
+        Hashtbl.replace rsigs o.signature ();
+        ignore (Coverage.add rcov o.features))
+      (run_batch ~jobs:cfg.jobs candidates);
+    progress
+      (Printf.sprintf "random baseline: %d/%d executed, %d features" !rexecuted cfg.budget
+         (Coverage.distinct rcov))
+  done;
+  {
+    executed = !executed;
+    corpus = List.rev !corpus;
+    guided_features = Coverage.distinct cov;
+    guided_signatures = Hashtbl.length sigs;
+    random_features = Coverage.distinct rcov;
+    random_signatures = Hashtbl.length rsigs;
+    finds = List.rev !finds;
+    feature_table = Coverage.features cov;
+  }

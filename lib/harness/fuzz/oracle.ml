@@ -1,0 +1,70 @@
+type violation = { oracle : string; detail : string }
+
+let to_string v = Printf.sprintf "%s: %s" v.oracle v.detail
+
+let of_result oracle = function
+  | Ok () -> None
+  | Error detail -> Some { oracle; detail }
+
+let first checks =
+  List.fold_left
+    (fun acc check -> match acc with Some _ -> acc | None -> check ())
+    None checks
+
+let check_host host =
+  first
+    [
+      (fun () ->
+        match Vmm.Hypervisor.ksm host with
+        | None -> None
+        | Some k -> of_result "ksm-invariants" (Memory.Ksm.check_invariants k));
+      (fun () ->
+        match Vmm.Hypervisor.frame_table host with
+        | None -> None
+        | Some ft -> of_result "frame-table-invariants" (Memory.Frame_table.check_invariants ft));
+      (fun () ->
+        first
+          (List.map
+             (fun vm () ->
+               if Vmm.Vm.is_alive vm then
+                 of_result "address-space-invariants"
+                   (Result.map_error
+                      (fun e -> Printf.sprintf "%s: %s" (Vmm.Vm.name vm) e)
+                      (Memory.Address_space.check_invariants (Vmm.Vm.ram vm)))
+               else None)
+             (Vmm.Hypervisor.vms host)));
+    ]
+
+(* A migration that reports the guest moved must have moved all of it:
+   the source husk (paused, untouched since the handover) and the
+   destination hold page-for-page identical RAM. *)
+let conserved ~source ~dest =
+  let a = Vmm.Vm.ram source and b = Vmm.Vm.ram dest in
+  let n = Memory.Address_space.pages a in
+  if n <> Memory.Address_space.pages b then
+    Error (Printf.sprintf "RAM sizes differ: %d vs %d pages" n (Memory.Address_space.pages b))
+  else begin
+    let bad = ref None in
+    for i = 0 to n - 1 do
+      if
+        Option.is_none !bad
+        && not
+             (Memory.Page.Content.equal (Memory.Address_space.read a i)
+                (Memory.Address_space.read b i))
+      then bad := Some i
+    done;
+    match !bad with
+    | None -> Ok ()
+    | Some i -> Error (Printf.sprintf "page %d differs between source husk and destination" i)
+  end
+
+let check_migration outcome ~source ~dest =
+  first
+    [
+      (fun () ->
+        of_result "migration-legality" (Migration.Outcome.check_legal outcome ~source ~dest));
+      (fun () ->
+        if Migration.Outcome.completed outcome then
+          of_result "migration-conservation" (conserved ~source ~dest)
+        else None);
+    ]

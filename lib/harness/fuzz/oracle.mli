@@ -1,0 +1,23 @@
+(** The fuzzer's correctness oracles.
+
+    Thin dispatch over the first-class invariant checkers the substrate
+    modules export ({!Memory.Ksm.check_invariants},
+    {!Memory.Frame_table.check_invariants},
+    {!Memory.Address_space.check_invariants},
+    {!Migration.Outcome.check_legal}) plus the fuzzer's own end-to-end
+    checks (RAM conservation across a completed migration, detector
+    false verdicts). A violation carries a stable oracle name - the
+    deduplication and corpus key - and a human detail string. *)
+
+type violation = { oracle : string; detail : string }
+
+val to_string : violation -> string
+
+val check_host : Vmm.Hypervisor.t -> violation option
+(** KSM invariants, frame-table invariants, and the address-space
+    invariants of every live VM's RAM; [None] when all hold. *)
+
+val check_migration :
+  'a Migration.Outcome.t -> source:Vmm.Vm.t -> dest:Vmm.Vm.t -> violation option
+(** {!Migration.Outcome.check_legal} plus page-for-page RAM
+    conservation when the outcome says the guest moved. *)

@@ -1,0 +1,531 @@
+type ksm_choice = K_default | K_fast | K_incremental | K_tiny
+
+type fault_choice = F_none | F_lossy | F_degraded | F_flaky
+
+type strategy_choice = S_precopy | S_postcopy
+
+type workload_choice = W_idle | W_compile | W_filebench | W_netperf
+
+type scenario_spec =
+  | Clean
+  | Infected of { syncs : bool; use_vtx : bool; strategy : strategy_choice }
+
+type action =
+  | Advance of int
+  | Monitor of int
+  | Workload of { kind : workload_choice; rate : int; ms : int }
+  | Ksm_scan of int
+  | Deliver of { pages : int; salt : int }
+  | Mutate of { salt : int }
+  | Launch of { memory_mb : int }
+  | Kill_last
+  | Migrate of {
+      strategy : strategy_choice;
+      fault : fault_choice;
+      memory_mb : int;
+      nested : bool;
+      cancel : bool;
+    }
+  | Detect of { file_pages : int }
+
+type t = {
+  seed : int;
+  scenario : scenario_spec;
+  customer_mb : int;
+  ksm : ksm_choice;
+  faults : fault_choice;
+  actions : action list;
+}
+
+(* Well-formed commands, commands whose preconditions the program may
+   or may not have set up, and garbage the monitor must reject without
+   raising. The pool is part of the program format: [Monitor i] encodes
+   the index, so entries are append-only across versions. *)
+let monitor_commands =
+  [|
+    "info status";
+    "info mem";
+    "info migrate";
+    "info qtree";
+    "info network";
+    "info cpus";
+    "info blockstats";
+    "info mtree";
+    "info kvm";
+    "info name";
+    "info uuid";
+    "info version";
+    "help";
+    "stop";
+    "cont";
+    "migrate_cancel";
+    "migrate_recover";
+    "migrate_set_speed 1g";
+    "info bogus";
+    "migrate";
+    "migrate tcp:nowhere:9999";
+    "migrate udp:x:1";
+    "frobnicate";
+    "   ";
+    "info";
+    "quit";
+  |]
+
+let max_actions = 16
+
+(* ---- bounds (shared by validate / generate / mutate / shrink) ---- *)
+
+let max_seed = 1 lsl 30
+let min_customer_mb = 32
+let max_customer_mb = 512
+let max_advance_ms = 5000
+let min_rate = 50
+let max_rate = 5000
+let min_wl_ms = 10
+let max_wl_ms = 2000
+let max_ksm_scans = 8
+let max_deliver_pages = 128
+let max_salt = 1 lsl 20
+let min_vm_mb = 16
+let max_launch_mb = 512
+let max_migrate_mb = 128
+let min_detect_pages = 8
+let max_detect_pages = 128
+
+(* ---- rendering ---- *)
+
+let ksm_to_string = function
+  | K_default -> "default"
+  | K_fast -> "fast"
+  | K_incremental -> "incremental"
+  | K_tiny -> "tiny"
+
+let fault_to_string = function
+  | F_none -> "none"
+  | F_lossy -> "lossy"
+  | F_degraded -> "degraded"
+  | F_flaky -> "flaky"
+
+let strategy_to_string = function S_precopy -> "precopy" | S_postcopy -> "postcopy"
+
+let workload_to_string = function
+  | W_idle -> "idle"
+  | W_compile -> "compile"
+  | W_filebench -> "filebench"
+  | W_netperf -> "netperf"
+
+let b01 b = if b then "1" else "0"
+
+let scenario_to_string = function
+  | Clean -> "scenario clean"
+  | Infected { syncs; use_vtx; strategy } ->
+    Printf.sprintf "scenario infected syncs=%s vtx=%s strategy=%s" (b01 syncs) (b01 use_vtx)
+      (strategy_to_string strategy)
+
+let action_to_string = function
+  | Advance n -> Printf.sprintf "advance %d" n
+  | Monitor i -> Printf.sprintf "monitor %d" i
+  | Workload { kind; rate; ms } ->
+    Printf.sprintf "workload %s rate=%d ms=%d" (workload_to_string kind) rate ms
+  | Ksm_scan n -> Printf.sprintf "ksm_scan %d" n
+  | Deliver { pages; salt } -> Printf.sprintf "deliver pages=%d salt=%d" pages salt
+  | Mutate { salt } -> Printf.sprintf "mutate salt=%d" salt
+  | Launch { memory_mb } -> Printf.sprintf "launch mb=%d" memory_mb
+  | Kill_last -> "kill_last"
+  | Migrate { strategy; fault; memory_mb; nested; cancel } ->
+    Printf.sprintf "migrate strategy=%s fault=%s mb=%d nested=%s cancel=%s"
+      (strategy_to_string strategy) (fault_to_string fault) memory_mb (b01 nested) (b01 cancel)
+  | Detect { file_pages } -> Printf.sprintf "detect pages=%d" file_pages
+
+let to_string t =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "skulkfuzz v1\n";
+  Buffer.add_string b (Printf.sprintf "seed %d\n" t.seed);
+  Buffer.add_string b (scenario_to_string t.scenario);
+  Buffer.add_char b '\n';
+  Buffer.add_string b (Printf.sprintf "customer_mb %d\n" t.customer_mb);
+  Buffer.add_string b (Printf.sprintf "ksm %s\n" (ksm_to_string t.ksm));
+  Buffer.add_string b (Printf.sprintf "faults %s\n" (fault_to_string t.faults));
+  List.iter
+    (fun a ->
+      Buffer.add_string b (action_to_string a);
+      Buffer.add_char b '\n')
+    t.actions;
+  Buffer.add_string b "end\n";
+  Buffer.contents b
+
+let equal a b = String.equal (to_string a) (to_string b)
+
+let summary t =
+  Printf.sprintf "%s customer=%dMB ksm=%s faults=%s actions=%d"
+    (match t.scenario with
+    | Clean -> "clean"
+    | Infected { syncs; use_vtx; strategy } ->
+      Printf.sprintf "infected(syncs=%s,vtx=%s,%s)" (b01 syncs) (b01 use_vtx)
+        (strategy_to_string strategy))
+    t.customer_mb (ksm_to_string t.ksm) (fault_to_string t.faults) (List.length t.actions)
+
+(* ---- validation ---- *)
+
+let in_range what v lo hi =
+  if v < lo || v > hi then Error (Printf.sprintf "%s %d out of [%d, %d]" what v lo hi)
+  else Ok ()
+
+let ( let* ) r f = Result.bind r f
+
+let validate_action = function
+  | Advance n -> in_range "advance" n 1 max_advance_ms
+  | Monitor i -> in_range "monitor index" i 0 (Array.length monitor_commands - 1)
+  | Workload { kind = _; rate; ms } ->
+    let* () = in_range "workload rate" rate min_rate max_rate in
+    in_range "workload ms" ms min_wl_ms max_wl_ms
+  | Ksm_scan n -> in_range "ksm_scan" n 1 max_ksm_scans
+  | Deliver { pages; salt } ->
+    let* () = in_range "deliver pages" pages 1 max_deliver_pages in
+    in_range "deliver salt" salt 0 (max_salt - 1)
+  | Mutate { salt } -> in_range "mutate salt" salt 0 (max_salt - 1)
+  | Launch { memory_mb } -> in_range "launch mb" memory_mb min_vm_mb max_launch_mb
+  | Kill_last -> Ok ()
+  | Migrate { memory_mb; _ } -> in_range "migrate mb" memory_mb min_vm_mb max_migrate_mb
+  | Detect { file_pages } -> in_range "detect pages" file_pages min_detect_pages max_detect_pages
+
+let validate t =
+  let* () = in_range "seed" t.seed 0 (max_seed - 1) in
+  let* () = in_range "customer_mb" t.customer_mb min_customer_mb max_customer_mb in
+  let* () =
+    if List.length t.actions > max_actions then
+      Error (Printf.sprintf "more than %d actions" max_actions)
+    else Ok ()
+  in
+  List.fold_left (fun acc a -> Result.bind acc (fun () -> validate_action a)) (Ok ()) t.actions
+
+(* ---- parsing ---- *)
+
+let parse_int what s =
+  match int_of_string_opt s with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "%s: not an integer: %S" what s)
+
+let parse_bool what s =
+  match s with
+  | "0" -> Ok false
+  | "1" -> Ok true
+  | _ -> Error (Printf.sprintf "%s: expected 0 or 1, got %S" what s)
+
+let parse_kv what tok =
+  match String.index_opt tok '=' with
+  | Some i ->
+    Ok (String.sub tok 0 i, String.sub tok (i + 1) (String.length tok - i - 1))
+  | None -> Error (Printf.sprintf "%s: expected key=value, got %S" what tok)
+
+let lookup what kvs key =
+  match List.assoc_opt key kvs with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "%s: missing %s=" what key)
+
+let parse_kvs what toks =
+  List.fold_left
+    (fun acc tok ->
+      let* kvs = acc in
+      let* kv = parse_kv what tok in
+      Ok (kv :: kvs))
+    (Ok []) toks
+
+let strategy_of_string what = function
+  | "precopy" -> Ok S_precopy
+  | "postcopy" -> Ok S_postcopy
+  | s -> Error (Printf.sprintf "%s: unknown strategy %S" what s)
+
+let fault_of_string what = function
+  | "none" -> Ok F_none
+  | "lossy" -> Ok F_lossy
+  | "degraded" -> Ok F_degraded
+  | "flaky" -> Ok F_flaky
+  | s -> Error (Printf.sprintf "%s: unknown fault profile %S" what s)
+
+let workload_of_string what = function
+  | "idle" -> Ok W_idle
+  | "compile" -> Ok W_compile
+  | "filebench" -> Ok W_filebench
+  | "netperf" -> Ok W_netperf
+  | s -> Error (Printf.sprintf "%s: unknown workload %S" what s)
+
+let ksm_of_string what = function
+  | "default" -> Ok K_default
+  | "fast" -> Ok K_fast
+  | "incremental" -> Ok K_incremental
+  | "tiny" -> Ok K_tiny
+  | s -> Error (Printf.sprintf "%s: unknown ksm config %S" what s)
+
+let parse_action line toks =
+  match toks with
+  | [ "advance"; n ] ->
+    let* n = parse_int line n in
+    Ok (Advance n)
+  | [ "monitor"; i ] ->
+    let* i = parse_int line i in
+    Ok (Monitor i)
+  | "workload" :: kind :: rest ->
+    let* kind = workload_of_string line kind in
+    let* kvs = parse_kvs line rest in
+    let* rate = Result.bind (lookup line kvs "rate") (parse_int line) in
+    let* ms = Result.bind (lookup line kvs "ms") (parse_int line) in
+    Ok (Workload { kind; rate; ms })
+  | [ "ksm_scan"; n ] ->
+    let* n = parse_int line n in
+    Ok (Ksm_scan n)
+  | "deliver" :: rest ->
+    let* kvs = parse_kvs line rest in
+    let* pages = Result.bind (lookup line kvs "pages") (parse_int line) in
+    let* salt = Result.bind (lookup line kvs "salt") (parse_int line) in
+    Ok (Deliver { pages; salt })
+  | "mutate" :: rest ->
+    let* kvs = parse_kvs line rest in
+    let* salt = Result.bind (lookup line kvs "salt") (parse_int line) in
+    Ok (Mutate { salt })
+  | "launch" :: rest ->
+    let* kvs = parse_kvs line rest in
+    let* memory_mb = Result.bind (lookup line kvs "mb") (parse_int line) in
+    Ok (Launch { memory_mb })
+  | [ "kill_last" ] -> Ok Kill_last
+  | "migrate" :: rest ->
+    let* kvs = parse_kvs line rest in
+    let* strategy = Result.bind (lookup line kvs "strategy") (strategy_of_string line) in
+    let* fault = Result.bind (lookup line kvs "fault") (fault_of_string line) in
+    let* memory_mb = Result.bind (lookup line kvs "mb") (parse_int line) in
+    let* nested = Result.bind (lookup line kvs "nested") (parse_bool line) in
+    let* cancel = Result.bind (lookup line kvs "cancel") (parse_bool line) in
+    Ok (Migrate { strategy; fault; memory_mb; nested; cancel })
+  | "detect" :: rest ->
+    let* kvs = parse_kvs line rest in
+    let* file_pages = Result.bind (lookup line kvs "pages") (parse_int line) in
+    Ok (Detect { file_pages })
+  | _ -> Error (Printf.sprintf "unknown action line %S" line)
+
+let tokens line =
+  String.split_on_char ' ' line |> List.filter (fun s -> not (String.equal s ""))
+
+let of_string s =
+  let lines =
+    String.split_on_char '\n' s
+    |> List.map (fun l ->
+           let l = String.trim l in
+           l)
+    |> List.filter (fun l -> not (String.equal l ""))
+  in
+  match lines with
+  | "skulkfuzz v1" :: rest ->
+    let rec parse_header rest acc =
+      match rest with
+      | [] -> Error "missing end line"
+      | line :: rest -> (
+        match tokens line with
+        | [ "seed"; n ] ->
+          let* seed = parse_int line n in
+          parse_header rest { acc with seed }
+        | [ "scenario"; "clean" ] -> parse_header rest { acc with scenario = Clean }
+        | "scenario" :: "infected" :: kvtoks ->
+          let* kvs = parse_kvs line kvtoks in
+          let* syncs = Result.bind (lookup line kvs "syncs") (parse_bool line) in
+          let* use_vtx = Result.bind (lookup line kvs "vtx") (parse_bool line) in
+          let* strategy = Result.bind (lookup line kvs "strategy") (strategy_of_string line) in
+          parse_header rest { acc with scenario = Infected { syncs; use_vtx; strategy } }
+        | [ "customer_mb"; n ] ->
+          let* customer_mb = parse_int line n in
+          parse_header rest { acc with customer_mb }
+        | [ "ksm"; k ] ->
+          let* ksm = ksm_of_string line k in
+          parse_header rest { acc with ksm }
+        | [ "faults"; f ] ->
+          let* faults = fault_of_string line f in
+          parse_header rest { acc with faults }
+        | _ -> parse_actions (line :: rest) acc []
+      )
+    and parse_actions rest acc actions =
+      match rest with
+      | [] -> Error "missing end line"
+      | "end" :: _ -> Ok { acc with actions = List.rev actions }
+      | line :: rest ->
+        let* a = parse_action line (tokens line) in
+        parse_actions rest acc (a :: actions)
+    in
+    let empty =
+      { seed = 0; scenario = Clean; customer_mb = min_customer_mb; ksm = K_default;
+        faults = F_none; actions = [] }
+    in
+    let* t = parse_header rest empty in
+    let* () = validate t in
+    Ok t
+  | first :: _ -> Error (Printf.sprintf "bad header %S (want \"skulkfuzz v1\")" first)
+  | [] -> Error "empty program"
+
+(* ---- generation ---- *)
+
+let gen_strategy rng = if Sim.Rng.int rng 4 = 0 then S_postcopy else S_precopy
+
+let gen_fault rng =
+  let r = Sim.Rng.int rng 20 in
+  if r < 8 then F_none else if r < 13 then F_lossy else if r < 16 then F_degraded else F_flaky
+
+let gen_action rng =
+  match Sim.Rng.int rng 18 with
+  | 0 | 1 | 2 -> Advance (1 + Sim.Rng.int rng 2000)
+  | 3 | 4 | 5 | 6 -> Monitor (Sim.Rng.int rng (Array.length monitor_commands))
+  | 7 | 8 ->
+    Workload
+      {
+        kind = Sim.Rng.pick rng [| W_idle; W_compile; W_filebench; W_netperf |];
+        rate = min_rate + Sim.Rng.int rng (max_rate - min_rate);
+        ms = min_wl_ms + Sim.Rng.int rng 990;
+      }
+  | 9 | 10 -> Ksm_scan (1 + Sim.Rng.int rng 4)
+  | 11 | 12 -> Deliver { pages = 1 + Sim.Rng.int rng 64; salt = Sim.Rng.int rng 1024 }
+  | 13 -> Mutate { salt = Sim.Rng.int rng 1024 }
+  | 14 -> Launch { memory_mb = 16 * (1 + Sim.Rng.int rng 8) }
+  | 15 -> Kill_last
+  | 16 ->
+    Migrate
+      {
+        strategy = gen_strategy rng;
+        fault = gen_fault rng;
+        memory_mb = 16 * (1 + Sim.Rng.int rng 4);
+        nested = Sim.Rng.bool rng;
+        cancel = Sim.Rng.int rng 4 = 0;
+      }
+  | _ -> Detect { file_pages = min_detect_pages + Sim.Rng.int rng 57 }
+
+let gen_scenario rng =
+  if Sim.Rng.bool rng then Clean
+  else
+    Infected
+      {
+        syncs = Sim.Rng.int rng 4 = 0;
+        use_vtx = Sim.Rng.int rng 4 > 0;
+        strategy = gen_strategy rng;
+      }
+
+let generate rng =
+  {
+    seed = Sim.Rng.int rng max_seed;
+    scenario = gen_scenario rng;
+    customer_mb = Sim.Rng.pick rng [| 32; 48; 64; 96; 128 |];
+    ksm = Sim.Rng.pick rng [| K_default; K_fast; K_incremental; K_tiny |];
+    faults = gen_fault rng;
+    actions = List.init (Sim.Rng.int rng 5) (fun _ -> gen_action rng);
+  }
+
+(* ---- mutation ---- *)
+
+let nth_opt l i = List.nth_opt l i
+
+let replace_nth l i v = List.mapi (fun j x -> if j = i then v else x) l
+
+let remove_nth l i = List.filteri (fun j _ -> j <> i) l
+
+let insert_nth l i v =
+  let rec go j = function
+    | rest when j = i -> v :: rest
+    | x :: rest -> x :: go (j + 1) rest
+    | [] -> [ v ]
+  in
+  go 0 l
+
+let clamp lo hi v = max lo (min hi v)
+
+let tweak_action rng a =
+  let upordown v lo hi = clamp lo hi (if Sim.Rng.bool rng then v * 2 else max lo (v / 2)) in
+  match a with
+  | Advance n -> Advance (upordown n 1 max_advance_ms)
+  | Monitor _ -> Monitor (Sim.Rng.int rng (Array.length monitor_commands))
+  | Workload w ->
+    if Sim.Rng.bool rng then Workload { w with rate = upordown w.rate min_rate max_rate }
+    else Workload { w with ms = upordown w.ms min_wl_ms max_wl_ms }
+  | Ksm_scan n -> Ksm_scan (upordown n 1 max_ksm_scans)
+  | Deliver d -> Deliver { d with pages = upordown d.pages 1 max_deliver_pages }
+  | Mutate _ -> Mutate { salt = Sim.Rng.int rng 1024 }
+  | Launch l -> Launch { memory_mb = upordown l.memory_mb min_vm_mb max_launch_mb }
+  | Kill_last -> Kill_last
+  | Migrate m -> (
+    match Sim.Rng.int rng 4 with
+    | 0 -> Migrate { m with fault = gen_fault rng }
+    | 1 -> Migrate { m with cancel = not m.cancel }
+    | 2 -> Migrate { m with nested = not m.nested }
+    | _ -> Migrate { m with memory_mb = upordown m.memory_mb min_vm_mb max_migrate_mb })
+  | Detect d -> Detect { file_pages = upordown d.file_pages min_detect_pages max_detect_pages }
+
+let mutate_once rng t =
+  let n = List.length t.actions in
+  (* growth-biased: a third of steps insert. generate caps programs at
+     4 actions, so compounding inserts is how the guided loop reaches
+     interleavings (workload + migration + detect + monitor chatter)
+     that blind generation essentially never emits. *)
+  match Sim.Rng.int rng 12 with
+  | (0 | 1 | 2 | 3) when n < max_actions ->
+    { t with actions = insert_nth t.actions (Sim.Rng.int rng (n + 1)) (gen_action rng) }
+  | 4 when n > 0 -> { t with actions = remove_nth t.actions (Sim.Rng.int rng n) }
+  | 5 when n > 0 && n < max_actions ->
+    let i = Sim.Rng.int rng n in
+    let a = match nth_opt t.actions i with Some a -> a | None -> gen_action rng in
+    { t with actions = insert_nth t.actions i a }
+  | 6 when n > 1 ->
+    let i = Sim.Rng.int rng n and j = Sim.Rng.int rng n in
+    let ai = List.nth t.actions i and aj = List.nth t.actions j in
+    { t with actions = replace_nth (replace_nth t.actions i aj) j ai }
+  | 7 when n > 0 ->
+    { t with actions = replace_nth t.actions (Sim.Rng.int rng n) (gen_action rng) }
+  | 8 when n > 0 ->
+    let i = Sim.Rng.int rng n in
+    let a = List.nth t.actions i in
+    { t with actions = replace_nth t.actions i (tweak_action rng a) }
+  | 9 -> { t with scenario = gen_scenario rng }
+  | 10 -> { t with ksm = Sim.Rng.pick rng [| K_default; K_fast; K_incremental; K_tiny |] }
+  | 11 -> { t with faults = gen_fault rng }
+  | _ ->
+    if Sim.Rng.bool rng then { t with customer_mb = Sim.Rng.pick rng [| 32; 48; 64; 96; 128 |] }
+    else { t with seed = Sim.Rng.int rng max_seed }
+
+let mutate rng t =
+  (* a mutant that renders identically to its parent would burn budget
+     on a guaranteed-duplicate signature; retry a few times *)
+  let attempt () =
+    let steps = 2 + Sim.Rng.int rng 3 in
+    let rec go t k = if k = 0 then t else go (mutate_once rng t) (k - 1) in
+    go t steps
+  in
+  let rec distinct tries =
+    let m = attempt () in
+    if tries = 0 || not (equal m t) then m else distinct (tries - 1)
+  in
+  distinct 8
+
+(* ---- shrinking (numeric one-steps; deletion is the minimiser's) ---- *)
+
+let shrink_action = function
+  | Advance n when n > 1 -> Some (Advance (max 1 (n / 2)))
+  | Workload w when w.ms > min_wl_ms -> Some (Workload { w with ms = max min_wl_ms (w.ms / 2) })
+  | Workload w when w.rate > min_rate ->
+    Some (Workload { w with rate = max min_rate (w.rate / 2) })
+  | Ksm_scan n when n > 1 -> Some (Ksm_scan (n / 2))
+  | Deliver d when d.pages > 1 -> Some (Deliver { d with pages = max 1 (d.pages / 2) })
+  | Launch l when l.memory_mb > min_vm_mb ->
+    Some (Launch { memory_mb = max min_vm_mb (l.memory_mb / 2) })
+  | Migrate m when m.memory_mb > min_vm_mb ->
+    Some (Migrate { m with memory_mb = max min_vm_mb (m.memory_mb / 2) })
+  | Detect d when d.file_pages > min_detect_pages ->
+    Some (Detect { file_pages = max min_detect_pages (d.file_pages / 2) })
+  | _ -> None
+
+let shrink t =
+  let sized =
+    if t.customer_mb > min_customer_mb then [ { t with customer_mb = min_customer_mb } ] else []
+  in
+  let shrunk =
+    List.concat
+      (List.mapi
+         (fun i a ->
+           match shrink_action a with
+           | Some a' -> [ { t with actions = replace_nth t.actions i a' } ]
+           | None -> [])
+         t.actions)
+  in
+  sized @ shrunk

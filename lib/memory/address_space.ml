@@ -148,5 +148,48 @@ let shared_page_count t =
   done;
   !n
 
+let check_invariants t =
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let table = frame_table t in
+  if Dirty.length t.dirty <> t.pages then
+    err "space %s: dirty bitmap covers %d pages, space has %d" t.name (Dirty.length t.dirty)
+      t.pages
+  else begin
+    match List.find_opt (fun d -> Dirty.length d <> t.pages) t.watchers with
+    | Some d ->
+      err "space %s: write-observer bitmap covers %d pages, space has %d" t.name
+        (Dirty.length d) t.pages
+    | None -> (
+      let rec live i =
+        if i >= t.pages then Ok ()
+        else if not (Frame_table.is_live table (frame_at t i)) then
+          err "space %s: page %d resolves to dead frame %d" t.name i (frame_at t i)
+        else live (i + 1)
+      in
+      match live 0 with
+      | Error _ as e -> e
+      | Ok () -> (
+        match t.backing with
+        | Window _ -> Ok ()
+        | Root r ->
+          (* each appearance of a frame in this space holds one of its
+             references, so per-frame multiplicity is bounded by the
+             table's refcount *)
+          let counts = Hashtbl.create 64 in
+          Array.iter
+            (fun f ->
+              Hashtbl.replace counts f (1 + Option.value ~default:0 (Hashtbl.find_opt counts f)))
+            r.frames;
+          let over =
+            Hashtbl.fold (fun f n acc -> if n > Frame_table.refcount r.table f then (f, n) :: acc else acc) counts []
+            |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+          in
+          (match over with
+          | [] -> Ok ()
+          | (f, n) :: _ ->
+            err "space %s: frame %d mapped %d times but refcount is %d" t.name f n
+              (Frame_table.refcount r.table f))))
+  end
+
 let pp fmt t =
   Format.fprintf fmt "%s (%d pages%s)" t.name t.pages (if is_root t then "" else ", window")

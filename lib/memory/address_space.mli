@@ -77,4 +77,12 @@ val contents : t -> Page.Content.t array
 val shared_page_count : t -> int
 (** Pages of this space currently backed by a shared frame. *)
 
+val check_invariants : t -> (unit, string) result
+(** Structural sanity, checkable at any point: the dirty bitmap and
+    every registered write-observer bitmap cover exactly this space's
+    pages, every page resolves to a live frame, and (root spaces) no
+    frame is mapped more times than its table refcount allows. [Error]
+    describes the first violation; shared by the fuzzer and the qcheck
+    suites as the address-space oracle (cf. {!Ksm.check_invariants}). *)
+
 val pp : Format.formatter -> t -> unit

@@ -101,5 +101,41 @@ let fold_live t init f =
 
 let shared_frames t = fold_live t 0 (fun n _ s -> if s.refs > 1 then n + 1 else n)
 
+let check_invariants t =
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let counted_live = fold_live t 0 (fun n _ _ -> n + 1) in
+  if counted_live <> t.live then
+    err "frame_table: live counter %d but %d slots hold references" t.live counted_live
+  else if
+    match t.capacity with Some cap -> t.live > cap | None -> false
+  then err "frame_table: %d live frames exceed the capacity" t.live
+  else begin
+    let bad_free =
+      List.find_opt (fun f -> f < 0 || f >= t.used || t.slots.(f).refs > 0) t.free_list
+    in
+    let dup_free =
+      let sorted = List.sort Int.compare t.free_list in
+      let rec dup = function
+        | a :: (b :: _ as rest) -> if a = b then Some a else dup rest
+        | _ -> None
+      in
+      dup sorted
+    in
+    match (bad_free, dup_free) with
+    | Some f, _ -> err "frame_table: free-list frame %d is out of range or still referenced" f
+    | None, Some f -> err "frame_table: frame %d appears twice on the free list" f
+    | None, None ->
+      let rec scan f =
+        if f >= t.used then Ok ()
+        else
+          let s = t.slots.(f) in
+          if s.refs < 0 then err "frame_table: frame %d has negative refcount %d" f s.refs
+          else if s.refs = 0 && s.stable then
+            err "frame_table: freed frame %d still flagged stable" f
+          else scan (f + 1)
+      in
+      scan 0
+  end
+
 let sharing_savings_pages t =
   fold_live t 0 (fun n _ s -> if s.refs > 1 then n + s.refs - 1 else n)

@@ -63,3 +63,12 @@ val shared_frames : t -> int
 val sharing_savings_pages : t -> int
 (** Pages of RAM saved by sharing: sum over shared frames of
     (refcount - 1). The "memory density" KSM buys. *)
+
+val check_invariants : t -> (unit, string) result
+(** Structural sanity, checkable at any point: the live counter matches
+    the number of referenced slots, capacity is respected, the free list
+    holds only unreferenced in-range frames with no duplicates, no
+    refcount is negative, and no freed frame is still flagged stable.
+    [Error] describes the first violation. The fuzzer and the qcheck
+    suites share this as their frame-table oracle (cf.
+    {!Ksm.check_invariants}). *)

@@ -53,6 +53,18 @@ val completed : 'a t -> bool
 val stats_exn : 'a t -> 'a
 (** Raises [Invalid_argument] on [Aborted]. *)
 
+val check_legal : 'a t -> source:Vmm.Vm.t -> dest:Vmm.Vm.t -> (unit, string) result
+(** Whether the two VMs' states are consistent with this outcome,
+    checked at the moment the outcome is returned: a completed or
+    recovered migration must leave the destination running and the
+    source a (paused or killed) husk; a postcopy-paused abort parks the
+    destination awaiting [migrate_recover]; any other abort must leave
+    the destination in the incoming state (or torn down) with
+    [source_resumed] telling the truth about the source. [Error]
+    describes the first inconsistency - the migration-legality oracle
+    shared by the fuzzer and the chaos suites (cf.
+    {!Memory.Ksm.check_invariants}). *)
+
 val describe : 'a t -> string
 (** One-line human rendering ("completed", "recovered after 1 outage,
     3 retransmissions", "aborted: ..."). *)

@@ -228,6 +228,18 @@ let histogram_count t key =
   | Some { kind = Histogram h; _ } -> Some h.total
   | Some _ | None -> None
 
+let fold_series t ~init ~f =
+  let entries =
+    Hashtbl.fold (fun key e acc -> (key, e) :: acc) t.series []
+    |> List.sort (fun (ka, _) (kb, _) -> String.compare ka kb)
+  in
+  List.fold_left
+    (fun acc (key, e) ->
+      match e.kind with
+      | Counter c | Gauge c -> f acc key c.v
+      | Histogram h -> f acc key (float_of_int h.total))
+    init entries
+
 let sorted_entries t =
   Hashtbl.fold (fun key e acc -> (key, e) :: acc) t.series []
   |> List.sort (fun (ka, a) (kb, b) ->

@@ -108,6 +108,13 @@ val value : t -> string -> float option
 val histogram_count : t -> string -> int option
 (** Total observation count of the histogram registered under [key]. *)
 
+val fold_series : t -> init:'a -> f:('a -> string -> float -> 'a) -> 'a
+(** Fold over every registered series in export (sorted-key) order:
+    counters and gauges contribute their current value, histograms their
+    total observation count. The order is a pure function of the
+    registered names, so folds over equal sinks visit equal sequences -
+    what the fuzzer's coverage signatures rely on. *)
+
 (** {1 Merging} *)
 
 val merge_into : into:t -> ?span_fields:labels -> t -> unit

@@ -61,8 +61,8 @@ let detect_trial ~seed =
    migration outcome string, install wall time - so the comparison below
    catches any divergence in the fault schedule, not just the verdict. *)
 let faulted_trial ~seed =
-  match Cloudskulk.Scenarios.infected (Sim.Ctx.create ~seed ~faults:Sim.Fault.flaky ()) with
-  | sc ->
+  match Cloudskulk.Scenarios.infected_result (Sim.Ctx.create ~seed ~faults:Sim.Fault.flaky ()) with
+  | Ok sc ->
     let verdict =
       match Cloudskulk.Dedup_detector.run sc.Cloudskulk.Scenarios.detector_env with
       | Ok o -> Cloudskulk.Dedup_detector.verdict_to_string o.Cloudskulk.Dedup_detector.verdict
@@ -76,7 +76,7 @@ let faulted_trial ~seed =
       | None -> ("no report", "-")
     in
     (verdict, outcome ^ " / " ^ total)
-  | exception Invalid_argument e -> ("install failed", e)
+  | Error f -> ("install failed", Cloudskulk.Scenarios.install_failure_to_string f)
 
 let determinism_tests =
   [

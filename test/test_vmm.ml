@@ -475,6 +475,99 @@ let disk_tests =
           (Vmm.Disk_image.allocated_bytes (Vmm.Vm.disk vm) >= 256 * 1024));
   ]
 
+(* Property tests for the monitor command language: [execute] is a
+   total function over arbitrary input lines, and the dispatch table
+   stays in sync with [help_text]. *)
+let monitor_property_tests =
+  (* first words the dispatcher recognises; anything else must come
+     back as a polite unknown-command error *)
+  let known_heads =
+    [
+      "help"; "info"; "migrate"; "migrate_cancel"; "migrate_recover"; "migrate_set_speed";
+      "stop"; "cont"; "quit";
+    ]
+  in
+  let vocab_token =
+    QCheck.Gen.oneofl
+      (known_heads
+      @ [ "status"; "qtree"; "mem"; "uuid"; "-d"; "tcp:1.2.3.4:5600"; "fd:3"; "1g"; "bogus" ])
+  in
+  let garbage_token = QCheck.Gen.(string_size ~gen:printable (int_range 0 12)) in
+  let line_gen =
+    QCheck.Gen.(
+      frequency
+        [
+          (3, map (String.concat " ") (list_size (int_range 0 4) vocab_token));
+          (2, map (String.concat " ") (list_size (int_range 0 4) garbage_token));
+          (1, garbage_token);
+        ])
+  in
+  let arbitrary_line = QCheck.make ~print:(Printf.sprintf "%S") line_gen in
+  let is_unknown_error = function
+    | Vmm.Monitor.Error_text e ->
+      contains_sub e "unknown command" || contains_sub e "unknown topic"
+    | Vmm.Monitor.Ok_text _ | Vmm.Monitor.Quit -> false
+  in
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"execute never raises on arbitrary input" ~count:300
+         arbitrary_line (fun line ->
+           (* one shared VM: a generated "quit" stops it, and execute
+              must keep answering (with errors) on the dead VM too *)
+           let _, host = mk_host () in
+           let vm = launch_exn host (small_vm ()) in
+           ignore (Vmm.Monitor.execute vm line);
+           true));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"unrecognised first words are unknown-command errors" ~count:200
+         arbitrary_line (fun line ->
+           let _, host = mk_host () in
+           let vm = launch_exn host (small_vm ()) in
+           match
+             List.filter (fun w -> not (String.equal w "")) (String.split_on_char ' ' line)
+           with
+           | [] -> Vmm.Monitor.execute vm line = Vmm.Monitor.Ok_text ""
+           | head :: _ when not (List.mem head known_heads) ->
+             is_unknown_error (Vmm.Monitor.execute vm line)
+           | _ :: _ -> true));
+    Alcotest.test_case "every help_text command has an accepted spelling" `Quick (fun () ->
+        let _, host = mk_host () in
+        let vm = launch_exn host (small_vm ()) in
+        let canonical lhs =
+          (* turn a help synopsis into one concrete invocation *)
+          let toks =
+            List.filter
+              (fun w -> not (String.equal w "") && not (String.equal w "[-d]"))
+              (String.split_on_char ' ' lhs)
+          in
+          let toks = List.map (fun w -> if String.equal w "uri" then "tcp:1.2.3.4:5600" else w) toks in
+          match toks with
+          | [ "migrate_set_speed" ] -> "migrate_set_speed 1g"
+          | toks -> String.concat " " toks
+        in
+        String.split_on_char '\n' Vmm.Monitor.help_text
+        |> List.iter (fun help_line ->
+               let lhs =
+                 match String.index_opt help_line '-' with
+                 | Some i when i > 0 -> String.sub help_line 0 i
+                 | _ -> help_line
+               in
+               let cmd = canonical lhs in
+               (* "quit" would stop the shared VM; it has its own test *)
+               if not (String.equal cmd "quit") then
+                 match Vmm.Monitor.execute vm cmd with
+                 | resp when is_unknown_error resp ->
+                   Alcotest.failf "help_text advertises %S but dispatch rejects it" cmd
+                 | _ -> ());
+        (match Vmm.Monitor.execute vm "quit" with
+        | Vmm.Monitor.Quit -> ()
+        | _ -> Alcotest.fail "quit did not Quit");
+        (* dispatch stays total after the VM dies *)
+        match Vmm.Monitor.execute vm "info status" with
+        | Vmm.Monitor.Ok_text _ | Vmm.Monitor.Error_text _ -> ()
+        | Vmm.Monitor.Quit -> Alcotest.fail "dead VM quit again");
+  ]
+
 let layers_tests =
   [
     Alcotest.test_case "bare_metal runs at L0" `Quick (fun () ->
@@ -514,6 +607,7 @@ let () =
       ("vm", vm_tests);
       ("nested", nested_tests);
       ("monitor", monitor_tests);
+      ("monitor-properties", monitor_property_tests);
       ("disk", disk_tests);
       ("layers", layers_tests);
     ]

@@ -1,0 +1,155 @@
+(* skulkfuzz: coverage-guided scenario fuzzing of the nested-virt
+   state space.
+
+     dune exec tools/skulkfuzz/skulkfuzz.exe -- --fuzz-budget 64 --seed 42
+     dune exec tools/skulkfuzz/skulkfuzz.exe -- --corpus test/corpus --fuzz-budget 0
+     dune exec tools/skulkfuzz/skulkfuzz.exe -- --reseal test/corpus/near-miss.skulkfuzz
+
+   Everything is deterministic in (--seed, --fuzz-budget, --batch):
+   two runs - at any --jobs - produce identical corpora, coverage
+   counts and finds. Exit codes: 0 clean, 1 usage/corpus drift,
+   2 oracle violations found. *)
+
+open Cmdliner
+
+let replay_corpus entries =
+  let drifted = ref 0 in
+  List.iter
+    (fun e ->
+      match Fuzz.Corpus.check e with
+      | Ok () -> Printf.printf "  replay %-32s ok\n" e.Fuzz.Corpus.name
+      | Error msg ->
+        incr drifted;
+        Printf.printf "  replay DRIFT: %s\n" msg)
+    entries;
+  !drifted
+
+let save_finds ~dir ~existing (stats : Fuzz.Engine.stats) =
+  List.iter
+    (fun (f : Fuzz.Engine.find) ->
+      let name = Printf.sprintf "find-%s.skulkfuzz" f.find_violation.Fuzz.Oracle.oracle in
+      if List.exists (fun e -> String.equal e.Fuzz.Corpus.name name) existing then
+        Printf.printf "  find %s already in corpus, not overwriting\n" name
+      else
+        let entry = Fuzz.Corpus.entry_of_outcome ~name f.find_program f.find_outcome in
+        Printf.printf "  saved %s\n" (Fuzz.Corpus.save ~dir entry))
+    stats.Fuzz.Engine.finds
+
+let summarise (stats : Fuzz.Engine.stats) ~show_features =
+  Printf.printf "  executed:            %d programs (+%d random baseline)\n"
+    stats.Fuzz.Engine.executed stats.executed;
+  Printf.printf "  distinct features:   %d (random baseline: %d)\n" stats.guided_features
+    stats.random_features;
+  Printf.printf "  distinct signatures: %d (random baseline: %d)\n" stats.guided_signatures
+    stats.random_signatures;
+  Printf.printf "  corpus programs:     %d\n" (List.length stats.corpus);
+  Printf.printf "  oracle violations:   %d\n" (List.length stats.finds);
+  List.iter
+    (fun (f : Fuzz.Engine.find) ->
+      Printf.printf "    %s\n      %s\n"
+        (Fuzz.Oracle.to_string f.find_violation)
+        (Fuzz.Program.summary f.find_program))
+    stats.finds;
+  if show_features then begin
+    Printf.printf "  features:\n";
+    List.iter (fun (f, n) -> Printf.printf "    %6d  %s\n" n f) stats.feature_table
+  end
+
+let reseal path =
+  let ic = open_in_bin path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  match Fuzz.Program.of_string text with
+  | Error e ->
+    Printf.eprintf "%s: %s\n" path e;
+    1
+  | Ok program ->
+    let outcome = Fuzz.Exec.run program in
+    let entry =
+      Fuzz.Corpus.entry_of_outcome ~name:(Filename.basename path) program outcome
+    in
+    let oc = open_out_bin path in
+    output_string oc (Fuzz.Corpus.entry_to_string entry);
+    close_out oc;
+    Printf.printf "resealed %s (%s, signature %s)\n" path
+      (match entry.Fuzz.Corpus.expect_violation with
+      | None -> "ok"
+      | Some oracle -> "violation " ^ oracle)
+      entry.Fuzz.Corpus.expect_signature;
+    0
+
+let main budget seed batch jobs corpus_dir reseal_file show_features verbose =
+  match reseal_file with
+  | Some path -> reseal path
+  | None -> (
+    let corpus_entries =
+      match corpus_dir with
+      | None -> Ok []
+      | Some dir -> Fuzz.Corpus.load_dir dir
+    in
+    match corpus_entries with
+    | Error e ->
+      Printf.eprintf "corpus: %s\n" e;
+      1
+    | Ok entries ->
+      Printf.printf "skulkfuzz: seed %d, budget %d, batch %d, jobs %d, corpus %d\n" seed budget
+        batch jobs (List.length entries);
+      let drifted = if entries = [] then 0 else replay_corpus entries in
+      let progress = if verbose then fun m -> Printf.printf "  [%s]\n" m else fun _ -> () in
+      let stats =
+        Fuzz.Engine.run ~progress
+          {
+            Fuzz.Engine.budget;
+            batch;
+            jobs;
+            seed;
+            initial = List.map (fun e -> e.Fuzz.Corpus.program) entries;
+            baseline = true;
+          }
+      in
+      summarise stats ~show_features;
+      (match corpus_dir with
+      | Some dir when stats.Fuzz.Engine.finds <> [] -> save_finds ~dir ~existing:entries stats
+      | _ -> ());
+      if drifted > 0 then 1 else if stats.Fuzz.Engine.finds <> [] then 2 else 0)
+
+let cmd =
+  let budget =
+    Arg.(
+      value & opt int 64
+      & info [ "fuzz-budget" ] ~docv:"N" ~doc:"Guided program executions to spend.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Root seed.") in
+  let batch =
+    Arg.(value & opt int 8 & info [ "batch" ] ~docv:"N" ~doc:"Candidates per round.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs" ] ~docv:"N" ~doc:"Parallel workers (0 = all cores); results are identical.")
+  in
+  let corpus =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:"Replay this corpus first, seed the run with it, and save new minimised finds into it.")
+  in
+  let reseal_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "reseal" ] ~docv:"FILE"
+          ~doc:"Re-execute one corpus file and rewrite its expect line; then exit.")
+  in
+  let show_features =
+    Arg.(value & flag & info [ "show-features" ] ~doc:"Dump the full feature table.")
+  in
+  let verbose = Arg.(value & flag & info [ "verbose" ] ~doc:"Per-round progress lines.") in
+  let doc = "coverage-guided scenario fuzzing of the nested-virt state space" in
+  Cmd.v
+    (Cmd.info "skulkfuzz" ~doc)
+    Term.(
+      const main $ budget $ seed $ batch $ jobs $ corpus $ reseal_file $ show_features $ verbose)
+
+let () = exit (Cmd.eval' cmd)
