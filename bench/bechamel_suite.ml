@@ -140,6 +140,30 @@ let test_event_heap_1e5 =
   let op = Event_bench.steady_state_op Event_bench.heap ~pending:100_000 in
   Test.make ~name:"event_queue/heap-reference-1e5-pending" (Staged.stage op)
 
+(* The quantile sketch's two hot operations: streaming inserts (every
+   telemetry summary record) and the O(centroids) merge the --jobs
+   fan-in performs per summary series. *)
+let sketch_samples n = Array.init n (fun i -> float_of_int ((i * 2654435761) land 0xFFFFF))
+
+let test_sketch_add =
+  let xs = sketch_samples 4096 in
+  Test.make ~name:"slo/sketch-add-4096"
+    (Staged.stage (fun () ->
+         let sk = Sim.Stats.Sketch.create () in
+         Array.iter (Sim.Stats.Sketch.add sk) xs))
+
+let test_sketch_merge =
+  let src =
+    let sk = Sim.Stats.Sketch.create () in
+    Array.iter (Sim.Stats.Sketch.add sk) (sketch_samples 4096);
+    sk
+  in
+  (* one persistent aggregate, like the per-series --jobs fan-in: the
+     merge itself is O(centroids) with no allocation *)
+  let into = Sim.Stats.Sketch.create () in
+  Test.make ~name:"slo/sketch-merge-4096-into-aggregate"
+    (Staged.stage (fun () -> Sim.Stats.Sketch.merge_into ~into src))
+
 (* The parallel trial runner: fan 8 small self-contained engine trials
    over 2 domains (spawn + join dominate; the point is to track that
    fan-out overhead stays in the low milliseconds). *)
@@ -166,6 +190,8 @@ let tests =
       test_event_queue_1e3;
       test_event_queue_1e5;
       test_event_heap_1e5;
+      test_sketch_add;
+      test_sketch_merge;
       test_parallel_runner;
     ]
 
@@ -210,6 +236,52 @@ let scan_report () =
   let heap_1e5 = Event_bench.queue_ns_per_op Event_bench.heap ~pending:100_000 ~ops:q_ops in
   let rescan_full = Event_bench.ksm_rescan_ns_per_dirtied_page ~incremental:false ~iters:200 in
   let rescan_incr = Event_bench.ksm_rescan_ns_per_dirtied_page ~incremental:true ~iters:200 in
+  (* Quantile-sketch hot paths: streaming insert and the per-series
+     merge the --jobs fan-in performs (one persistent aggregate); best
+     of 3 runs, like the event queue numbers above. Compact first: the
+     sketch paths allocate major-heap float arrays, so leftover live
+     data from the bechamel table would otherwise bill its GC slices to
+     this section (this section has no seed baseline to stay
+     comparable with, unlike the ksm/dirty numbers above). *)
+  Gc.compact ();
+  let best_of3 f =
+    let best = ref (f ()) in
+    for _ = 2 to 3 do
+      let v = f () in
+      if v < !best then best := v
+    done;
+    !best
+  in
+  let sk_xs = sketch_samples 65536 in
+  let sketch_add_ns =
+    best_of3 (fun () ->
+        let sk = Sim.Stats.Sketch.create () in
+        let passes = 10 in
+        (* skulklint: allow wall-clock — times the simulator itself (host CPU seconds), not simulated work *)
+        let t = Sys.time () in
+        for _ = 1 to passes do
+          Array.iter (Sim.Stats.Sketch.add sk) sk_xs
+        done;
+        (* skulklint: allow wall-clock — closes the host-clock interval opened above *)
+        (Sys.time () -. t) *. 1e9 /. float_of_int (passes * Array.length sk_xs))
+  in
+  let sk_src =
+    let s = Sim.Stats.Sketch.create () in
+    Array.iter (Sim.Stats.Sketch.add s) (sketch_samples 4096);
+    s
+  in
+  let merge_iters = 50_000 in
+  let sk_agg = Sim.Stats.Sketch.create () in
+  let sketch_merge_ns =
+    best_of3 (fun () ->
+        (* skulklint: allow wall-clock — times the simulator itself (host CPU seconds), not simulated work *)
+        let t = Sys.time () in
+        for _ = 1 to merge_iters do
+          Sim.Stats.Sketch.merge_into ~into:sk_agg sk_src
+        done;
+        (* skulklint: allow wall-clock — closes the host-clock interval opened above *)
+        (Sys.time () -. t) *. 1e9 /. float_of_int merge_iters)
+  in
   let json =
     Printf.sprintf
       {|{
@@ -217,7 +289,8 @@ let scan_report () =
     "ksm_scan": "scan_once, 64 spaces x 256 distinct pages (16384 pages), fast config",
     "dirty_fold": "fold_dirty over 65536 pages at 1%% dirty",
     "event_queue": "steady-state schedule+expire pairs at fixed occupancy; replacement deltas drawn from the engine period mix (90%% <=1ms packet-scale, 9%% <=100ms device-scale, 1%% <=10s housekeeping), best of 3 runs",
-    "ksm_rescan": "steady-state wakeups over the 16384-page population with ~1%% (164 pages) dirtied between wakeups; cost normalised per dirtied page"
+    "ksm_rescan": "steady-state wakeups over the 16384-page population with ~1%% (164 pages) dirtied between wakeups; cost normalised per dirtied page",
+    "sketch": "Stats.Sketch (compression 128): streaming adds of 65536-value cycles; merge_into of a 4096-sample sketch into a persistent aggregate"
   },
   "seed_baseline": {
     "ksm_scan_minor_words_per_page": 83.02,
@@ -240,12 +313,16 @@ let scan_report () =
     "full_sweep_per_dirtied_page": %.1f,
     "incremental_per_dirtied_page": %.1f,
     "incremental_speedup": %.2f
+  },
+  "sketch": {
+    "add_ns_per_sample": %.1f,
+    "merge_ns_per_4096_sample_sketch": %.0f
   }
 }
 |}
       scan_words scan_ns dirty_ns (1e9 /. heap_1e3) (1e9 /. heap_1e5) (1e9 /. wheel_1e3)
       (1e9 /. wheel_1e5) (heap_1e5 /. wheel_1e5) rescan_full rescan_incr
-      (rescan_full /. rescan_incr)
+      (rescan_full /. rescan_incr) sketch_add_ns sketch_merge_ns
   in
   let oc = open_out "BENCH_scan.json" in
   output_string oc json;
@@ -259,6 +336,8 @@ let scan_report () =
      %.1f -> %.1f ns/dirtied page (%.2fx)\n"
     wheel_1e5 heap_1e5 (heap_1e5 /. wheel_1e5) rescan_full rescan_incr
     (rescan_full /. rescan_incr);
+  Printf.printf "  quantile sketch: add %.1f ns/sample; merge of a 4096-sample sketch %.0f ns\n"
+    sketch_add_ns sketch_merge_ns;
   ignore !sink
 
 let run () =

@@ -8,7 +8,7 @@ let () =
   List.iter Harness.Registry.register
     ([ Exp_table1.spec; Exp_fig2.spec; Exp_fig3.spec; Exp_fig4.spec ]
     @ Exp_lmbench.specs @ Exp_fig56.specs
-    @ [ Exp_install.spec; Exp_detect.spec ]
+    @ [ Exp_install.spec; Exp_detect.spec; Exp_slo.spec ]
     @ Exp_ablations.specs @ Exp_extensions.specs
     @ [ Exp_fuzz.spec; Bechamel_suite.spec ]);
   exit

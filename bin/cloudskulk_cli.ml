@@ -123,6 +123,56 @@ let audit_host seed infected =
   end
   else 0
 
+(* soc: run the continuous detector monitor against one tenant *)
+let soc seed infected minutes metrics_out trace_out =
+  let telemetry = Harness.Flags.sink ~metrics_out ~trace_out in
+  let ctx = make_ctx ?telemetry seed in
+  let scenario =
+    if infected then Cloudskulk.Scenarios.infected ctx else Cloudskulk.Scenarios.clean ctx
+  in
+  Printf.printf "scenario: %s\n" scenario.Cloudskulk.Scenarios.description;
+  let open Cloudskulk.Detector_service in
+  let policy =
+    {
+      default_policy with
+      sweep_every = Sim.Time.minutes 10.;
+      dedup_every_n_sweeps = 2;
+      probe_pages = 8;
+      probe_budget = 1;
+      event_log_capacity = 64;
+    }
+  in
+  (* the scenario runs on its own forked context; the service and the
+     clock we drive must live on that engine, not the root one *)
+  let sctx = scenario.Cloudskulk.Scenarios.ctx in
+  let service = create ~policy sctx scenario.Cloudskulk.Scenarios.host in
+  register_tenant service ~name:"tenant-a" ~env:(fun () ->
+      scenario.Cloudskulk.Scenarios.detector_env);
+  start_monitor service;
+  ignore
+    (Sim.Engine.run_for (Sim.Ctx.engine sctx) (Sim.Time.minutes (float_of_int minutes)));
+  stop service;
+  Harness.Flags.export ~metrics_out ~trace_out telemetry;
+  Printf.printf "monitored for %d virtual minutes (%d audit sweeps)\n" minutes
+    (sweeps_run service);
+  List.iter (fun e -> Printf.printf "  %s\n" (event_to_string e)) (events service);
+  if events_dropped service > 0 then
+    Printf.printf "  (+%d events dropped by the ring buffer)\n" (events_dropped service);
+  (match tenant_state service "tenant-a" with
+  | None -> ()
+  | Some st ->
+    Printf.printf "tenant-a: %d probes, last verdict %s\n" st.probes
+      (match st.last_verdict with
+      | Some v -> Cloudskulk.Dedup_detector.verdict_to_string v
+      | None -> "none"));
+  (match time_to_detect service "tenant-a" with
+  | Some d -> Printf.printf "time to detect: %.1f min\n" (Sim.Time.to_s d /. 60.)
+  | None -> Printf.printf "time to detect: n/a\n");
+  if budget_deferrals service > 0 then
+    Printf.printf "probe-budget deferrals: %d\n" (budget_deferrals service);
+  let detected = compromised_tenants service <> [] in
+  if detected = infected then 0 else 2
+
 (* trace: run a scenario and dump its trace *)
 let dump_trace seed infected =
   let ctx = make_ctx seed in
@@ -165,6 +215,19 @@ let audit_cmd =
   let infected = Arg.(value & flag & info [ "infected" ] ~doc:"Install CloudSkulk first.") in
   Cmd.v (Cmd.info "audit" ~doc) Term.(const audit_host $ seed_arg $ infected)
 
+let soc_cmd =
+  let doc = "Run the continuous SOC detector monitor against a tenant" in
+  let infected = Arg.(value & flag & info [ "infected" ] ~doc:"Install CloudSkulk first.") in
+  let minutes =
+    Arg.(
+      value & opt int 60
+      & info [ "minutes" ] ~docv:"MIN" ~doc:"Virtual minutes to monitor for.")
+  in
+  Cmd.v (Cmd.info "soc" ~doc)
+    Term.(
+      const soc $ seed_arg $ infected $ minutes $ Harness.Flags.metrics_out
+      $ Harness.Flags.trace_out)
+
 let trace_cmd =
   let doc = "Dump the simulation trace of a scenario" in
   let infected = Arg.(value & flag & info [ "infected" ] ~doc:"Infected scenario.") in
@@ -173,6 +236,6 @@ let trace_cmd =
 let main =
   let doc = "CloudSkulk: nested-VM rootkit and detection, simulated" in
   Cmd.group (Cmd.info "cloudskulk" ~doc)
-    [ attack_cmd; detect_cmd; monitor_cmd; audit_cmd; trace_cmd ]
+    [ attack_cmd; detect_cmd; monitor_cmd; audit_cmd; soc_cmd; trace_cmd ]
 
 let () = exit (Cmd.eval' main)

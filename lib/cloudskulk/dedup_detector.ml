@@ -8,6 +8,12 @@ let verdict_to_string = function
   | No_nested_vm -> "no nested VM"
   | Inconclusive reason -> "inconclusive: " ^ reason
 
+let verdict_equal a b =
+  match (a, b) with
+  | Nested_vm_detected, Nested_vm_detected | No_nested_vm, No_nested_vm -> true
+  | Inconclusive x, Inconclusive y -> String.equal x y
+  | (Nested_vm_detected | No_nested_vm | Inconclusive _), _ -> false
+
 type config = {
   file_pages : int;
   mem_params : Memory.Mem_params.t;
@@ -49,6 +55,23 @@ type outcome = {
 }
 
 let ( let* ) r f = Result.bind r f
+
+(* The decision rule is a pure function of the three mean write times
+   and the merge-ratio threshold, so alternative thresholds can be
+   evaluated post hoc from a recorded outcome (the ROC sweep in the
+   [slo] experiment) without re-running the protocol. *)
+let decide ~merge_ratio ~t0_mean ~t1_mean ~t2_mean =
+  let merged m = m >= merge_ratio *. t0_mean in
+  if not (merged t1_mean) then
+    Inconclusive
+      "t1 is as fast as the baseline: File-A never merged (ksmd too slow, or the file \
+       never reached the guest)"
+  else if merged t2_mean then Nested_vm_detected
+  else No_nested_vm
+
+let verdict_for_ratio o ~ratio =
+  decide ~merge_ratio:ratio ~t0_mean:o.t0.summary.Sim.Stats.mean
+    ~t1_mean:o.t1.summary.Sim.Stats.mean ~t2_mean:o.t2.summary.Sim.Stats.mean
 
 let ksm_exn env =
   match Vmm.Hypervisor.ksm env.host with
@@ -141,14 +164,9 @@ let run ?(config = default_config) env =
     (* Step 2: the guest changes every page; measure a fresh original. *)
     let* () = env.mutate_in_guest ~name:(Memory.File_image.name file_a) ~salt:config.mutate_salt in
     let* t2 = load_wait_probe config env ~label:"t2" file_a in
-    let merged m = m.summary.Sim.Stats.mean >= config.merge_ratio *. t0.summary.Sim.Stats.mean in
     let verdict =
-      if not (merged t1) then
-        Inconclusive
-          "t1 is as fast as the baseline: File-A never merged (ksmd too slow, or the file \
-           never reached the guest)"
-      else if merged t2 then Nested_vm_detected
-      else No_nested_vm
+      decide ~merge_ratio:config.merge_ratio ~t0_mean:t0.summary.Sim.Stats.mean
+        ~t1_mean:t1.summary.Sim.Stats.mean ~t2_mean:t2.summary.Sim.Stats.mean
     in
     let telemetry = Vmm.Hypervisor.telemetry env.host in
     let verdict_label =

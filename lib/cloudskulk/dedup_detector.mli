@@ -25,6 +25,10 @@ type verdict =
 
 val verdict_to_string : verdict -> string
 
+val verdict_equal : verdict -> verdict -> bool
+(** Structural equality ([Inconclusive] reasons compare with
+    [String.equal]) — use instead of polymorphic compare. *)
+
 type config = {
   file_pages : int;  (** pages of File-A (paper: 100) *)
   mem_params : Memory.Mem_params.t;
@@ -73,3 +77,11 @@ val run : ?config:config -> environment -> (outcome, string) result
 
 val measure_t0 : ?config:config -> environment -> (measurement, string) result
 (** Just the baseline measurement (a file that exists nowhere else). *)
+
+val verdict_for_ratio : outcome -> ratio:float -> verdict
+(** Re-decide a recorded outcome under a different [merge_ratio]
+    threshold, from the t0/t1/t2 mean write times alone. With
+    [ratio = config.merge_ratio] this reproduces [outcome.verdict]
+    exactly — the decision rule is shared. Used by the [slo]
+    experiment's ROC sweep to score thresholds post hoc without
+    re-running the protocol. *)

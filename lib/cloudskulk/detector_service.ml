@@ -2,15 +2,28 @@ type policy = {
   sweep_every : Sim.Time.t;
   probe_pages : int;
   dedup_every_n_sweeps : int;
+  probe_jitter : float;
+  probe_budget : int;
+  event_log_capacity : int;
 }
 
 let default_policy =
-  { sweep_every = Sim.Time.minutes 30.; probe_pages = 8; dedup_every_n_sweeps = 4 }
+  {
+    sweep_every = Sim.Time.minutes 30.;
+    probe_pages = 8;
+    dedup_every_n_sweeps = 4;
+    probe_jitter = 0.2;
+    probe_budget = max_int;
+    event_log_capacity = 1024;
+  }
 
 type tenant_state = {
   tenant : string;
   last_verdict : Dedup_detector.verdict option;
   sweeps_since_dedup : int;
+  probes : int;
+  registered_at : Sim.Time.t;
+  first_detected_at : Sim.Time.t option;
 }
 
 type event =
@@ -22,6 +35,7 @@ type event =
       after : Dedup_detector.verdict;
     }
   | Probe_failed of { sweep : int; tenant : string; reason : string }
+  | Budget_exhausted of { sweep : int; tenant : string }
 
 let event_to_string = function
   | Audit_alarm { sweep; findings } ->
@@ -36,68 +50,279 @@ let event_to_string = function
       (Dedup_detector.verdict_to_string after)
   | Probe_failed { sweep; tenant; reason } ->
     Printf.sprintf "[sweep %d] %s: probe failed: %s" sweep tenant reason
+  | Budget_exhausted { sweep; tenant } ->
+    Printf.sprintf "[sweep %d] %s: probe deferred: scan-window budget exhausted" sweep
+      tenant
+
+(* Bounded event log: a ring over the policy's capacity. The operator's
+   alerting pipeline consumes events as they are returned from
+   [sweep_now] / recorded into telemetry; the retained log is a
+   diagnostic tail, and overflow is accounted, not silent. *)
+type ring = {
+  slots : event option array;
+  mutable next : int;  (* next write position *)
+  mutable len : int;
+  mutable dropped : int;
+}
+
+let ring_create capacity = { slots = Array.make (max 1 capacity) None; next = 0; len = 0; dropped = 0 }
+
+let ring_push r ev =
+  let cap = Array.length r.slots in
+  if r.len = cap then r.dropped <- r.dropped + 1 else r.len <- r.len + 1;
+  r.slots.(r.next) <- Some ev;
+  r.next <- (r.next + 1) mod cap
+
+let ring_to_list r =
+  let cap = Array.length r.slots in
+  let start = (r.next - r.len + cap) mod cap in
+  List.init r.len (fun i ->
+      match r.slots.((start + i) mod cap) with
+      | Some ev -> ev
+      | None -> assert false)
 
 type registered = {
   mutable env : unit -> Dedup_detector.environment;
   mutable last_verdict : Dedup_detector.verdict option;
   mutable sweeps_since_dedup : int;
+  mutable probes : int;
+  mutable deferred : bool;  (* a probe was pushed past a budget window *)
+  mutable probing : bool;
+      (* a probe is in flight: its ksmd wait runs the engine re-entrantly,
+         so audit ticks (and their alarm pulls) can fire mid-probe; the
+         guard stops those from stacking a second probe of the same
+         tenant inside the first, which would never converge *)
+  mutable handle : Sim.Engine.event_handle option;  (* pending monitor probe *)
+  registered_at : Sim.Time.t;
+  mutable first_detected_at : Sim.Time.t option;
 }
 
 type t = {
   ctx : Sim.Ctx.t;
   host : Vmm.Hypervisor.t;
   policy : policy;
+  rng : Sim.Rng.t;  (* service's own stream, forked from the ctx seed *)
   tenants : (string, registered) Hashtbl.t;
-  mutable tenant_order : string list;
+  mutable tenant_order_rev : string list;  (* registration order, newest first *)
   mutable sweeps : int;
-  mutable event_log : event list;  (* newest first *)
+  log : ring;
+  mutable sweep_acc : event list option;  (* events of an in-flight sweep_now *)
   mutable active : bool;
+  mutable monitoring : bool;
+  mutable window_start : Sim.Time.t;
+  mutable probes_in_window : int;
+  mutable budget_deferrals : int;
+  (* telemetry handles; physically [None] when the host has no sink *)
+  m_probe_failures : Sim.Telemetry.counter;
+  m_budget : Sim.Telemetry.counter;
+  m_dropped : Sim.Telemetry.counter;
+  m_tenants : Sim.Telemetry.gauge;
+  m_probe_latency : Sim.Telemetry.summary;
+  m_ttd : Sim.Telemetry.summary;
 }
 
 let create ?(policy = default_policy) ctx host =
+  let tel = Vmm.Hypervisor.telemetry host in
   {
     ctx;
     host;
     policy;
+    rng = Sim.Ctx.fork_rng ctx;
     tenants = Hashtbl.create 8;
-    tenant_order = [];
+    tenant_order_rev = [];
     sweeps = 0;
-    event_log = [];
+    log = ring_create policy.event_log_capacity;
+    sweep_acc = None;
     active = false;
+    monitoring = false;
+    window_start = Sim.Ctx.now ctx;
+    probes_in_window = 0;
+    budget_deferrals = 0;
+    m_probe_failures =
+      Sim.Telemetry.counter tel ~component:"detector" "probe_failures_total";
+    m_budget = Sim.Telemetry.counter tel ~component:"detector" "budget_exhausted_total";
+    m_dropped = Sim.Telemetry.counter tel ~component:"detector" "events_dropped_total";
+    m_tenants = Sim.Telemetry.gauge tel ~component:"detector" "tenants";
+    m_probe_latency = Sim.Telemetry.summary tel ~component:"detector" "probe_latency_ns";
+    m_ttd = Sim.Telemetry.summary tel ~component:"detector" "time_to_detect_ns";
   }
+
+let tenant_order t = List.rev t.tenant_order_rev
+
+let emit t ev =
+  let dropped_before = t.log.dropped in
+  ring_push t.log ev;
+  if t.log.dropped > dropped_before then Sim.Telemetry.incr t.m_dropped;
+  match t.sweep_acc with
+  | Some evs -> t.sweep_acc <- Some (ev :: evs)
+  | None -> ()
+
+let verdict_label = function
+  | Dedup_detector.Nested_vm_detected -> "nested_vm_detected"
+  | Dedup_detector.No_nested_vm -> "no_nested_vm"
+  | Dedup_detector.Inconclusive _ -> "inconclusive"
+
+let interval t =
+  Sim.Time.mul t.policy.sweep_every (float_of_int (max 1 t.policy.dedup_every_n_sweeps))
+
+(* Next-probe delay for the continuous monitor: the rotation interval
+   +/- the policy's jitter fraction, drawn from the service's own RNG
+   stream so tenant probes drift apart instead of thundering in
+   lockstep. *)
+let jittered_interval t =
+  let j = t.policy.probe_jitter in
+  if j <= 0. then interval t
+  else
+    let u = Sim.Rng.float t.rng 1.0 in
+    Sim.Time.mul (interval t) (1. +. (j *. ((2. *. u) -. 1.)))
+
+let roll_window t =
+  let now = Sim.Ctx.now t.ctx in
+  while Sim.Time.( <= ) (Sim.Time.add t.window_start t.policy.sweep_every) now do
+    t.window_start <- Sim.Time.add t.window_start t.policy.sweep_every;
+    t.probes_in_window <- 0
+  done
+
+let budget_left t = t.probes_in_window < t.policy.probe_budget
+
+let defer t ~sweep name (r : registered) =
+  r.deferred <- true;
+  t.budget_deferrals <- t.budget_deferrals + 1;
+  Sim.Telemetry.incr t.m_budget;
+  emit t (Budget_exhausted { sweep; tenant = name })
+
+let probe_tenant t ~sweep name (r : registered) =
+  let started = Sim.Ctx.now t.ctx in
+  let config =
+    { Dedup_detector.default_config with Dedup_detector.file_pages = t.policy.probe_pages }
+  in
+  r.deferred <- false;
+  r.probing <- true;
+  let outcome =
+    Fun.protect
+      ~finally:(fun () -> r.probing <- false)
+      (fun () -> Dedup_detector.run ~config (r.env ()))
+  in
+  match outcome with
+  | Error reason ->
+    emit t (Probe_failed { sweep; tenant = name; reason });
+    Sim.Telemetry.incr t.m_probe_failures;
+    r.sweeps_since_dedup <- 0
+  | Ok outcome ->
+    let now = Sim.Ctx.now t.ctx in
+    let after = outcome.Dedup_detector.verdict in
+    r.probes <- r.probes + 1;
+    Sim.Telemetry.record t.m_probe_latency
+      (Int64.to_float (Sim.Time.to_ns (Sim.Time.diff now started)));
+    Sim.Telemetry.incr
+      (Sim.Telemetry.counter
+         (Vmm.Hypervisor.telemetry t.host)
+         ~labels:[ ("verdict", verdict_label after) ]
+         ~component:"detector" "probes_total");
+    let changed =
+      match r.last_verdict with
+      | None -> true
+      | Some before -> not (Dedup_detector.verdict_equal before after)
+    in
+    if changed then
+      emit t (Verdict_flip { sweep; tenant = name; before = r.last_verdict; after });
+    r.last_verdict <- Some after;
+    r.sweeps_since_dedup <- 0;
+    (match after with
+    | Dedup_detector.Nested_vm_detected when Option.is_none r.first_detected_at ->
+      r.first_detected_at <- Some now;
+      Sim.Telemetry.record t.m_ttd
+        (Int64.to_float (Sim.Time.to_ns (Sim.Time.diff now r.registered_at)))
+    | _ -> ())
+
+(* --- continuous monitor scheduling ------------------------------------ *)
+
+let cancel_pending t (r : registered) =
+  match r.handle with
+  | None -> ()
+  | Some h ->
+    Sim.Engine.cancel (Sim.Ctx.engine t.ctx) h;
+    r.handle <- None
+
+let rec schedule_probe t name delay =
+  match Hashtbl.find_opt t.tenants name with
+  | None -> ()
+  | Some r ->
+    cancel_pending t r;
+    r.handle <-
+      Some (Sim.Engine.schedule_after (Sim.Ctx.engine t.ctx) delay (fun () -> probe_tick t name))
+
+and probe_tick t name =
+  match Hashtbl.find_opt t.tenants name with
+  | None -> ()
+  | Some r ->
+    r.handle <- None;
+    (* [r.probing]: this tick fired inside the tenant's own in-flight
+       probe (an alarm pulled it to now mid-wait); the running probe
+       already satisfies it and will schedule the next one *)
+    if t.active && t.monitoring && not r.probing then begin
+      roll_window t;
+      if budget_left t then begin
+        t.probes_in_window <- t.probes_in_window + 1;
+        probe_tenant t ~sweep:t.sweeps name r;
+        schedule_probe t name (jittered_interval t)
+      end
+      else begin
+        defer t ~sweep:t.sweeps name r;
+        (* retry shortly after the next scan window opens, with a small
+           jittered pad so deferred tenants do not re-collide *)
+        let until_next =
+          Sim.Time.diff (Sim.Time.add t.window_start t.policy.sweep_every) (Sim.Ctx.now t.ctx)
+        in
+        let pad =
+          Sim.Time.mul t.policy.sweep_every (0.05 *. Sim.Rng.float t.rng 1.0)
+        in
+        schedule_probe t name
+          (Sim.Time.add (Sim.Time.max until_next (Sim.Time.ns 1)) pad)
+      end
+    end
+
+(* --- registration ----------------------------------------------------- *)
 
 let register_tenant t ~name ~env =
   match Hashtbl.find_opt t.tenants name with
   | Some r -> r.env <- env
   | None ->
-    Hashtbl.replace t.tenants name { env; last_verdict = None; sweeps_since_dedup = 0 };
-    t.tenant_order <- t.tenant_order @ [ name ]
+    Hashtbl.replace t.tenants name
+      {
+        env;
+        last_verdict = None;
+        sweeps_since_dedup = 0;
+        probes = 0;
+        deferred = false;
+        probing = false;
+        handle = None;
+        registered_at = Sim.Ctx.now t.ctx;
+        first_detected_at = None;
+      };
+    t.tenant_order_rev <- name :: t.tenant_order_rev;
+    Sim.Telemetry.set t.m_tenants (float_of_int (Hashtbl.length t.tenants));
+    if t.active && t.monitoring then
+      (* spread the first probe uniformly over one rotation interval *)
+      schedule_probe t name (Sim.Time.mul (interval t) (Sim.Rng.float t.rng 1.0))
 
 let unregister_tenant t ~name =
+  (match Hashtbl.find_opt t.tenants name with
+  | Some r -> cancel_pending t r
+  | None -> ());
   Hashtbl.remove t.tenants name;
-  t.tenant_order <- List.filter (fun n -> n <> name) t.tenant_order
+  t.tenant_order_rev <- List.filter (fun n -> not (String.equal n name)) t.tenant_order_rev;
+  Sim.Telemetry.set t.m_tenants (float_of_int (Hashtbl.length t.tenants))
 
-let emit t ev = t.event_log <- ev :: t.event_log
-
-let probe_tenant t ~sweep name (r : registered) =
-  let config =
-    { Dedup_detector.default_config with Dedup_detector.file_pages = t.policy.probe_pages }
-  in
-  match Dedup_detector.run ~config (r.env ()) with
-  | Error reason ->
-    emit t (Probe_failed { sweep; tenant = name; reason });
-    r.sweeps_since_dedup <- 0
-  | Ok outcome ->
-    let after = outcome.Dedup_detector.verdict in
-    if r.last_verdict <> Some after then
-      emit t (Verdict_flip { sweep; tenant = name; before = r.last_verdict; after });
-    r.last_verdict <- Some after;
-    r.sweeps_since_dedup <- 0
+(* --- batch sweeps (legacy [start] mode and [sweep_now]) ---------------- *)
 
 let sweep_now t =
   t.sweeps <- t.sweeps + 1;
   let sweep = t.sweeps in
-  let events_before = List.length t.event_log in
+  (* each synchronous sweep is its own scan window *)
+  t.window_start <- Sim.Ctx.now t.ctx;
+  t.probes_in_window <- 0;
+  t.sweep_acc <- Some [];
   let findings = Install_auditor.audit t.host in
   let alarmed = Install_auditor.is_alarming findings in
   if alarmed then emit t (Audit_alarm { sweep; findings });
@@ -107,31 +332,96 @@ let sweep_now t =
       | None -> ()
       | Some r ->
         let due =
-          r.last_verdict = None || r.sweeps_since_dedup + 1 >= t.policy.dedup_every_n_sweeps
+          Option.is_none r.last_verdict
+          || r.sweeps_since_dedup + 1 >= t.policy.dedup_every_n_sweeps
         in
-        if alarmed || due then probe_tenant t ~sweep name r
+        if (alarmed || due || r.deferred) && not r.probing then begin
+          if budget_left t then begin
+            t.probes_in_window <- t.probes_in_window + 1;
+            probe_tenant t ~sweep name r
+          end
+          else defer t ~sweep name r
+        end
         else r.sweeps_since_dedup <- r.sweeps_since_dedup + 1)
-    t.tenant_order;
-  let new_count = List.length t.event_log - events_before in
-  List.filteri (fun i _ -> i < new_count) t.event_log |> List.rev
+    (tenant_order t);
+  let events =
+    match t.sweep_acc with Some evs -> List.rev evs | None -> []
+  in
+  t.sweep_acc <- None;
+  events
 
 let start t =
   if not t.active then begin
     t.active <- true;
+    t.monitoring <- false;
     Sim.Engine.periodic (Sim.Ctx.engine t.ctx) ~every:t.policy.sweep_every (fun () ->
         if t.active then ignore (sweep_now t);
         t.active)
   end
 
-let stop t = t.active <- false
+(* Continuous SOC mode: the cheap audit keeps its fixed cadence (it is
+   the scan-window clock), while each tenant's expensive dedup probe
+   self-schedules on a jittered rotation interval so probes spread over
+   the window instead of arriving as a thundering herd. *)
+let audit_tick t =
+  t.sweeps <- t.sweeps + 1;
+  roll_window t;
+  let sweep = t.sweeps in
+  let findings = Install_auditor.audit t.host in
+  if Install_auditor.is_alarming findings then begin
+    emit t (Audit_alarm { sweep; findings });
+    (* alarm: pull every tenant's next probe forward to now; the budget
+       still applies, so an alarm cannot stampede the window *)
+    List.iter (fun name -> schedule_probe t name (Sim.Time.ns 0)) (tenant_order t)
+  end
+
+let start_monitor t =
+  if not t.active then begin
+    t.active <- true;
+    t.monitoring <- true;
+    t.window_start <- Sim.Ctx.now t.ctx;
+    t.probes_in_window <- 0;
+    List.iter
+      (fun name -> schedule_probe t name (Sim.Time.mul (interval t) (Sim.Rng.float t.rng 1.0)))
+      (tenant_order t);
+    Sim.Engine.periodic (Sim.Ctx.engine t.ctx) ~every:t.policy.sweep_every (fun () ->
+        if t.active then audit_tick t;
+        t.active)
+  end
+
+let stop t =
+  t.active <- false;
+  t.monitoring <- false;
+  List.iter
+    (fun name ->
+      match Hashtbl.find_opt t.tenants name with
+      | Some r -> cancel_pending t r
+      | None -> ())
+    (tenant_order t)
+
 let sweeps_run t = t.sweeps
-let events t = List.rev t.event_log
+let events t = ring_to_list t.log
+let events_dropped t = t.log.dropped
+let budget_deferrals t = t.budget_deferrals
 
 let tenant_state t name =
   Option.map
     (fun (r : registered) ->
-      { tenant = name; last_verdict = r.last_verdict; sweeps_since_dedup = r.sweeps_since_dedup })
+      {
+        tenant = name;
+        last_verdict = r.last_verdict;
+        sweeps_since_dedup = r.sweeps_since_dedup;
+        probes = r.probes;
+        registered_at = r.registered_at;
+        first_detected_at = r.first_detected_at;
+      })
     (Hashtbl.find_opt t.tenants name)
+
+let time_to_detect t name =
+  match Hashtbl.find_opt t.tenants name with
+  | Some { first_detected_at = Some at; registered_at; _ } ->
+    Some (Sim.Time.diff at registered_at)
+  | Some _ | None -> None
 
 let compromised_tenants t =
   List.filter
@@ -139,4 +429,4 @@ let compromised_tenants t =
       match Hashtbl.find_opt t.tenants name with
       | Some { last_verdict = Some Dedup_detector.Nested_vm_detected; _ } -> true
       | Some _ | None -> false)
-    t.tenant_order
+    (tenant_order t)

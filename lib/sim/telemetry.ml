@@ -20,7 +20,12 @@ type hist = {
   mutable total : int;
 }
 
-type kind = Counter of cell | Gauge of cell | Histogram of hist
+type summ = {
+  sk : Stats.Sketch.t;  (* mergeable digest of every recorded value *)
+  quantiles : float array;  (* strictly ascending, each in (0,1) *)
+}
+
+type kind = Counter of cell | Gauge of cell | Histogram of hist | Summary of summ
 
 type entry = {
   base : string;
@@ -46,6 +51,7 @@ type t = {
 type counter = cell option
 type gauge = cell option
 type histogram = hist option
+type summary = summ option
 
 let create ?(span_capacity = 65536) () =
   {
@@ -122,6 +128,7 @@ let kind_name = function
   | Counter _ -> "counter"
   | Gauge _ -> "gauge"
   | Histogram _ -> "histogram"
+  | Summary _ -> "summary"
 
 let mismatch ~component name kind =
   invalid_arg
@@ -164,6 +171,28 @@ let histogram sink ?labels ?(buckets = default_buckets) ~component name =
     | Histogram h -> Some h
     | k -> mismatch ~component name k)
 
+let default_quantiles = [ 0.5; 0.9; 0.99 ]
+
+let summary sink ?labels ?(quantiles = default_quantiles) ~component name =
+  match sink with
+  | None -> None
+  | Some t ->
+    let mk () =
+      let qs = Array.of_list quantiles in
+      if Array.length qs = 0 then invalid_arg "Telemetry.summary: empty quantile list";
+      Array.iteri
+        (fun i q ->
+          if q <= 0. || q >= 1. then
+            invalid_arg "Telemetry.summary: quantiles must lie in (0,1)";
+          if i > 0 && q <= qs.(i - 1) then
+            invalid_arg "Telemetry.summary: quantiles must be strictly ascending")
+        qs;
+      Summary { sk = Stats.Sketch.create (); quantiles = qs }
+    in
+    (match register t ?labels ~component name mk with
+    | Summary s -> Some s
+    | k -> mismatch ~component name k)
+
 let incr = function None -> () | Some c -> c.v <- c.v +. 1.
 
 let add c n =
@@ -181,6 +210,7 @@ let addf c x =
     c.v <- c.v +. x
 
 let set g x = match g with None -> () | Some g -> g.v <- x
+let record s x = match s with None -> () | Some s -> Stats.Sketch.add s.sk x
 
 let observe h x =
   match h with
@@ -221,11 +251,21 @@ let spans_dropped t = t.spans_dropped
 let value t key =
   match Hashtbl.find_opt t.series key with
   | Some { kind = Counter c; _ } | Some { kind = Gauge c; _ } -> Some c.v
-  | Some { kind = Histogram _; _ } | None -> None
+  | Some _ | None -> None
 
 let histogram_count t key =
   match Hashtbl.find_opt t.series key with
   | Some { kind = Histogram h; _ } -> Some h.total
+  | Some _ | None -> None
+
+let summary_count t key =
+  match Hashtbl.find_opt t.series key with
+  | Some { kind = Summary s; _ } -> Some (Stats.Sketch.count s.sk)
+  | Some _ | None -> None
+
+let summary_quantile t key q =
+  match Hashtbl.find_opt t.series key with
+  | Some { kind = Summary s; _ } -> Some (Stats.Sketch.quantile s.sk q)
   | Some _ | None -> None
 
 let fold_series t ~init ~f =
@@ -237,7 +277,8 @@ let fold_series t ~init ~f =
     (fun acc (key, e) ->
       match e.kind with
       | Counter c | Gauge c -> f acc key c.v
-      | Histogram h -> f acc key (float_of_int h.total))
+      | Histogram h -> f acc key (float_of_int h.total)
+      | Summary s -> f acc key (float_of_int (Stats.Sketch.count s.sk)))
     init entries
 
 let sorted_entries t =
@@ -251,6 +292,7 @@ let copy_kind = function
   | Histogram h ->
     Histogram
       { bounds = h.bounds; counts = Array.copy h.counts; sum = h.sum; total = h.total }
+  | Summary s -> Summary { sk = Stats.Sketch.copy s.sk; quantiles = s.quantiles }
 
 let merge_into ~into ?(span_fields = []) child =
   List.iter
@@ -268,6 +310,11 @@ let merge_into ~into ?(span_fields = []) child =
           Array.iteri (fun i n -> a.counts.(i) <- a.counts.(i) + n) b.counts;
           a.sum <- a.sum +. b.sum;
           a.total <- a.total + b.total
+        | Summary a, Summary b ->
+          if a.quantiles <> b.quantiles then
+            invalid_arg
+              (Printf.sprintf "Telemetry.merge_into: quantile sets differ for %s" key);
+          Stats.Sketch.merge_into ~into:a.sk b.sk
         | _ ->
           invalid_arg (Printf.sprintf "Telemetry.merge_into: kind mismatch for %s" key)))
     (sorted_entries child);
@@ -308,7 +355,20 @@ let pp_prometheus ppf t =
         Format.fprintf ppf "%s %s@\n"
           (render_series (e.base ^ "_sum") e.labels)
           (fmt_value h.sum);
-        Format.fprintf ppf "%s %d@\n" (render_series (e.base ^ "_count") e.labels) h.total)
+        Format.fprintf ppf "%s %d@\n" (render_series (e.base ^ "_count") e.labels) h.total
+      | Summary s ->
+        Array.iter
+          (fun q ->
+            Format.fprintf ppf "%s %s@\n"
+              (render_series e.base (e.labels @ [ ("quantile", fmt_value q) ]))
+              (fmt_value (Stats.Sketch.quantile s.sk q)))
+          s.quantiles;
+        Format.fprintf ppf "%s %s@\n"
+          (render_series (e.base ^ "_sum") e.labels)
+          (fmt_value (Stats.Sketch.sum s.sk));
+        Format.fprintf ppf "%s %d@\n"
+          (render_series (e.base ^ "_count") e.labels)
+          (Stats.Sketch.count s.sk))
     (sorted_entries t)
 
 let prometheus_string t = Format.asprintf "%a" pp_prometheus t
@@ -345,6 +405,28 @@ let pp_jsonl ppf t =
         Format.pp_print_char ppf '}'
       end;
       Format.fprintf ppf "}@\n")
-    t.spans
+    t.spans;
+  (* Summary series follow the spans, one object per series in sorted
+     order; an empty summary has no meaningful quantiles (and [nan] is
+     not valid JSON), so its [quantiles] object is left empty. *)
+  List.iter
+    (fun (key, e) ->
+      match e.kind with
+      | Counter _ | Gauge _ | Histogram _ -> ()
+      | Summary s ->
+        let n = Stats.Sketch.count s.sk in
+        Format.fprintf ppf "{\"summary\":\"%s\",\"count\":%d,\"sum\":%s,\"quantiles\":{"
+          (json_escape key) n
+          (fmt_value (Stats.Sketch.sum s.sk));
+        if n > 0 then
+          Array.iteri
+            (fun i q ->
+              Format.fprintf ppf "%s\"%s\":%s"
+                (if i > 0 then "," else "")
+                (fmt_value q)
+                (fmt_value (Stats.Sketch.quantile s.sk q)))
+            s.quantiles;
+        Format.fprintf ppf "}}@\n")
+    (sorted_entries t)
 
 let jsonl_string t = Format.asprintf "%a" pp_jsonl t

@@ -53,6 +53,7 @@ val enabled : t option -> bool
 type counter
 type gauge
 type histogram
+type summary
 
 val counter : t option -> ?labels:labels -> component:string -> string -> counter
 (** [counter sink ~component name] registers (or re-opens) the monotonic
@@ -77,6 +78,22 @@ val histogram :
     bounds matched to their unit. *)
 
 val observe : histogram -> float -> unit
+
+val summary :
+  t option -> ?labels:labels -> ?quantiles:float list -> component:string -> string ->
+  summary
+(** [summary sink ~component name] registers (or re-opens) a quantile
+    summary series backed by a {!Stats.Sketch}: storage stays bounded
+    however many values are recorded, and sinks merged with
+    {!merge_into} combine their sketches in O(centroids). [quantiles]
+    (default [[0.5; 0.9; 0.99]]) are the export points, each strictly
+    inside (0,1) and ascending; estimates carry the sketch's documented
+    rank error. Exported as [name{quantile="q"}] lines plus
+    [_sum]/[_count] in Prometheus text, and as one JSON object per
+    series after the spans in JSONL. *)
+
+val record : summary -> float -> unit
+(** Record one observation into the summary's sketch. *)
 
 (** {1 Spans} *)
 
@@ -108,6 +125,14 @@ val value : t -> string -> float option
 val histogram_count : t -> string -> int option
 (** Total observation count of the histogram registered under [key]. *)
 
+val summary_count : t -> string -> int option
+(** Observation count of the summary registered under [key]. *)
+
+val summary_quantile : t -> string -> float -> float option
+(** [summary_quantile t key q] is the sketch's estimate for [q] in
+    [0,1]; [None] for absent or non-summary series, [nan] when the
+    summary is empty. *)
+
 val fold_series : t -> init:'a -> f:('a -> string -> float -> 'a) -> 'a
 (** Fold over every registered series in export (sorted-key) order:
     counters and gauges contribute their current value, histograms their
@@ -120,10 +145,11 @@ val fold_series : t -> init:'a -> f:('a -> string -> float -> 'a) -> 'a
 val merge_into : into:t -> ?span_fields:labels -> t -> unit
 (** [merge_into ~into child] folds [child] into [into]: counters add,
     gauges take the child's value, histograms add bucket-wise (raising
-    [Invalid_argument] if bucket bounds differ), and spans are appended
-    in order with [span_fields] appended to each span's fields (used to
-    tag spans with their trial index). Deterministic given a fixed merge
-    order. *)
+    [Invalid_argument] if bucket bounds differ), summaries merge their
+    sketches (raising [Invalid_argument] if the quantile sets differ),
+    and spans are appended in order with [span_fields] appended to each
+    span's fields (used to tag spans with their trial index).
+    Deterministic given a fixed merge order. *)
 
 (** {1 Exporters} *)
 
@@ -136,6 +162,9 @@ val prometheus_string : t -> string
 
 val pp_jsonl : Format.formatter -> t -> unit
 (** One JSON object per span, in recording order:
-    [{"component":...,"name":...,"start_ns":...,"end_ns":...,"fields":{...}}]. *)
+    [{"component":...,"name":...,"start_ns":...,"end_ns":...,"fields":{...}}],
+    followed by one object per summary series in sorted order:
+    [{"summary":...,"count":...,"sum":...,"quantiles":{...}}] (the
+    [quantiles] object is empty for an empty summary). *)
 
 val jsonl_string : t -> string

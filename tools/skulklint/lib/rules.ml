@@ -33,9 +33,12 @@
                       point) is deliberately exempt.
 
    telemetry-discipline —
-     counter-name     counters are named [*_total]; gauges/histograms
-                      are not (Prometheus conventions, and the exporters
-                      sort by name).
+     counter-name     counters are named [*_total]; gauges, histograms
+                      and summaries are not (Prometheus conventions, and
+                      the exporters sort by name). Histograms and
+                      summaries also avoid the reserved exporter
+                      suffixes [_sum]/[_count]/[_bucket], which would
+                      collide with their own expansion.
      counter-monotonic [Telemetry.add]/[addf] with a negative constant:
                       counters only go up.
      sink-discipline  [Telemetry.create] inside lib/ (sinks are created
@@ -83,7 +86,9 @@ let catalogue =
       summary = "substrates take a Sim.Ctx, not their own ?telemetry/?faults optionals";
       applies = (fun p -> lib_only p && not (under "lib/sim/" p)) };
     { name = "counter-name"; family = "telemetry";
-      summary = "counters end in _total; gauges/histograms do not"; applies = everywhere };
+      summary =
+        "counters end in _total; other kinds do not and avoid reserved exporter suffixes";
+      applies = everywhere };
     { name = "counter-monotonic"; family = "telemetry";
       summary = "counters only increment"; applies = everywhere };
     { name = "sink-discipline"; family = "telemetry";
@@ -265,7 +270,8 @@ let check_apply ctx e =
          epsilon)"
     | _ -> ());
     match telemetry_fn (norm_ident id.txt) with
-    | Some ("counter" as kind) | Some ("gauge" as kind) | Some ("histogram" as kind) -> (
+    | Some ("counter" as kind) | Some ("gauge" as kind) | Some ("histogram" as kind)
+    | Some ("summary" as kind) -> (
       match last_positional_string args with
       | Some name ->
         if kind = "counter" && not (ends_with ~suffix:"_total" name) then
@@ -277,6 +283,15 @@ let check_apply ctx e =
         else if kind <> "counter" && ends_with ~suffix:"_total" name then
           emit ctx ~loc "counter-name"
             (Printf.sprintf "%s %S must not use the counter suffix _total" kind name)
+        else if
+          (kind = "summary" || kind = "histogram")
+          && List.exists (fun s -> ends_with ~suffix:s name) [ "_sum"; "_count"; "_bucket" ]
+        then
+          emit ctx ~loc "counter-name"
+            (Printf.sprintf
+               "%s %S ends in a reserved exporter suffix (_sum/_count/_bucket): the exposition \
+                format appends those to the series itself"
+               kind name)
       | None -> ())
     | Some ("add" | "addf") ->
       List.iter

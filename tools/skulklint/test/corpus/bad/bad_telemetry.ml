@@ -1,7 +1,10 @@
-(* corpus: telemetry discipline — five findings (counter name, gauge
-   name, negative delta, sink creation in lib/, stray merge). *)
+(* corpus: telemetry discipline — seven findings (counter name, gauge
+   name, summary named like a counter, summary on a reserved exporter
+   suffix, negative delta, sink creation in lib/, stray merge). *)
 let c telemetry = Sim.Telemetry.counter telemetry ~component:"x" "bytes"
 let g telemetry = Sim.Telemetry.gauge telemetry ~component:"x" "vms_total"
+let s telemetry = Sim.Telemetry.summary telemetry ~component:"x" "lat_total"
+let s2 telemetry = Sim.Telemetry.summary telemetry ~component:"x" "lat_sum"
 let dec c = Sim.Telemetry.add c (-1)
 let fresh () = Sim.Telemetry.create ()
 let merge ~into child = Sim.Telemetry.merge_into ~into child

@@ -1,6 +1,7 @@
 (* corpus: telemetry discipline followed — zero findings. *)
 let c telemetry = Sim.Telemetry.counter telemetry ~component:"x" "bytes_total"
 let g telemetry = Sim.Telemetry.gauge telemetry ~component:"x" "vms"
+let s telemetry = Sim.Telemetry.summary telemetry ~component:"x" "lat_ns"
 let bump c = Sim.Telemetry.add c 4096
 
 let timed telemetry engine f =
