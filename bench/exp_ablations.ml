@@ -104,6 +104,7 @@ let abl_sync ~jobs ctx =
      unsynchronised baseline; the two scenarios are independent trials
      replaying the same seed *)
   let verdicts =
+    (* skulkscope: allow rng-escape — seed_of only reads the immutable seed field: both trials deliberately replay the same seed *)
     Sim.Parallel.map_ctx ~jobs ~seed_of:(fun _ -> Sim.Ctx.seed ctx) ~ctx ~trials:2
       (fun i cctx ->
         let sc = Cloudskulk.Scenarios.infected ~attacker_syncs_changes:(i = 0) cctx in
@@ -170,6 +171,7 @@ let abl_density ~jobs ctx =
     ]
   in
   let rows =
+    (* skulkscope: allow rng-escape — seed_of only reads the immutable seed field: every tenant-count row replays the same base seed *)
     Sim.Parallel.map_ctx ~jobs ~seed_of:(fun _ -> Sim.Ctx.seed ctx) ~ctx
       ~trials:tenant_counts (fun i cctx -> trial cctx (i + 1))
   in

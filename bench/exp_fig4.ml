@@ -59,10 +59,12 @@ let run { Harness.Experiment.trials = runs; jobs; ctx } =
     Array.of_list
       (Sim.Parallel.map_ctx ~jobs
          ~seed_of:(fun i ->
+           (* skulkscope: allow escape-capture — trials is a read-only descriptor array; each worker reads only its own index *)
            let _, _, seed = trials.(i) in
            seed)
          ~ctx ~trials:(Array.length trials)
          (fun i cctx ->
+           (* skulkscope: allow escape-capture — trials is a read-only descriptor array; each worker reads only its own index *)
            let wl, nested, _ = trials.(i) in
            Sim.Time.to_s (migrate ~nested ~workload:wl cctx).Migration.Precopy.total_time))
   in

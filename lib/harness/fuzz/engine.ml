@@ -70,6 +70,7 @@ let minimise p ~oracle =
    them in parallel, return them paired with outcomes in order. *)
 let run_batch ~jobs candidates =
   let arr = Array.of_list candidates in
+  (* skulkscope: allow escape-capture — arr is a freshly-built fan-out array the workers only read, one disjoint index each *)
   let outs = Sim.Parallel.map ~jobs (Array.length arr) (fun i -> Exec.run arr.(i)) in
   List.combine candidates outs
 

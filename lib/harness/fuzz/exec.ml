@@ -94,7 +94,7 @@ let exec_world (p : Program.t) ~sink ~emit ~violate ~violated =
         ignore (Sim.Engine.run_for eng (Sim.Time.ms (float_of_int ms)));
         emit (Printf.sprintf "advance:%d" (Coverage.bucket (float_of_int ms)))
       | Program.Monitor i ->
-        let cmd = Program.monitor_commands.(i mod Array.length Program.monitor_commands) in
+        let cmd = Program.monitor_command (i mod Program.monitor_command_count) in
         let tok =
           match
             String.split_on_char ' ' cmd |> List.filter (fun s -> not (String.equal s ""))

@@ -41,8 +41,10 @@ type t = {
    or may not have set up, and garbage the monitor must reject without
    raising. The pool is part of the program format: [Monitor i] encodes
    the index, so entries are append-only across versions. *)
-let monitor_commands =
-  [|
+(* A list, not an array: the pool is read from fuzz workers running in
+   parallel domains, so the representation must be immutable. *)
+let monitor_command_pool =
+  [
     "info status";
     "info mem";
     "info migrate";
@@ -69,7 +71,10 @@ let monitor_commands =
     "   ";
     "info";
     "quit";
-  |]
+  ]
+
+let monitor_command_count = List.length monitor_command_pool
+let monitor_command i = List.nth monitor_command_pool i
 
 let max_actions = 16
 
@@ -175,7 +180,7 @@ let ( let* ) r f = Result.bind r f
 
 let validate_action = function
   | Advance n -> in_range "advance" n 1 max_advance_ms
-  | Monitor i -> in_range "monitor index" i 0 (Array.length monitor_commands - 1)
+  | Monitor i -> in_range "monitor index" i 0 (monitor_command_count - 1)
   | Workload { kind = _; rate; ms } ->
     let* () = in_range "workload rate" rate min_rate max_rate in
     in_range "workload ms" ms min_wl_ms max_wl_ms
@@ -370,7 +375,7 @@ let gen_fault rng =
 let gen_action rng =
   match Sim.Rng.int rng 18 with
   | 0 | 1 | 2 -> Advance (1 + Sim.Rng.int rng 2000)
-  | 3 | 4 | 5 | 6 -> Monitor (Sim.Rng.int rng (Array.length monitor_commands))
+  | 3 | 4 | 5 | 6 -> Monitor (Sim.Rng.int rng monitor_command_count)
   | 7 | 8 ->
     Workload
       {
@@ -436,7 +441,7 @@ let tweak_action rng a =
   let upordown v lo hi = clamp lo hi (if Sim.Rng.bool rng then v * 2 else max lo (v / 2)) in
   match a with
   | Advance n -> Advance (upordown n 1 max_advance_ms)
-  | Monitor _ -> Monitor (Sim.Rng.int rng (Array.length monitor_commands))
+  | Monitor _ -> Monitor (Sim.Rng.int rng monitor_command_count)
   | Workload w ->
     if Sim.Rng.bool rng then Workload { w with rate = upordown w.rate min_rate max_rate }
     else Workload { w with ms = upordown w.ms min_wl_ms max_wl_ms }

@@ -29,7 +29,7 @@ type scenario_spec =
 
 type action =
   | Advance of int  (** run the engine for N virtual milliseconds *)
-  | Monitor of int  (** index into {!monitor_commands} *)
+  | Monitor of int  (** index into the {!monitor_command} pool *)
   | Workload of { kind : workload_choice; rate : int; ms : int }
       (** run a background workload in the customer VM for [ms] *)
   | Ksm_scan of int  (** force N immediate ksmd wakeups *)
@@ -56,9 +56,14 @@ type t = {
   actions : action list;
 }
 
-val monitor_commands : string array
-(** The fixed pool [Monitor i] indexes into: well-formed commands,
-    commands needing state the program may not have, and garbage. *)
+val monitor_command_count : int
+(** Size of the fixed pool [Monitor i] indexes into. *)
+
+val monitor_command : int -> string
+(** The pool entry at an index in [0, monitor_command_count): well-formed
+    commands, commands needing state the program may not have, and
+    garbage. Immutable by construction so fuzz workers in parallel
+    domains can read it freely. *)
 
 val max_actions : int
 (** Upper bound on [actions] length (mutation never exceeds it). *)

@@ -1,0 +1,81 @@
+(* lintmerge — combine per-tool lint reports and gate the build on them.
+
+   Usage:
+     lintmerge -o OUT REPORT...           merge reports into OUT (always exit 0)
+     lintmerge --check [--format F] REPORT...
+                                          print every finding (human or github
+                                          format) and exit 1 if any report
+                                          carries one — the failure step of
+                                          `dune build @lint`. *)
+
+let usage () =
+  prerr_endline
+    "usage: lintmerge -o OUT REPORT...\n\
+     \       lintmerge --check [--format human|github] REPORT...\n\
+     \  -o OUT          write the merged JSON report to OUT ('-' for stdout)\n\
+     \  --check         exit 1 when the reports carry any finding\n\
+     \  --format FMT    finding render format for --check (human|github)";
+  exit 2
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let () =
+  let out = ref None and check = ref false and format = ref Lintkit.Report.Human in
+  let inputs = ref [] in
+  let rec parse_args = function
+    | [] -> ()
+    | "-o" :: f :: rest ->
+      out := Some f;
+      parse_args rest
+    | "--check" :: rest ->
+      check := true;
+      parse_args rest
+    | "--format" :: f :: rest -> (
+      match Lintkit.Report.format_of_string f with
+      | Some fmt ->
+        format := fmt;
+        parse_args rest
+      | None -> usage ())
+    | ("--help" | "-h") :: _ -> usage ()
+    | arg :: _ when String.length arg > 1 && arg.[0] = '-' && arg <> "-" -> usage ()
+    | path :: rest ->
+      inputs := path :: !inputs;
+      parse_args rest
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  let inputs = List.rev !inputs in
+  if inputs = [] || (!out = None && not !check) then usage ();
+  let reports =
+    List.map
+      (fun path ->
+        match Lintkit.Merge.parse_report (read_file path) with
+        | Ok r -> r
+        | Error msg ->
+          Printf.eprintf "lintmerge: %s: %s\n" path msg;
+          exit 2)
+      inputs
+  in
+  let merged = Lintkit.Merge.merge reports in
+  (match !out with
+  | Some "-" -> print_string (Lintkit.Merge.to_json merged)
+  | Some f ->
+    let oc = open_out f in
+    output_string oc (Lintkit.Merge.to_json merged);
+    close_out oc
+  | None -> ());
+  if !check then begin
+    List.iter
+      (fun f -> Format.printf "%a@." (Lintkit.Report.pp !format) f)
+      merged.Lintkit.Merge.findings;
+    Format.printf "lint: %d file(s) scanned by %s, %d finding(s), %d suppressed by allowlist@."
+      merged.Lintkit.Merge.files_scanned
+      (String.concat "+" merged.Lintkit.Merge.tools)
+      (List.length merged.Lintkit.Merge.findings)
+      merged.Lintkit.Merge.suppressed;
+    if merged.Lintkit.Merge.findings <> [] then exit 1
+  end

@@ -1,0 +1,85 @@
+(* Re-load per-tool JSON reports and combine them into the one
+   lint-report.json the @lint alias publishes: findings concatenated and
+   re-sorted, scan counters summed, the "tools" array naming every
+   contributor. *)
+
+type report = {
+  tools : string list;
+  files_scanned : int;
+  suppressed : int;
+  findings : Report.finding list;
+}
+
+let finding_of_json ~default_tool j =
+  let str key = Option.bind (Json.member key j) Json.to_string in
+  let int key = Option.bind (Json.member key j) Json.to_int in
+  match (str "file", int "line", str "rule", str "message") with
+  | Some file, Some line, Some rule, Some message ->
+    Ok
+      {
+        Report.tool = Option.value (str "tool") ~default:default_tool;
+        rule;
+        file;
+        line;
+        col = Option.value (int "col") ~default:0;
+        message;
+      }
+  | _ -> Error "finding is missing one of file/line/rule/message"
+
+let report_of_json j =
+  let int key = Option.bind (Json.member key j) Json.to_int in
+  let tool =
+    match Option.bind (Json.member "tool" j) Json.to_string with
+    | Some t -> t
+    | None -> "unknown"
+  in
+  let tools =
+    match Option.bind (Json.member "tools" j) Json.to_list with
+    | Some l -> List.filter_map Json.to_string l
+    | None -> [ tool ]
+  in
+  match Option.bind (Json.member "findings" j) Json.to_list with
+  | None -> Error "report has no findings array"
+  | Some items ->
+    let rec collect acc = function
+      | [] -> Ok (List.rev acc)
+      | item :: rest -> (
+        match finding_of_json ~default_tool:tool item with
+        | Ok f -> collect (f :: acc) rest
+        | Error _ as e -> e)
+    in
+    Result.map
+      (fun findings ->
+        {
+          tools;
+          files_scanned = Option.value (int "files_scanned") ~default:0;
+          suppressed = Option.value (int "suppressed") ~default:0;
+          findings;
+        })
+      (collect [] items)
+
+let parse_report source =
+  match Json.parse source with
+  | Error msg -> Error ("report is not valid JSON: " ^ msg)
+  | Ok j -> report_of_json j
+
+(* Tool order follows the input order (skulklint first in the @lint
+   rule); duplicates collapse so re-merging a merged report is stable. *)
+let merge reports =
+  let tools =
+    List.fold_left
+      (fun acc r ->
+        List.fold_left (fun acc t -> if List.mem t acc then acc else t :: acc) acc r.tools)
+      [] reports
+    |> List.rev
+  in
+  {
+    tools;
+    files_scanned = List.fold_left (fun n r -> n + r.files_scanned) 0 reports;
+    suppressed = List.fold_left (fun n r -> n + r.suppressed) 0 reports;
+    findings = Report.sort (List.concat_map (fun r -> r.findings) reports);
+  }
+
+let to_json r =
+  Report.to_json ~tools:r.tools ~files_scanned:r.files_scanned ~suppressed:r.suppressed
+    r.findings

@@ -1,0 +1,172 @@
+(* Self-tests for the shared lint plumbing: the JSON reader against the
+   JSON this library itself writes (escapes and all), report merging,
+   the GitHub annotation format, and the allow machinery both linters
+   lean on. *)
+
+open Lintkit
+
+let finding ?(tool = "skulklint") ?(col = 3) ~file ~line ~rule message =
+  { Report.tool; rule; file; line; col; message }
+
+(* ---- JSON: parse what we print ---- *)
+
+let json_tests =
+  [
+    Alcotest.test_case "round-trip through to_json" `Quick (fun () ->
+        let fs =
+          [ finding ~file:"lib/a.ml" ~line:3 ~rule:"wall-clock" "uses \"now\"\n(bad)";
+            finding ~tool:"skulkscope" ~file:"lib/b.ml" ~line:9 ~rule:"rng-escape"
+              "tab\there \\ backslash" ]
+        in
+        let doc =
+          Report.to_json ~tools:[ "skulklint"; "skulkscope" ] ~files_scanned:42
+            ~suppressed:7 fs
+        in
+        match Merge.parse_report doc with
+        | Error msg -> Alcotest.fail msg
+        | Ok r ->
+          Alcotest.(check (list string)) "tools" [ "skulklint"; "skulkscope" ] r.tools;
+          Alcotest.(check int) "files_scanned" 42 r.files_scanned;
+          Alcotest.(check int) "suppressed" 7 r.suppressed;
+          Alcotest.(check int) "count" 2 (List.length r.findings);
+          let f = List.hd r.findings in
+          Alcotest.(check string) "message survives escapes" "uses \"now\"\n(bad)"
+            f.Report.message;
+          Alcotest.(check string) "tool attribution" "skulkscope"
+            (List.nth r.findings 1).Report.tool);
+    Alcotest.test_case "malformed JSON is a clean error" `Quick (fun () ->
+        (match Merge.parse_report "{\"findings\": [" with
+        | Ok _ -> Alcotest.fail "accepted truncated document"
+        | Error _ -> ());
+        match Merge.parse_report "{\"tool\": \"x\"}" with
+        | Ok _ -> Alcotest.fail "accepted report without findings"
+        | Error _ -> ());
+  ]
+
+(* ---- merge ---- *)
+
+let merge_tests =
+  [
+    Alcotest.test_case "merge sums counters and re-sorts findings" `Quick
+      (fun () ->
+        let a =
+          { Merge.tools = [ "skulklint" ]; files_scanned = 10; suppressed = 1;
+            findings = [ finding ~file:"lib/z.ml" ~line:1 ~rule:"r" "m" ] }
+        and b =
+          { Merge.tools = [ "skulkscope" ]; files_scanned = 5; suppressed = 2;
+            findings = [ finding ~tool:"skulkscope" ~file:"lib/a.ml" ~line:8 ~rule:"s" "m" ] }
+        in
+        let m = Merge.merge [ a; b ] in
+        Alcotest.(check (list string)) "tools" [ "skulklint"; "skulkscope" ] m.tools;
+        Alcotest.(check int) "files" 15 m.files_scanned;
+        Alcotest.(check int) "suppressed" 3 m.suppressed;
+        Alcotest.(check (list string)) "sorted by file"
+          [ "lib/a.ml"; "lib/z.ml" ]
+          (List.map (fun (f : Report.finding) -> f.file) m.findings));
+    Alcotest.test_case "re-merging a merged report is stable" `Quick (fun () ->
+        let a =
+          { Merge.tools = [ "skulklint"; "skulkscope" ]; files_scanned = 3;
+            suppressed = 0; findings = [] }
+        in
+        let m = Merge.merge [ a; a ] in
+        Alcotest.(check (list string)) "no duplicate tools"
+          [ "skulklint"; "skulkscope" ] m.tools);
+  ]
+
+(* ---- github format ---- *)
+
+let github_tests =
+  [
+    Alcotest.test_case "annotation shape and escaping" `Quick (fun () ->
+        let f =
+          finding ~file:"lib/a.ml" ~line:4 ~rule:"wall-clock" "50%\nbroken"
+        in
+        Alcotest.(check string) "annotation"
+          "::error file=lib/a.ml,line=4,col=3,title=skulklint wall-clock::50%25%0Abroken"
+          (Format.asprintf "%a" Report.pp_github f));
+    Alcotest.test_case "zero line/col clamp to 1" `Quick (fun () ->
+        let f = finding ~col:0 ~file:"a.ml" ~line:0 ~rule:"r" "m" in
+        let s = Format.asprintf "%a" Report.pp_github f in
+        Alcotest.(check bool) "clamped" true
+          (String.length s > 0
+          && Option.is_some
+               (String.index_opt s '1' |> Option.map (fun _ -> ()))
+          &&
+          let needle = "line=1,col=1" in
+          let rec has i =
+            i + String.length needle <= String.length s
+            && (String.sub s i (String.length needle) = needle || has (i + 1))
+          in
+          has 0));
+  ]
+
+(* ---- allow machinery ---- *)
+
+let allow_tests =
+  [
+    Alcotest.test_case "inline marker: rules, reason, two-line span" `Quick
+      (fun () ->
+        let src =
+          "let a = 1\n\
+           (* skulklint: allow wall-clock, poly-compare \xe2\x80\x94 startup only *)\n\
+           let b = now ()\n\
+           let c = now ()\n"
+        in
+        let allows = Allow.scan_comments ~marker:"skulklint: allow" src in
+        Alcotest.(check int) "one comment" 1 (List.length allows);
+        Alcotest.(check bool) "covers own line" true
+          (Allow.comment_covers allows ~line:2 ~rule:"wall-clock");
+        Alcotest.(check bool) "covers next line, second rule" true
+          (Allow.comment_covers allows ~line:3 ~rule:"poly-compare");
+        Alcotest.(check bool) "not two lines below" false
+          (Allow.comment_covers allows ~line:4 ~rule:"wall-clock");
+        Alcotest.(check bool) "not other rules" false
+          (Allow.comment_covers allows ~line:2 ~rule:"rng-escape");
+        Alcotest.(check (list string)) "used allow produces no meta findings"
+          []
+          (List.map (fun (f : Report.finding) -> f.rule)
+             (Allow.comment_findings ~tool:"skulklint" ~file:"x.ml" allows)));
+    Alcotest.test_case "markers are per-tool" `Quick (fun () ->
+        let src = "(* skulkscope: allow rng-escape \xe2\x80\x94 reason *)\n" in
+        Alcotest.(check int) "skulklint marker does not match" 0
+          (List.length (Allow.scan_comments ~marker:"skulklint: allow" src));
+        Alcotest.(check int) "skulkscope marker matches" 1
+          (List.length (Allow.scan_comments ~marker:"skulkscope: allow" src)));
+    Alcotest.test_case "unused and reasonless allows become findings" `Quick
+      (fun () ->
+        let src =
+          "(* skulklint: allow wall-clock \xe2\x80\x94 reason *)\n\
+           (* skulklint: allow poly-compare *)\n"
+        in
+        let allows = Allow.scan_comments ~marker:"skulklint: allow" src in
+        let metas = Allow.comment_findings ~tool:"skulklint" ~file:"x.ml" allows in
+        Alcotest.(check (list string)) "meta findings"
+          [ "allow-unused"; "allow-syntax" ]
+          (List.map (fun (f : Report.finding) -> f.rule) metas));
+    Alcotest.test_case "allow file: exact, subtree, malformed" `Quick (fun () ->
+        let entries, errors =
+          Allow.parse_allow_file
+            "# comment\n\
+             lib/a.ml wall-clock boot code reads the clock once\n\
+             lib/harness/fuzz/ ctx-minted fuzz mints per-seed worlds\n\
+             lib/broken.ml missing-reason\n"
+        in
+        Alcotest.(check int) "one malformed line" 1 (List.length errors);
+        Alcotest.(check int) "two entries" 2 (List.length entries);
+        let exact = List.nth entries 0 and subtree = List.nth entries 1 in
+        Alcotest.(check bool) "exact path" true
+          (Allow.entry_covers exact ~path:"lib/a.ml" ~rule:"wall-clock");
+        Alcotest.(check bool) "exact path, other rule" false
+          (Allow.entry_covers exact ~path:"lib/a.ml" ~rule:"poly-compare");
+        Alcotest.(check bool) "subtree" true
+          (Allow.entry_covers subtree ~path:"lib/harness/fuzz/exec.ml"
+             ~rule:"ctx-minted");
+        Alcotest.(check bool) "subtree does not cover siblings" false
+          (Allow.entry_covers subtree ~path:"lib/harness/registry.ml"
+             ~rule:"ctx-minted"));
+  ]
+
+let () =
+  Alcotest.run "lintkit"
+    [ ("json", json_tests); ("merge", merge_tests); ("github", github_tests);
+      ("allow", allow_tests) ]

@@ -1,15 +1,17 @@
 (* skulklint — determinism & domain-safety lint over the simulation.
 
-   Usage: skulklint [--allow FILE] [--json FILE] [--rules] PATH...
+   Usage: skulklint [--allow FILE] [--json FILE] [--format FMT] [--rules] PATH...
 
    Exits 1 when any non-allowlisted finding (or a malformed/stale allow)
    survives, 0 on a clean tree. *)
 
 let usage () =
   prerr_endline
-    "usage: skulklint [--allow FILE] [--json FILE] [--rules] PATH...\n\
+    "usage: skulklint [--allow FILE] [--json FILE] [--format FMT] [--rules] PATH...\n\
      \  --allow FILE  checked-in allowlist (default: lint.allow if present)\n\
      \  --json FILE   also write a structured report ('-' for stdout)\n\
+     \  --format FMT  finding output format: human (default) or github\n\
+     \                (GitHub Actions ::error annotations)\n\
      \  --rules       print the rule catalogue and exit";
   exit 2
 
@@ -21,6 +23,7 @@ let print_rules () =
 
 let () =
   let allow_file = ref None and json_out = ref None and roots = ref [] in
+  let format = ref Lintkit.Report.Human in
   let rec parse_args = function
     | [] -> ()
     | "--allow" :: f :: rest ->
@@ -29,6 +32,12 @@ let () =
     | "--json" :: f :: rest ->
       json_out := Some f;
       parse_args rest
+    | "--format" :: f :: rest -> (
+      match Lintkit.Report.format_of_string f with
+      | Some fmt ->
+        format := fmt;
+        parse_args rest
+      | None -> usage ())
     | "--rules" :: _ ->
       print_rules ();
       exit 0
@@ -49,24 +58,22 @@ let () =
     match allow_path with
     | None -> ([], [])
     | Some f ->
-      let entries, errs = Skulklint_core.Allow.parse_allow_file (Skulklint_core.Driver.read_file f) in
+      let entries, errs = Lintkit.Allow.parse_allow_file (Skulklint_core.Driver.read_file f) in
       ( entries,
         List.map
           (fun (line, msg) ->
-            { Skulklint_core.Report.rule = "allow-file-syntax"; file = f; line; col = 0;
-              message = msg })
+            { Lintkit.Report.tool = "skulklint"; rule = "allow-file-syntax"; file = f; line;
+              col = 0; message = msg })
           errs )
   in
   let result = Skulklint_core.Driver.lint_files ~allow_entries (List.rev !roots) in
-  let findings = Skulklint_core.Report.sort (allow_errors @ result.findings) in
+  let findings = Lintkit.Report.sort (allow_errors @ result.findings) in
   (* With --json - the report owns stdout; human output moves to stderr
      so the JSON stays machine-parseable. *)
-  let human = if !json_out = Some "-" then Format.err_formatter else Format.std_formatter in
-  List.iter
-    (fun f -> Format.fprintf human "%a@." Skulklint_core.Report.pp_human f)
-    findings;
+  let out = if !json_out = Some "-" then Format.err_formatter else Format.std_formatter in
+  List.iter (fun f -> Format.fprintf out "%a@." (Lintkit.Report.pp !format) f) findings;
   let json =
-    Skulklint_core.Report.to_json ~files_scanned:result.files_scanned
+    Lintkit.Report.to_json ~tools:[ "skulklint" ] ~files_scanned:result.files_scanned
       ~suppressed:result.suppressed findings
   in
   (match !json_out with
@@ -76,6 +83,6 @@ let () =
     output_string oc json;
     close_out oc
   | None -> ());
-  Format.fprintf human "skulklint: %d file(s), %d finding(s), %d suppressed by allowlist@."
+  Format.fprintf out "skulklint: %d file(s), %d finding(s), %d suppressed by allowlist@."
     result.files_scanned (List.length findings) result.suppressed;
   if findings <> [] then exit 1

@@ -1,7 +1,14 @@
 (* Parse, lint, suppress, report. The pure entry point is
    [lint_source] (used by the self-tests, which hand it corpus text
    under a synthetic path); [lint_files] adds filesystem walking and
-   the allow file, and is what the CLI calls. *)
+   the allow file, and is what the CLI calls. Report and allow
+   machinery live in the shared [Lintkit] library (skulkscope uses the
+   same), under this tool's "skulklint: allow" comment marker. *)
+
+open Lintkit
+
+let tool = "skulklint"
+let allow_marker = tool ^ ": allow"
 
 type result = {
   findings : Report.finding list;  (** surviving, sorted *)
@@ -26,12 +33,12 @@ let parse_structure ~path source =
 (* Lint one compilation unit. [path] is the repo-relative path used for
    path-scoped rules and reports; [allow_entries] come from lint.allow. *)
 let lint_source ?(allow_entries = []) ~path source =
-  let allows = Allow.scan_comments source in
+  let allows = Allow.scan_comments ~marker:allow_marker source in
   let raw =
     match parse_structure ~path source with
     | Ok structure -> Rules.run ~path structure
     | Error msg ->
-      [ { Report.rule = "parse-error"; file = path; line = 1; col = 0; message = msg } ]
+      [ { Report.tool; rule = "parse-error"; file = path; line = 1; col = 0; message = msg } ]
   in
   let surviving, suppressed =
     List.partition
@@ -41,7 +48,7 @@ let lint_source ?(allow_entries = []) ~path source =
           || List.exists (fun e -> Allow.entry_covers e ~path ~rule:f.rule) allow_entries))
       raw
   in
-  let meta = Allow.comment_findings ~file:path allows in
+  let meta = Allow.comment_findings ~tool ~file:path allows in
   (Report.sort (surviving @ meta), List.length suppressed)
 
 (* ---- filesystem walking ---- *)

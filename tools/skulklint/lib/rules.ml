@@ -51,6 +51,7 @@
                       (begin/end split across functions). *)
 
 open Parsetree
+open Lintkit
 
 type rule = {
   name : string;
@@ -120,7 +121,8 @@ let emit ctx ~loc rule message =
   match find_rule rule with
   | Some r when r.applies ctx.path ->
     let line, col = loc_pos loc in
-    ctx.findings <- { Report.rule; file = ctx.path; line; col; message } :: ctx.findings
+    ctx.findings <-
+      { Report.tool = "skulklint"; rule; file = ctx.path; line; col; message } :: ctx.findings
   | Some _ | None -> ()
 
 let rec flatten_longident = function

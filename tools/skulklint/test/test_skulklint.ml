@@ -6,6 +6,7 @@
    lib/-style paths. *)
 
 open Skulklint_core
+open Lintkit
 
 let read path = Driver.read_file path
 

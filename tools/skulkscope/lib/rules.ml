@@ -1,0 +1,85 @@
+(* The skulkscope rule catalogue. skulkscope is the *typed* companion
+   to skulklint: it loads .cmt files and analyses the Typedtree, so its
+   rules see types (a mutable root is anything whose type says so) and
+   cross-function flows (summaries + a call-graph fixpoint), where
+   skulklint's Parsetree rules see only shapes.
+
+   Three families (see DESIGN.md §9 "Typed analyses"):
+
+   domain-escape —
+     escape-capture  a closure handed to [Sim.Parallel.map]/[map_seeds]/
+                     [map_ctx] (including [~seed_of]) or [Domain.spawn]/
+                     [Thread.create] captures a value of mutable type
+                     (ref, array, bytes, Hashtbl/Queue/Stack/Buffer,
+                     a record with mutable fields, or a module-level
+                     mutable value) from the spawning scope: every
+                     trial domain would share it. [Atomic.t] is the
+                     sanctioned escape hatch; state allocated inside
+                     the closure (or derived from the child [Ctx]) is
+                     per-trial and never fires.
+     escape-call     the spawned closure calls a function whose
+                     transitively reachable roots include module-level
+                     mutable state (computed interprocedurally over
+                     every analysed .cmt).
+
+   determinism-taint —
+     rng-escape      an RNG stream, engine, or context from the
+                     spawning scope is captured by a spawned closure:
+                     the draw schedule then depends on domain
+                     interleaving. Each trial forks its own stream
+                     from the child [Ctx].
+     rng-order       an RNG is consumed inside a [Hashtbl.iter]/[fold]/
+                     [to_seq] callback: the draw order follows
+                     hash-bucket order, which varies with insertion
+                     history.
+
+   context-discipline (interprocedural: wrappers cannot launder) —
+     ctx-minted      [Ctx.create] applied in lib/ outside lib/sim/, or
+                     a module-level binding of context/engine/RNG type:
+                     contexts are minted at entry points and threaded
+                     down as parameters ([Ctx.fork]/[with_seed] are the
+                     sanctioned derivations).
+     ctx-launder     a call, from lib/ outside lib/sim/, to a function
+                     that transitively mints a context ([Ctx.create]
+                     somewhere under it): a helper wrapper does not
+                     launder the provenance. *)
+
+type rule = {
+  name : string;
+  family : string;
+  summary : string;
+  applies : string -> bool;
+}
+
+let under dir path =
+  let n = String.length dir in
+  String.length path >= n && String.sub path 0 n = dir
+
+let lib_only path = under "lib/" path
+
+(* Sim.Parallel is the sanctioned implementation: its worker closures
+   share the results array and trial counter by design. *)
+let outside_parallel path = path <> "lib/sim/parallel.ml"
+let ctx_scope path = lib_only path && not (under "lib/sim/" path)
+
+let catalogue =
+  [
+    { name = "escape-capture"; family = "domain-escape";
+      summary = "spawned closure captures a mutable root from the spawning scope";
+      applies = outside_parallel };
+    { name = "escape-call"; family = "domain-escape";
+      summary = "spawned closure reaches module-level mutable state through calls";
+      applies = outside_parallel };
+    { name = "rng-escape"; family = "determinism-taint";
+      summary = "RNG/engine/context shared into a spawned closure";
+      applies = outside_parallel };
+    { name = "rng-order"; family = "determinism-taint";
+      summary = "RNG consumed under Hashtbl iteration order"; applies = (fun _ -> true) };
+    { name = "ctx-minted"; family = "context";
+      summary = "Ctx minted (or held at module level) in lib/ instead of arriving as a parameter";
+      applies = ctx_scope };
+    { name = "ctx-launder"; family = "context";
+      summary = "call to a wrapper that transitively mints a Ctx"; applies = ctx_scope };
+  ]
+
+let find_rule name = List.find_opt (fun r -> String.equal r.name name) catalogue

@@ -1,0 +1,5 @@
+(* Known-bad: a wrapper around a function that transitively applies
+   Ctx.create — the interprocedural summary sees through the
+   indirection. One ctx-launder finding. *)
+
+let helper seed = Bad_ctx_minted.make_world seed

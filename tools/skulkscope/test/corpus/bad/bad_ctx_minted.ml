@@ -1,0 +1,10 @@
+(* Known-bad: contexts minted inside lib/ instead of arriving as
+   parameters — a module-level context and a helper that applies
+   Ctx.create. Two ctx-minted findings ([make_world] also seeds the
+   minter summary that bad_ctx_launder.ml calls through). *)
+
+let default_ctx = Sim.Ctx.create ~seed:7 ()
+
+let make_world seed =
+  let ctx = Sim.Ctx.create ~seed () in
+  Sim.Ctx.now ctx

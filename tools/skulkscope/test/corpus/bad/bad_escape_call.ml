@@ -1,0 +1,11 @@
+(* Known-bad: the spawned closure itself captures nothing mutable, but
+   it calls a module-level function whose transitive roots include
+   module-level mutable state. One escape-call finding. *)
+
+let seen = ref 0
+
+let bump () =
+  seen := !seen + 1;
+  !seen
+
+let fan_out () = Sim.Parallel.map 4 (fun i -> ignore (bump ()); i)

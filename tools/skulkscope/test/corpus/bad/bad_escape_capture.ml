@@ -1,0 +1,24 @@
+(* Known-bad: spawned closures capture mutable state from the spawning
+   scope — a direct ref, a record with a mutable field, and module-level
+   mutable state. Three defects, three escape-capture findings. *)
+
+type acc = { mutable total : int }
+
+let hits : (int, int) Hashtbl.t = Hashtbl.create 8
+
+let direct () =
+  let counter = ref 0 in
+  Sim.Parallel.map 4 (fun i ->
+      incr counter;
+      i + !counter)
+
+let record_field () =
+  let a = { total = 0 } in
+  Sim.Parallel.map 4 (fun i ->
+      a.total <- a.total + i;
+      a.total)
+
+let module_level () =
+  Sim.Parallel.map 4 (fun i ->
+      Hashtbl.replace hits i i;
+      i)

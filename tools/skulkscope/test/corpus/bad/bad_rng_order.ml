@@ -1,0 +1,8 @@
+(* Known-bad: an RNG is consumed inside a Hashtbl.iter callback, so the
+   draw order follows hash-bucket order. One rng-order finding. *)
+
+let jitter ctx (tbl : (int, float) Hashtbl.t) =
+  let rng = Sim.Ctx.fork_rng ctx in
+  let acc = ref 0.0 in
+  Hashtbl.iter (fun _k v -> acc := !acc +. Sim.Rng.float rng v) tbl;
+  !acc

@@ -1,0 +1,9 @@
+(* Known-bad: one RNG stream forked in the spawning scope reaches two
+   batches of spawned closures — the draw schedule then depends on how
+   the domains interleave. Two rng-escape findings, one per spawn. *)
+
+let run ctx =
+  let rng = Sim.Ctx.fork_rng ctx in
+  let a = Sim.Parallel.map 2 (fun i -> Sim.Rng.int rng (i + 10)) in
+  let b = Sim.Parallel.map 2 (fun i -> Sim.Rng.float rng (float_of_int (i + 1))) in
+  (a, b)

@@ -1,0 +1,7 @@
+(* A real defect carrying a reasoned inline allow: suppressed cleanly,
+   and the allow itself is counted as used (no allow-unused). *)
+
+let fan_out () =
+  let counter = ref 0 in
+  (* skulkscope: allow escape-capture — corpus exemplar of a reasoned suppression *)
+  Sim.Parallel.map 2 (fun i -> incr counter; i + !counter)

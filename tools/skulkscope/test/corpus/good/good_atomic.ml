@@ -1,0 +1,11 @@
+(* Known-good: cross-domain sharing through Atomic.t — the sanctioned
+   escape hatch — stays silent. *)
+
+let fan_out () =
+  let done_count = Atomic.make 0 in
+  let results =
+    Sim.Parallel.map 4 (fun i ->
+        Atomic.incr done_count;
+        i * i)
+  in
+  (Atomic.get done_count, results)

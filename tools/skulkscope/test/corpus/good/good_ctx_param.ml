@@ -1,0 +1,5 @@
+(* Known-good: the context arrives as a parameter everywhere; derived
+   streams come from Ctx.fork_rng, never Ctx.create. *)
+
+let step ctx = Sim.Rng.int (Sim.Ctx.fork_rng ctx) 6
+let pipeline ctx = step ctx + step ctx

@@ -1,0 +1,8 @@
+(* Known-good: closures may freely capture immutable data — lists,
+   strings, tuples — from the spawning scope. *)
+
+let table = [ (1, "one"); (2, "two") ]
+let label = "trial"
+
+let fan_out () =
+  Sim.Parallel.map 4 (fun i -> (label, List.assoc_opt ((i mod 2) + 1) table))

@@ -1,0 +1,9 @@
+(* Known-good: every mutable thing and every RNG is allocated inside
+   the trial body, derived from the per-trial child context. *)
+
+let run ctx =
+  Sim.Parallel.map_ctx ~ctx ~trials:4 (fun _i cctx ->
+      let rng = Sim.Ctx.fork_rng cctx in
+      let buf = Buffer.create 16 in
+      Buffer.add_string buf "trial";
+      (Sim.Rng.float rng 1.0, Buffer.length buf))

@@ -1,0 +1,158 @@
+(* Self-tests for the typed analyses: every rule fires on its known-bad
+   corpus unit at the expected line, the known-good corpus is silent,
+   path scoping and both allow mechanisms behave, and two runs over the
+   same units produce byte-identical reports. The corpus compiles for
+   real against sim, so these load genuine .cmt typedtrees; path-scoped
+   rules are exercised by loading them under synthetic lib/-style
+   paths. *)
+
+open Skulkscope_core
+open Lintkit
+
+let read = Driver.read_file
+
+(* Load one corpus unit under a synthetic path (default lib/scope/).
+   [source] overrides the unit text handed to the allow scanner, for
+   the stale/reasonless-allow tests. *)
+let load ?path ?source ~kind name =
+  let cmt =
+    Printf.sprintf "corpus/%s/.scope_corpus_%s.objs/byte/scope_corpus_%s__%s.cmt"
+      kind kind kind (String.capitalize_ascii name)
+  in
+  let source =
+    match source with
+    | Some s -> s
+    | None -> read (Printf.sprintf "corpus/%s/%s.ml" kind name)
+  in
+  let path =
+    match path with Some p -> p | None -> "lib/scope/" ^ name ^ ".ml"
+  in
+  match Driver.load_cmt ~path ~source cmt with
+  | Ok u -> u
+  | Error msg -> Alcotest.failf "load_cmt %s: %s" name msg
+
+let bad_names =
+  [ "bad_ctx_launder"; "bad_ctx_minted"; "bad_escape_call";
+    "bad_escape_capture"; "bad_rng_order"; "bad_rng_two_domains" ]
+
+let good_names =
+  [ "good_allow"; "good_atomic"; "good_ctx_param"; "good_immutable";
+    "good_per_trial" ]
+
+let lint_bad () = Driver.lint_units (List.map (load ~kind:"bad") bad_names)
+
+let brief (f : Report.finding) =
+  Printf.sprintf "%s:%d %s" f.file f.line f.rule
+
+let check_briefs name expected (r : Driver.result) =
+  Alcotest.(check (list string)) name expected (List.map brief r.findings)
+
+(* ---- bad corpus: every defect reported exactly once, with its line ---- *)
+
+let expected_bad =
+  [ "lib/scope/bad_ctx_launder.ml:5 ctx-launder";
+    "lib/scope/bad_ctx_minted.ml:6 ctx-minted";
+    "lib/scope/bad_ctx_minted.ml:9 ctx-minted";
+    "lib/scope/bad_escape_call.ml:11 escape-call";
+    "lib/scope/bad_escape_capture.ml:12 escape-capture";
+    "lib/scope/bad_escape_capture.ml:18 escape-capture";
+    "lib/scope/bad_escape_capture.ml:23 escape-capture";
+    "lib/scope/bad_rng_order.ml:7 rng-order";
+    "lib/scope/bad_rng_two_domains.ml:7 rng-escape";
+    "lib/scope/bad_rng_two_domains.ml:8 rng-escape" ]
+
+let bad_tests =
+  [
+    Alcotest.test_case "all seeded defects, once each, at their lines" `Quick
+      (fun () ->
+        let r = lint_bad () in
+        check_briefs "findings" expected_bad r;
+        Alcotest.(check int) "nothing suppressed" 0 r.suppressed;
+        Alcotest.(check int) "six units" 6 r.files_scanned);
+    Alcotest.test_case "every catalogue rule fires on the bad corpus" `Quick
+      (fun () ->
+        let r = lint_bad () in
+        let fired rule =
+          List.exists (fun (f : Report.finding) -> f.rule = rule.Rules.name)
+            r.findings
+        in
+        List.iter
+          (fun rule ->
+            if not (fired rule) then
+              Alcotest.failf "rule %s never fires on the corpus" rule.Rules.name)
+          Rules.catalogue);
+    Alcotest.test_case "determinism: two runs, identical reports" `Quick
+      (fun () ->
+        let a = lint_bad () and b = lint_bad () in
+        Alcotest.(check (list string)) "reports"
+          (List.map (Format.asprintf "%a" Report.pp_human) a.findings)
+          (List.map (Format.asprintf "%a" Report.pp_human) b.findings));
+  ]
+
+(* ---- path scoping ---- *)
+
+let scope_tests =
+  [
+    Alcotest.test_case "escape rules exempt lib/sim/parallel.ml" `Quick
+      (fun () ->
+        let u = load ~kind:"bad" ~path:"lib/sim/parallel.ml" "bad_escape_capture" in
+        check_briefs "silent" [] (Driver.lint_units [ u ]));
+    Alcotest.test_case "ctx-minted is scoped to lib/" `Quick (fun () ->
+        let u = load ~kind:"bad" ~path:"bench/bad_ctx_minted.ml" "bad_ctx_minted" in
+        check_briefs "bench exempt" [] (Driver.lint_units [ u ]));
+    Alcotest.test_case "ctx-minted exempts lib/sim/" `Quick (fun () ->
+        let u = load ~kind:"bad" ~path:"lib/sim/bad_ctx_minted.ml" "bad_ctx_minted" in
+        check_briefs "sim exempt" [] (Driver.lint_units [ u ]));
+    Alcotest.test_case "ctx-launder is scoped to lib/" `Quick (fun () ->
+        let launder = load ~kind:"bad" ~path:"bench/helper.ml" "bad_ctx_launder" in
+        let minted = load ~kind:"bad" "bad_ctx_minted" in
+        let r = Driver.lint_units [ launder; minted ] in
+        let in_bench =
+          List.filter (fun (f : Report.finding) -> f.file = "bench/helper.ml")
+            r.findings
+        in
+        Alcotest.(check (list string)) "bench exempt" []
+          (List.map brief in_bench));
+  ]
+
+(* ---- good corpus & allow machinery ---- *)
+
+let allow_tests =
+  [
+    Alcotest.test_case "good corpus: silent, one reasoned allow used" `Quick
+      (fun () ->
+        let r = Driver.lint_units (List.map (load ~kind:"good") good_names) in
+        check_briefs "no findings" [] r;
+        Alcotest.(check int) "good_allow suppression" 1 r.suppressed);
+    Alcotest.test_case "lint.allow subtree entry suppresses" `Quick (fun () ->
+        let entries, errors =
+          Allow.parse_allow_file
+            "lib/scope/ escape-capture corpus-wide policy exemption\n"
+        in
+        Alcotest.(check int) "no parse errors" 0 (List.length errors);
+        let u = load ~kind:"bad" "bad_escape_capture" in
+        let r = Driver.lint_units ~allow_entries:entries [ u ] in
+        check_briefs "suppressed" [] r;
+        Alcotest.(check int) "three dropped" 3 r.suppressed);
+    Alcotest.test_case "stale allow is itself a finding" `Quick (fun () ->
+        let u =
+          load ~kind:"good" "good_immutable"
+            ~source:"(* skulkscope: allow rng-order \xe2\x80\x94 never fires here *)\n"
+        in
+        check_briefs "allow-unused"
+          [ "lib/scope/good_immutable.ml:1 allow-unused" ]
+          (Driver.lint_units [ u ]));
+    Alcotest.test_case "reasonless allow is itself a finding" `Quick (fun () ->
+        let u =
+          load ~kind:"good" "good_immutable"
+            ~source:"(* skulkscope: allow escape-capture *)\n"
+        in
+        check_briefs "allow-syntax"
+          [ "lib/scope/good_immutable.ml:1 allow-syntax" ]
+          (Driver.lint_units [ u ]));
+  ]
+
+let () =
+  Alcotest.run "skulkscope"
+    [ ("bad corpus", bad_tests); ("scoping", scope_tests);
+      ("allows", allow_tests) ]
