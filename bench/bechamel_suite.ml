@@ -164,6 +164,23 @@ let test_sketch_merge =
   Test.make ~name:"slo/sketch-merge-4096-into-aggregate"
     (Staged.stage (fun () -> Sim.Stats.Sketch.merge_into ~into src))
 
+(* A whole (tiny) fleet end to end on the sharded runner: 2 hosts of
+   2 VMs for 2 simulated minutes, mailboxes and barriers included -
+   tracks the fixed cost of the partitioned engine around the hosts. *)
+let test_fleet_small =
+  Test.make ~name:"fleet/run-2-hosts-2min-2-shards"
+    (Staged.stage (fun () ->
+         let spec =
+           {
+             Fleet.Spec.default with
+             Fleet.Spec.hosts = 2;
+             racks = 1;
+             tenants_per_host = 1;
+             duration = Sim.Time.minutes 2.;
+           }
+         in
+         ignore (Fleet.World.run ~jobs:1 ~shards:2 (Sim.Ctx.create ~seed:42 ()) spec)))
+
 (* The parallel trial runner: fan 8 small self-contained engine trials
    over 2 domains (spawn + join dominate; the point is to track that
    fan-out overhead stays in the low milliseconds). *)
@@ -192,6 +209,7 @@ let tests =
       test_event_heap_1e5;
       test_sketch_add;
       test_sketch_merge;
+      test_fleet_small;
       test_parallel_runner;
     ]
 
@@ -282,6 +300,24 @@ let scan_report () =
         (* skulklint: allow wall-clock — closes the host-clock interval opened above *)
         (Sys.time () -. t) *. 1e9 /. float_of_int merge_iters)
   in
+  (* Fleet throughput at datacenter sizes, sharded vs single-shard.
+     The sharded runs take jobs = 0 (all cores), so the speedup is the
+     machine's real delivery - on a single-core container it documents
+     sharding overhead (~1.0x), and "cores" is recorded next to it so
+     the number can be read honestly. *)
+  let cores = Sim.Parallel.available_cores () in
+  let fleet_1k_1 =
+    Fleet_bench.measure ~repeats:3 ~hosts:125 ~tenants:7 ~minutes:30. ~shards:1 ~jobs:1 ()
+  in
+  let fleet_1k_4 =
+    Fleet_bench.measure ~repeats:3 ~hosts:125 ~tenants:7 ~minutes:30. ~shards:4 ~jobs:0 ()
+  in
+  let fleet_10k_1 =
+    Fleet_bench.measure ~repeats:2 ~hosts:1250 ~tenants:7 ~minutes:10. ~shards:1 ~jobs:1 ()
+  in
+  let fleet_10k_4 =
+    Fleet_bench.measure ~repeats:2 ~hosts:1250 ~tenants:7 ~minutes:10. ~shards:4 ~jobs:0 ()
+  in
   let json =
     Printf.sprintf
       {|{
@@ -290,7 +326,8 @@ let scan_report () =
     "dirty_fold": "fold_dirty over 65536 pages at 1%% dirty",
     "event_queue": "steady-state schedule+expire pairs at fixed occupancy; replacement deltas drawn from the engine period mix (90%% <=1ms packet-scale, 9%% <=100ms device-scale, 1%% <=10s housekeeping), best of 3 runs",
     "ksm_rescan": "steady-state wakeups over the 16384-page population with ~1%% (164 pages) dirtied between wakeups; cost normalised per dirtied page",
-    "sketch": "Stats.Sketch (compression 128): streaming adds of 65536-value cycles; merge_into of a 4096-sample sketch into a persistent aggregate"
+    "sketch": "Stats.Sketch (compression 128): streaming adds of 65536-value cycles; merge_into of a 4096-sample sketch into a persistent aggregate",
+    "fleet": "Fleet.World.run, default churn/infection knobs: 125 hosts x 8 VMs for 30 sim-minutes (1k VMs) and 1250 hosts x 8 VMs for 10 sim-minutes (10k VMs); sharded runs use 4 shards with jobs=0 (all cores); best of N"
   },
   "seed_baseline": {
     "ksm_scan_minor_words_per_page": 83.02,
@@ -317,12 +354,45 @@ let scan_report () =
   "sketch": {
     "add_ns_per_sample": %.1f,
     "merge_ns_per_4096_sample_sketch": %.0f
+  },
+  "fleet": {
+    "cores": %d,
+    "vm1k": {
+      "vms": %d,
+      "events": %d,
+      "single_shard_events_per_sec": %.0f,
+      "single_shard_ns_per_vm_minute": %.0f,
+      "sharded_events_per_sec": %.0f,
+      "sharded_ns_per_vm_minute": %.0f,
+      "sharded_speedup": %.2f
+    },
+    "vm10k": {
+      "vms": %d,
+      "events": %d,
+      "single_shard_events_per_sec": %.0f,
+      "single_shard_ns_per_vm_minute": %.0f,
+      "sharded_events_per_sec": %.0f,
+      "sharded_ns_per_vm_minute": %.0f,
+      "sharded_speedup": %.2f
+    }
   }
 }
 |}
       scan_words scan_ns dirty_ns (1e9 /. heap_1e3) (1e9 /. heap_1e5) (1e9 /. wheel_1e3)
       (1e9 /. wheel_1e5) (heap_1e5 /. wheel_1e5) rescan_full rescan_incr
-      (rescan_full /. rescan_incr) sketch_add_ns sketch_merge_ns
+      (rescan_full /. rescan_incr) sketch_add_ns sketch_merge_ns cores
+      fleet_1k_1.Fleet_bench.m_vms fleet_1k_1.Fleet_bench.m_events
+      (Fleet_bench.events_per_sec fleet_1k_1)
+      (Fleet_bench.ns_per_vm_minute fleet_1k_1)
+      (Fleet_bench.events_per_sec fleet_1k_4)
+      (Fleet_bench.ns_per_vm_minute fleet_1k_4)
+      (fleet_1k_1.Fleet_bench.m_wall_s /. fleet_1k_4.Fleet_bench.m_wall_s)
+      fleet_10k_1.Fleet_bench.m_vms fleet_10k_1.Fleet_bench.m_events
+      (Fleet_bench.events_per_sec fleet_10k_1)
+      (Fleet_bench.ns_per_vm_minute fleet_10k_1)
+      (Fleet_bench.events_per_sec fleet_10k_4)
+      (Fleet_bench.ns_per_vm_minute fleet_10k_4)
+      (fleet_10k_1.Fleet_bench.m_wall_s /. fleet_10k_4.Fleet_bench.m_wall_s)
   in
   let oc = open_out "BENCH_scan.json" in
   output_string oc json;
@@ -338,6 +408,17 @@ let scan_report () =
     (rescan_full /. rescan_incr);
   Printf.printf "  quantile sketch: add %.1f ns/sample; merge of a 4096-sample sketch %.0f ns\n"
     sketch_add_ns sketch_merge_ns;
+  Printf.printf
+    "  fleet (on %d core%s): 1k VMs %.2fs -> %.0f events/s; 10k VMs %.2fs -> %.0f events/s; \
+     4-shard speedup %.2fx / %.2fx\n"
+    cores
+    (if cores = 1 then "" else "s")
+    fleet_1k_1.Fleet_bench.m_wall_s
+    (Fleet_bench.events_per_sec fleet_1k_1)
+    fleet_10k_1.Fleet_bench.m_wall_s
+    (Fleet_bench.events_per_sec fleet_10k_1)
+    (fleet_1k_1.Fleet_bench.m_wall_s /. fleet_1k_4.Fleet_bench.m_wall_s)
+    (fleet_10k_1.Fleet_bench.m_wall_s /. fleet_10k_4.Fleet_bench.m_wall_s);
   ignore !sink
 
 let run () =

@@ -54,7 +54,7 @@ let run_with_faults ~trials ~jobs ~ctx =
     "faults only stretch the install (or abort it); a landed rootkit is detected exactly \
      as in the fault-free runs - the detector keys on merge state, not timing"
 
-let run { Harness.Experiment.trials; jobs; ctx } =
+let run { Harness.Experiment.trials; jobs; shards = _; ctx } =
   if not (Sim.Fault.is_none (Sim.Ctx.faults ctx)) then run_with_faults ~trials ~jobs ~ctx
   else begin
   Bench_util.section "Detection accuracy (Section VI-C): repeated trials";

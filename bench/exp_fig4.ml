@@ -37,7 +37,7 @@ let migrate ~nested ~workload ctx =
   Workload.Background.stop handle;
   result
 
-let run { Harness.Experiment.trials = runs; jobs; ctx } =
+let run { Harness.Experiment.trials = runs; jobs; shards = _; ctx } =
   Bench_util.section
     "Fig 4: live migration end-to-end timing vs workload (L0-L0 and L0-L1)";
   let workloads = [ Idle; Filebench; Compile ] in

@@ -5,7 +5,7 @@
    random baseline at the same budget - the guided loop must discover
    strictly more distinct behaviour signatures. *)
 
-let run { Harness.Experiment.trials; jobs; ctx } =
+let run { Harness.Experiment.trials; jobs; shards = _; ctx } =
   Bench_util.section "Coverage-guided scenario fuzzing (skulkfuzz smoke)";
   let budget = 8 * trials in
   let stats =

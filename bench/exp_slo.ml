@@ -124,7 +124,7 @@ let positive o ~ratio =
   | Cloudskulk.Dedup_detector.No_nested_vm | Cloudskulk.Dedup_detector.Inconclusive _ ->
     false
 
-let run { Harness.Experiment.trials; jobs; ctx } =
+let run { Harness.Experiment.trials; jobs; shards = _; ctx } =
   Bench_util.section
     "Streaming SOC observability: detection-latency SLOs and ROC matrix";
 

@@ -109,6 +109,7 @@ type t = {
   mutable sweep_acc : event list option;  (* events of an in-flight sweep_now *)
   mutable active : bool;
   mutable monitoring : bool;
+  mutable hook : (event -> unit) option;  (* fleet SOC event stream *)
   mutable window_start : Sim.Time.t;
   mutable probes_in_window : int;
   mutable budget_deferrals : int;
@@ -135,6 +136,7 @@ let create ?(policy = default_policy) ctx host =
     sweep_acc = None;
     active = false;
     monitoring = false;
+    hook = None;
     window_start = Sim.Ctx.now ctx;
     probes_in_window = 0;
     budget_deferrals = 0;
@@ -153,9 +155,12 @@ let emit t ev =
   let dropped_before = t.log.dropped in
   ring_push t.log ev;
   if t.log.dropped > dropped_before then Sim.Telemetry.incr t.m_dropped;
-  match t.sweep_acc with
+  (match t.sweep_acc with
   | Some evs -> t.sweep_acc <- Some (ev :: evs)
-  | None -> ()
+  | None -> ());
+  match t.hook with Some f -> f ev | None -> ()
+
+let set_event_hook t hook = t.hook <- hook
 
 let verdict_label = function
   | Dedup_detector.Nested_vm_detected -> "nested_vm_detected"
@@ -388,6 +393,13 @@ let start_monitor t =
         if t.active then audit_tick t;
         t.active)
   end
+
+(* A remote SOC audit: pull every tenant's next monitor probe forward
+   to now, exactly as a local audit alarm does. The scan-window budget
+   still applies, so a remote operator cannot stampede the host. *)
+let pull_probes_forward t =
+  if t.active && t.monitoring then
+    List.iter (fun name -> schedule_probe t name (Sim.Time.ns 0)) (tenant_order t)
 
 let stop t =
   t.active <- false;

@@ -110,6 +110,19 @@ val start_monitor : t -> unit
     is in one mode at a time; calling either start while active is a
     no-op. *)
 
+val pull_probes_forward : t -> unit
+(** Schedule every registered tenant's next monitor probe at the
+    current instant - what a remote SOC audit request does when it
+    reaches this host ({!Fleet_soc}). The scan-window budget still
+    applies, so remote audits cannot stampede the host. No-op unless
+    the service is in monitor mode. *)
+
+val set_event_hook : t -> (event -> unit) option -> unit
+(** Stream every event to [hook] as it is emitted (in addition to the
+    retained ring). The fleet layer uses this to forward verdict flips
+    to a datacenter SOC through shard mailboxes; the hook runs on the
+    host's own domain, so it must only touch host-local state. *)
+
 val stop : t -> unit
 val sweeps_run : t -> int
 

@@ -1,0 +1,35 @@
+(* Everything that crosses a host boundary, as inert data. A message
+   must be safe to hand to another engine (and another domain), so no
+   constructor may carry live simulation state - only descriptors,
+   packets, and plain records. *)
+
+type t =
+  | Vm_stream of Migration.Stream.descriptor
+      (* a migrating tenant: captured on the source, resumed on arrival *)
+  | Chatter of Net.Packet.t
+      (* east-west traffic; re-addressed to the destination's gateway *)
+  | Audit_request
+      (* SOC -> host: pull every tenant's next dedup probe forward *)
+  | Verdict_report of {
+      vr_host : int;
+      vr_tenant : string;
+      vr_at : Sim.Time.t;
+      vr_ttd : Sim.Time.t;
+      vr_probes : int;
+    }
+      (* host -> SOC: first Nested_vm_detected flip for a tenant *)
+
+let to_string = function
+  | Vm_stream d ->
+    Printf.sprintf "vm-stream %s (%d pages)" d.Migration.Stream.vm_name (Migration.Stream.page_count d)
+  | Chatter p -> Format.asprintf "chatter %a" Net.Packet.pp p
+  | Audit_request -> "audit-request"
+  | Verdict_report { vr_host; vr_tenant; vr_probes; _ } ->
+    Printf.sprintf "verdict-report host %d tenant %s (%d probes)" vr_host vr_tenant
+      vr_probes
+
+let bytes = function
+  | Vm_stream d -> Migration.Stream.bytes d
+  | Chatter p -> p.Net.Packet.size_bytes
+  | Audit_request -> 128
+  | Verdict_report _ -> 256

@@ -1,6 +1,7 @@
 type params = {
   trials : int;
   jobs : int;
+  shards : int;
   ctx : Sim.Ctx.t;
 }
 

@@ -11,6 +11,10 @@
 type params = {
   trials : int;  (** repetitions per data point ([--trials], default 5) *)
   jobs : int;  (** worker domains for independent trials ([--jobs]) *)
+  shards : int;
+      (** engine partitions for sharded worlds ([--shards], default 1).
+          Only experiments built on {!Sim.Parallel.run_sharded} (fleet)
+          consume it; output is byte-identical whatever the value. *)
   ctx : Sim.Ctx.t;
       (** the experiment's root context: seeded from [--seed] (or the
           spec's default), carrying the shared telemetry sink (when

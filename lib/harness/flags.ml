@@ -17,6 +17,15 @@ let jobs =
   in
   Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
+let shards =
+  let doc =
+    "Engine partitions for sharded-world experiments (fleet). Each shard owns a \
+     contiguous block of hosts and runs them in lockstep epochs; cross-shard traffic \
+     moves through deterministic mailboxes, so output is byte-identical whatever the \
+     value. Experiments built on per-trial parallelism ignore it."
+  in
+  Arg.(value & opt int 1 & info [ "shards" ] ~docv:"N" ~doc)
+
 let seed =
   let doc =
     "Root seed for the experiment context. Defaults to each experiment's published seed, \

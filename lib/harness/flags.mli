@@ -15,6 +15,11 @@ val jobs : int Cmdliner.Term.t
 (** [--jobs N]/[-j N] (default 1): worker domains; 0 = all cores.
     Output is byte-identical whatever the value. *)
 
+val shards : int Cmdliner.Term.t
+(** [--shards N] (default 1): engine partitions for sharded-world
+    experiments (fleet). Output is byte-identical whatever the
+    value. *)
+
 val seed : int option Cmdliner.Term.t
 (** [--seed SEED]: root seed; [None] means each experiment's
     {!Experiment.t.default_seed}. *)

@@ -255,6 +255,40 @@ let exec_world (p : Program.t) ~sink ~emit ~violate ~violated =
       (Printf.sprintf "vms:%d"
          (List.length (List.filter Vmm.Vm.is_alive (Vmm.Hypervisor.vms host))))
 
+(* The mini datacenter behind the [fleet ...] header: run it at the
+   program's shard count, feed the churn ledger to the conservation
+   oracle, and - the partition-invariance oracle - re-run single-shard
+   and demand byte-identical output. Engine state is thrown away; only
+   features and violations escape. *)
+let exec_fleet (f : Program.fleet_knob) ~seed ~emit ~violate =
+  let spec = Program.fleet_spec_of f in
+  let run ~shards = Fleet.World.run ~jobs:1 ~shards (Sim.Ctx.create ~seed ()) spec in
+  let r = run ~shards:f.fl_shards in
+  emit (Printf.sprintf "fleet:hosts:%d" f.fl_hosts);
+  emit
+    (Printf.sprintf "fleet:infected:%d:detected:%d"
+       (Fleet.World.infected_hosts r) (Fleet.World.detected_hosts r));
+  emit (Printf.sprintf "fleet:boots:%d" (Coverage.bucket (float_of_int (Fleet.World.boots r))));
+  emit
+    (Printf.sprintf "fleet:migrations:%d"
+       (Coverage.bucket (float_of_int (Fleet.World.emigrations r))));
+  if Fleet.World.parked r > 0 then emit "fleet:parked";
+  if Fleet.World.dropped r > 0 then emit "fleet:dropped";
+  (match Fleet.World.conservation r with
+  | Ok () -> emit "fleet:conserved"
+  | Error detail -> violate { Oracle.oracle = "fleet-conservation"; detail });
+  if f.fl_shards > 1 then
+    if String.equal (Fleet.World.render r) (Fleet.World.render (run ~shards:1)) then
+      emit "fleet:partition-invariant"
+    else
+      violate
+        {
+          Oracle.oracle = "fleet-partition";
+          detail =
+            Printf.sprintf "fleet output differs between --shards %d and --shards 1"
+              f.fl_shards;
+        }
+
 let run (p : Program.t) =
   let feats = ref [] in
   let emit f = feats := f :: !feats in
@@ -265,6 +299,11 @@ let run (p : Program.t) =
   let violated () = Option.is_some !violation in
   (try exec_world p ~sink ~emit ~violate ~violated with
   | e -> violate { Oracle.oracle = "exception"; detail = Printexc.to_string e });
+  (match p.Program.fleet with
+  | None -> ()
+  | Some f -> (
+    try if not (violated ()) then exec_fleet f ~seed:p.Program.seed ~emit ~violate
+    with e -> violate { Oracle.oracle = "exception"; detail = Printexc.to_string e }));
   Sim.Telemetry.fold_series sink ~init:() ~f:(fun () key v ->
       emit (Printf.sprintf "m:%s:%d" key (Coverage.bucket v)));
   let features = List.sort_uniq String.compare !feats in

@@ -28,12 +28,28 @@ type action =
     }
   | Detect of { file_pages : int }
 
+(* A mini datacenter bolted onto the program: when present, Exec runs a
+   Fleet.World with these knobs after the single-host scenario, feeds
+   its churn ledger to the conservation oracle, and - when fl_shards >
+   1 - re-runs it single-shard and demands byte-identical output (the
+   partition-invariance oracle). Rates are integers per hour and the
+   infection rate an integer percentage so the program format stays
+   whitespace-separated ints. *)
+type fleet_knob = {
+  fl_hosts : int;
+  fl_tenants : int;  (** tenant VMs per host *)
+  fl_churn : int;  (** boot = kill = migrate rate, events/hour/host *)
+  fl_infect : int;  (** infection probability, percent *)
+  fl_shards : int;  (** partition Exec runs the fleet with *)
+}
+
 type t = {
   seed : int;
   scenario : scenario_spec;
   customer_mb : int;
   ksm : ksm_choice;
   faults : fault_choice;
+  fleet : fleet_knob option;
   actions : action list;
 }
 
@@ -96,6 +112,10 @@ let max_launch_mb = 512
 let max_migrate_mb = 128
 let min_detect_pages = 8
 let max_detect_pages = 128
+let max_fleet_hosts = 6
+let max_fleet_tenants = 3
+let max_fleet_churn = 30
+let max_fleet_shards = 4
 
 (* ---- rendering ---- *)
 
@@ -151,6 +171,12 @@ let to_string t =
   Buffer.add_string b (Printf.sprintf "customer_mb %d\n" t.customer_mb);
   Buffer.add_string b (Printf.sprintf "ksm %s\n" (ksm_to_string t.ksm));
   Buffer.add_string b (Printf.sprintf "faults %s\n" (fault_to_string t.faults));
+  (match t.fleet with
+  | None -> ()
+  | Some f ->
+    Buffer.add_string b
+      (Printf.sprintf "fleet hosts=%d tenants=%d churn=%d infect=%d shards=%d\n" f.fl_hosts
+         f.fl_tenants f.fl_churn f.fl_infect f.fl_shards));
   List.iter
     (fun a ->
       Buffer.add_string b (action_to_string a);
@@ -162,13 +188,19 @@ let to_string t =
 let equal a b = String.equal (to_string a) (to_string b)
 
 let summary t =
-  Printf.sprintf "%s customer=%dMB ksm=%s faults=%s actions=%d"
+  Printf.sprintf "%s customer=%dMB ksm=%s faults=%s%s actions=%d"
     (match t.scenario with
     | Clean -> "clean"
     | Infected { syncs; use_vtx; strategy } ->
       Printf.sprintf "infected(syncs=%s,vtx=%s,%s)" (b01 syncs) (b01 use_vtx)
         (strategy_to_string strategy))
-    t.customer_mb (ksm_to_string t.ksm) (fault_to_string t.faults) (List.length t.actions)
+    t.customer_mb (ksm_to_string t.ksm) (fault_to_string t.faults)
+    (match t.fleet with
+    | None -> ""
+    | Some f ->
+      Printf.sprintf " fleet=%dx%d/churn%d/infect%d%%/%dsh" f.fl_hosts (f.fl_tenants + 1)
+        f.fl_churn f.fl_infect f.fl_shards)
+    (List.length t.actions)
 
 (* ---- validation ---- *)
 
@@ -194,9 +226,37 @@ let validate_action = function
   | Migrate { memory_mb; _ } -> in_range "migrate mb" memory_mb min_vm_mb max_migrate_mb
   | Detect { file_pages } -> in_range "detect pages" file_pages min_detect_pages max_detect_pages
 
+(* The fleet Exec runs for a fleet program: small and short (fuzz
+   budget is per-program wall clock), rates wired straight from the
+   knob. Shared with validation so "parses" implies "Fleet.Spec.validate
+   accepts" - a degenerate fleet is a parse error, not a crash later. *)
+let fleet_spec_of f =
+  {
+    Fleet.Spec.default with
+    Fleet.Spec.hosts = f.fl_hosts;
+    racks = if f.fl_hosts >= 2 then 2 else 1;
+    tenants_per_host = f.fl_tenants;
+    infection_rate = float_of_int f.fl_infect /. 100.;
+    boot_per_hour = float_of_int f.fl_churn;
+    kill_per_hour = float_of_int f.fl_churn;
+    migrate_per_hour = float_of_int f.fl_churn;
+    duration = Sim.Time.minutes 10.;
+  }
+
+let validate_fleet f =
+  let* () = in_range "fleet hosts" f.fl_hosts 1 max_fleet_hosts in
+  let* () = in_range "fleet tenants" f.fl_tenants 0 max_fleet_tenants in
+  let* () = in_range "fleet churn" f.fl_churn 0 max_fleet_churn in
+  let* () = in_range "fleet infect" f.fl_infect 0 100 in
+  let* () = in_range "fleet shards" f.fl_shards 1 max_fleet_shards in
+  match Fleet.Spec.validate (fleet_spec_of f) with
+  | Ok _ -> Ok ()
+  | Error e -> Error ("fleet: " ^ e)
+
 let validate t =
   let* () = in_range "seed" t.seed 0 (max_seed - 1) in
   let* () = in_range "customer_mb" t.customer_mb min_customer_mb max_customer_mb in
+  let* () = match t.fleet with None -> Ok () | Some f -> validate_fleet f in
   let* () =
     if List.length t.actions > max_actions then
       Error (Printf.sprintf "more than %d actions" max_actions)
@@ -344,6 +404,15 @@ let of_string s =
         | [ "faults"; f ] ->
           let* faults = fault_of_string line f in
           parse_header rest { acc with faults }
+        | "fleet" :: kvtoks ->
+          let* kvs = parse_kvs line kvtoks in
+          let* fl_hosts = Result.bind (lookup line kvs "hosts") (parse_int line) in
+          let* fl_tenants = Result.bind (lookup line kvs "tenants") (parse_int line) in
+          let* fl_churn = Result.bind (lookup line kvs "churn") (parse_int line) in
+          let* fl_infect = Result.bind (lookup line kvs "infect") (parse_int line) in
+          let* fl_shards = Result.bind (lookup line kvs "shards") (parse_int line) in
+          parse_header rest
+            { acc with fleet = Some { fl_hosts; fl_tenants; fl_churn; fl_infect; fl_shards } }
         | _ -> parse_actions (line :: rest) acc []
       )
     and parse_actions rest acc actions =
@@ -356,7 +425,7 @@ let of_string s =
     in
     let empty =
       { seed = 0; scenario = Clean; customer_mb = min_customer_mb; ksm = K_default;
-        faults = F_none; actions = [] }
+        faults = F_none; fleet = None; actions = [] }
     in
     let* t = parse_header rest empty in
     let* () = validate t in
@@ -416,6 +485,11 @@ let generate rng =
     customer_mb = Sim.Rng.pick rng [| 32; 48; 64; 96; 128 |];
     ksm = Sim.Rng.pick rng [| K_default; K_fast; K_incremental; K_tiny |];
     faults = gen_fault rng;
+    (* blind generation never mints a fleet: fleets enter the corpus
+       hand-seeded and spread through mutation of programs that already
+       carry one, so the rng draw sequence of fleet-free programs (and
+       with it every sealed signature) is unchanged by the knob *)
+    fleet = None;
     actions = List.init (Sim.Rng.int rng 5) (fun _ -> gen_action rng);
   }
 
@@ -485,9 +559,26 @@ let mutate_once rng t =
   | 9 -> { t with scenario = gen_scenario rng }
   | 10 -> { t with ksm = Sim.Rng.pick rng [| K_default; K_fast; K_incremental; K_tiny |] }
   | 11 -> { t with faults = gen_fault rng }
-  | _ ->
-    if Sim.Rng.bool rng then { t with customer_mb = Sim.Rng.pick rng [| 32; 48; 64; 96; 128 |] }
-    else { t with seed = Sim.Rng.int rng max_seed }
+  | _ -> (
+    (* fleet tweaks ride the default arm and only for programs that
+       already carry a fleet: the `when` guard draws no randomness for
+       fleet-free programs, so their mutation trajectories (and sealed
+       corpus signatures) are untouched by the knob *)
+    match t.fleet with
+    | Some f when Sim.Rng.int rng 2 = 0 ->
+      let f =
+        match Sim.Rng.int rng 5 with
+        | 0 -> { f with fl_hosts = clamp 1 max_fleet_hosts (f.fl_hosts + Sim.Rng.pick rng [| -1; 1 |]) }
+        | 1 -> { f with fl_tenants = clamp 0 max_fleet_tenants (f.fl_tenants + Sim.Rng.pick rng [| -1; 1 |]) }
+        | 2 -> { f with fl_churn = clamp 0 max_fleet_churn (if Sim.Rng.bool rng then f.fl_churn * 2 else f.fl_churn / 2) }
+        | 3 -> { f with fl_infect = clamp 0 100 (if Sim.Rng.bool rng then f.fl_infect * 2 else f.fl_infect / 2) }
+        | _ -> { f with fl_shards = 1 + Sim.Rng.int rng max_fleet_shards }
+      in
+      { t with fleet = Some f }
+    | _ ->
+      if Sim.Rng.bool rng then
+        { t with customer_mb = Sim.Rng.pick rng [| 32; 48; 64; 96; 128 |] }
+      else { t with seed = Sim.Rng.int rng max_seed })
 
 let mutate rng t =
   (* a mutant that renders identically to its parent would burn budget
@@ -524,6 +615,17 @@ let shrink t =
   let sized =
     if t.customer_mb > min_customer_mb then [ { t with customer_mb = min_customer_mb } ] else []
   in
+  let fleetless =
+    match t.fleet with
+    | None -> []
+    | Some f ->
+      { t with fleet = None }
+      :: (if f.fl_hosts > 1 then [ { t with fleet = Some { f with fl_hosts = f.fl_hosts / 2 } } ]
+          else [])
+      @ (if f.fl_churn > 0 then [ { t with fleet = Some { f with fl_churn = f.fl_churn / 2 } } ]
+         else [])
+  in
+  let sized = fleetless @ sized in
   let shrunk =
     List.concat
       (List.mapi

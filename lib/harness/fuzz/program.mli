@@ -47,14 +47,36 @@ type action =
     }  (** run a side live migration on a fresh {!Vmm.Layers.migration_pair} *)
   | Detect of { file_pages : int }  (** run the full dedup-detector protocol *)
 
+(** A mini datacenter bolted onto the program ([fleet hosts=... ...]
+    header line, absent for classic programs): when present, {!Exec.run}
+    runs a {!Fleet.World} with these knobs after the single-host
+    scenario, feeds its churn ledger to the conservation oracle, and -
+    when [fl_shards > 1] - re-runs it single-shard and demands
+    byte-identical output (the partition-invariance oracle). Blind
+    generation never mints one; fleets enter hand-seeded and spread by
+    mutation, so fleet-free programs keep their sealed signatures. *)
+type fleet_knob = {
+  fl_hosts : int;
+  fl_tenants : int;  (** tenant VMs per host *)
+  fl_churn : int;  (** boot = kill = migrate rate, events/hour/host *)
+  fl_infect : int;  (** infection probability, percent *)
+  fl_shards : int;  (** partition Exec runs the fleet with *)
+}
+
 type t = {
   seed : int;  (** the program's world seed *)
   scenario : scenario_spec;
   customer_mb : int;  (** customer VM RAM; small, to afford many programs *)
   ksm : ksm_choice;
   faults : fault_choice;  (** the scenario context's fault profile *)
+  fleet : fleet_knob option;
   actions : action list;
 }
+
+val fleet_spec_of : fleet_knob -> Fleet.Spec.t
+(** The (small, 10-sim-minute) fleet spec {!Exec} runs for a fleet
+    program; shared with {!validate} so a degenerate fleet is a parse
+    error rather than a crash at execution time. *)
 
 val monitor_command_count : int
 (** Size of the fixed pool [Monitor i] indexes into. *)

@@ -16,8 +16,8 @@ let list_lines () =
     (fun (e : Experiment.t) -> Printf.sprintf "%-14s %s" e.Experiment.id e.Experiment.doc)
     (all ())
 
-let run_registry ~prologue ~only ~trials ~jobs ~seed ~faults ~metrics_out ~trace_out
-    ~list_only =
+let run_registry ~prologue ~only ~trials ~jobs ~shards ~seed ~faults ~metrics_out
+    ~trace_out ~list_only =
   if list_only then begin
     List.iter print_endline (list_lines ());
     `Ok ()
@@ -30,7 +30,7 @@ let run_registry ~prologue ~only ~trials ~jobs ~seed ~faults ~metrics_out ~trace
       let run_one (e : Experiment.t) =
         let seed = match seed with Some s -> s | None -> e.Experiment.default_seed in
         let ctx = Sim.Ctx.create ~seed ?telemetry ~faults () in
-        e.Experiment.run { Experiment.trials; jobs; ctx }
+        e.Experiment.run { Experiment.trials; jobs; shards; ctx }
       in
       match only with
       | Some id -> (
@@ -54,10 +54,10 @@ open Cmdliner
 let term ~prologue =
   Term.(
     ret
-      (const (fun only trials jobs seed faults metrics_out trace_out list_only ->
-           run_registry ~prologue ~only ~trials ~jobs ~seed ~faults ~metrics_out ~trace_out
-             ~list_only)
-      $ Flags.only $ Flags.trials $ Flags.jobs $ Flags.seed $ Flags.faults
+      (const (fun only trials jobs shards seed faults metrics_out trace_out list_only ->
+           run_registry ~prologue ~only ~trials ~jobs ~shards ~seed ~faults ~metrics_out
+             ~trace_out ~list_only)
+      $ Flags.only $ Flags.trials $ Flags.jobs $ Flags.shards $ Flags.seed $ Flags.faults
       $ Flags.metrics_out $ Flags.trace_out $ Flags.list_only))
 
 let main ~name ~doc ?(prologue = []) () =

@@ -19,11 +19,19 @@ type node = {
 and switch = {
   sw_engine : Sim.Engine.t;
   sw_name : string;
+  sw_telemetry : Sim.Telemetry.t option;
   link : Link.t;
   stations : (Packet.addr, node) Hashtbl.t;
   mutable delivered : int;
   mutable dropped : int;
   mutable bytes : int;
+  mutable routed : int;
+  (* Uplink escape hatch: packets addressed to no attached station are
+     handed here (after the usual link delay) instead of being dropped.
+     The fleet layer uses this to turn off-host traffic into mailbox
+     messages; without a route behaviour is unchanged. *)
+  mutable default_route : (Packet.t -> unit) option;
+  mutable m_routed : Sim.Telemetry.counter option;
   m_delivered : Sim.Telemetry.counter;
   m_dropped : Sim.Telemetry.counter;
   m_bytes : Sim.Telemetry.counter;
@@ -60,11 +68,25 @@ and deliver_on_wire sw node packet =
   Sim.Telemetry.add sw.m_bytes packet.Packet.size_bytes;
   deliver node packet
 
+and route_on_wire sw route packet =
+  sw.routed <- sw.routed + 1;
+  sw.bytes <- sw.bytes + packet.Packet.size_bytes;
+  Option.iter Sim.Telemetry.incr sw.m_routed;
+  Sim.Telemetry.add sw.m_bytes packet.Packet.size_bytes;
+  route packet
+
 and switch_send sw packet =
   match Hashtbl.find_opt sw.stations packet.Packet.dst.Packet.addr with
-  | None ->
-    sw.dropped <- sw.dropped + 1;
-    Sim.Telemetry.incr sw.m_dropped
+  | None -> (
+    match sw.default_route with
+    | None ->
+      sw.dropped <- sw.dropped + 1;
+      Sim.Telemetry.incr sw.m_dropped
+    | Some route ->
+      let delay = Link.transfer_time sw.link packet.Packet.size_bytes in
+      ignore
+        (Sim.Engine.schedule_after sw.sw_engine delay (fun () ->
+             route_on_wire sw route packet)))
   | Some node ->
     let delay = Link.transfer_time sw.link packet.Packet.size_bytes in
     ignore (Sim.Engine.schedule_after sw.sw_engine delay (fun () -> deliver_on_wire sw node packet))
@@ -80,11 +102,14 @@ and switch_send_burst sw packets =
     List.filter_map
       (fun p ->
         match Hashtbl.find_opt sw.stations p.Packet.dst.Packet.addr with
-        | None ->
-          sw.dropped <- sw.dropped + 1;
-          Sim.Telemetry.incr sw.m_dropped;
-          None
-        | Some node -> Some (node, p))
+        | None -> (
+          match sw.default_route with
+          | None ->
+            sw.dropped <- sw.dropped + 1;
+            Sim.Telemetry.incr sw.m_dropped;
+            None
+          | Some route -> Some (`Route route, p))
+        | Some node -> Some (`Station node, p))
       packets
   in
   match resolved with
@@ -99,7 +124,12 @@ and switch_send_burst sw packets =
     let delay = Sim.Time.add sw.link.Link.latency serialisation in
     ignore
       (Sim.Engine.schedule_after sw.sw_engine delay (fun () ->
-           List.iter (fun (node, p) -> deliver_on_wire sw node p) resolved))
+           List.iter
+             (fun (target, p) ->
+               match target with
+               | `Station node -> deliver_on_wire sw node p
+               | `Route route -> route_on_wire sw route p)
+             resolved))
 
 module Switch = struct
   type t = switch
@@ -110,11 +140,15 @@ module Switch = struct
     {
       sw_engine = Sim.Ctx.engine ctx;
       sw_name = name;
+      sw_telemetry = telemetry;
       link;
       stations = Hashtbl.create 16;
       delivered = 0;
       dropped = 0;
       bytes = 0;
+      routed = 0;
+      default_route = None;
+      m_routed = None;
       m_delivered =
         Sim.Telemetry.counter telemetry ~labels ~component:"net" "packets_delivered_total";
       m_dropped =
@@ -124,10 +158,25 @@ module Switch = struct
     }
 
   let name t = t.sw_name
+
+  (* The routed counter is registered on first use, not at create time,
+     so switches that never set a route export exactly the series they
+     always did. *)
+  let set_default_route t route =
+    t.default_route <- route;
+    if route <> None && t.m_routed = None then
+      t.m_routed <-
+        Some
+          (Sim.Telemetry.counter t.sw_telemetry
+             ~labels:[ ("switch", t.sw_name) ]
+             ~component:"net" "packets_routed_total")
+
+  let default_route t = t.default_route
   let send = switch_send
   let send_burst = switch_send_burst
   let packets_delivered t = t.delivered
   let packets_dropped t = t.dropped
+  let packets_routed t = t.routed
   let bytes_carried t = t.bytes
 end
 

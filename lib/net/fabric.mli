@@ -50,8 +50,24 @@ module Switch : sig
       covert-channel pulses) where per-packet events dominate engine
       cost. *)
 
+  val set_default_route : t -> (Packet.t -> unit) option -> unit
+  (** Install (or clear) the switch's escape hatch: a packet addressed
+      to no attached station is handed to the callback after the usual
+      link transfer delay, instead of being counted dropped. The fleet
+      layer uses this to turn off-host destinations into cross-host
+      mailbox messages (DESIGN.md §14). Installing a route registers
+      [net_packets_routed_total{switch=name}] on the switch's sink;
+      switches that never set one export exactly the series they always
+      did. *)
+
+  val default_route : t -> (Packet.t -> unit) option
+
   val packets_delivered : t -> int
   val packets_dropped : t -> int
+
+  val packets_routed : t -> int
+  (** Packets handed to the default route so far. *)
+
   val bytes_carried : t -> int
 end
 

@@ -1,0 +1,34 @@
+(* The epoch timeline for lockstep sharded runs. Barrier k sits at
+   min ((k+1) * epoch, until); the last barrier always lands exactly on
+   [until] so every member finishes on the same clock. *)
+
+type plan = {
+  epoch : Time.t;
+  until : Time.t;
+  count : int;
+}
+
+let plan ~epoch ~until =
+  if Time.(epoch <= Time.zero) then invalid_arg "Barrier.plan: epoch must be positive";
+  if Time.is_infinite epoch || Time.is_infinite until then
+    invalid_arg "Barrier.plan: epoch and until must be finite";
+  if Time.(until < Time.zero) then invalid_arg "Barrier.plan: negative horizon";
+  let e = Time.to_ns epoch and u = Time.to_ns until in
+  let count = Int64.to_int (Int64.div (Int64.add u (Int64.sub e 1L)) e) in
+  { epoch; until; count }
+
+let epoch p = p.epoch
+let until p = p.until
+let count p = p.count
+
+let time p k =
+  if k < 0 || k >= p.count then invalid_arg "Barrier.time: index out of range";
+  Time.min p.until (Time.ns (Int64.to_int (Int64.mul (Time.to_ns p.epoch) (Int64.of_int (k + 1)))))
+
+let iter p ~f =
+  let start = ref Time.zero in
+  for k = 0 to p.count - 1 do
+    let t = time p k in
+    f ~index:k ~start:!start ~until:t;
+    start := t
+  done

@@ -1,0 +1,29 @@
+(** Epoch timelines for lockstep sharded simulation.
+
+    A {!plan} divides the horizon [0, until] into epochs of a fixed
+    width: barrier [k] sits at [min ((k+1) * epoch, until)], so the
+    final barrier always lands exactly on [until]. Between two barriers
+    every shard advances its members independently; cross-member
+    messages posted during epoch [k] are delivered at barrier [k] -
+    which is only sound when [epoch] is no larger than the minimum
+    cross-member latency being modelled (see DESIGN.md §14). *)
+
+type plan
+
+val plan : epoch:Time.t -> until:Time.t -> plan
+(** Raises [Invalid_argument] unless [epoch > 0] and both times are
+    finite and non-negative. A zero horizon yields an empty plan. *)
+
+val epoch : plan -> Time.t
+val until : plan -> Time.t
+
+val count : plan -> int
+(** Number of barriers: [ceil (until / epoch)]. *)
+
+val time : plan -> int -> Time.t
+(** [time p k] is barrier [k]'s clock value,
+    [min ((k+1) * epoch, until)]. *)
+
+val iter : plan -> f:(index:int -> start:Time.t -> until:Time.t -> unit) -> unit
+(** Walk the epochs in order: [f ~index:k ~start ~until] covers the
+    half-open interval [(start, until]] ending at barrier [k]. *)

@@ -30,6 +30,23 @@ let with_seed t seed =
 
 let with_telemetry t telemetry = { t with telemetry }
 
+(* SplitMix64 finaliser: a trivial mix like [seed + member] would make
+   member m of seed s collide with member m-1 of seed s+1, entangling
+   neighbouring fleets; the avalanche keeps member streams disjoint. *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let fork_member t ~member =
+  if member < 0 then invalid_arg "Ctx.fork_member: negative member index";
+  let z =
+    mix64
+      (Int64.logxor (Int64.of_int t.seed)
+         (Int64.mul (Int64.of_int (member + 1)) 0x9E3779B97F4A7C15L))
+  in
+  with_seed t (Int64.to_int (Int64.shift_right_logical z 2))
+
 (* Same world, private trace: actions taken through the quiet context
    advance the shared clock but leave no record in the instance's
    trace - the stealth branch of an install uses exactly this. *)

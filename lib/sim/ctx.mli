@@ -43,6 +43,16 @@ val fork : t -> t
 val with_seed : t -> int -> t
 (** [with_seed t s] is {!fork} with the seed replaced by [s]. *)
 
+val fork_member : t -> member:int -> t
+(** [fork_member t ~member] is {!with_seed} at a seed derived from
+    [(seed t, member)] by a SplitMix64-style avalanche: the canonical
+    way to mint one sub-world per member of a sharded run
+    ({!Parallel.run_sharded}). Unlike the [seed + i] trial scheme, the
+    mixed seeds of neighbouring members (or of the same member under
+    neighbouring root seeds) share no arithmetic relationship, so
+    member worlds stay statistically independent however many the
+    fleet holds. Deterministic: same [(seed, member)], same context. *)
+
 val with_telemetry : t -> Telemetry.t option -> t
 (** [with_telemetry t sink] is [t] with its telemetry sink replaced -
     the engine, trace, and clock are shared, not forked. *)

@@ -43,3 +43,57 @@ val map_ctx :
     Because the seed derivation and the merge order are fixed, both the
     results and the parent's exported metrics are byte-identical
     whatever [jobs] is. *)
+
+type ('w, 'msg) sharded = {
+  world : 'w;  (** the member's state, returned after the run *)
+  deliver : now:Time.t -> src:int -> 'msg list -> unit;
+      (** hand over mail posted to this member during the previous
+          epoch. Called with the member's groups in ascending [src],
+          each group in post order, before the epoch's [step]. *)
+  step : until:Time.t -> post:(dst:int -> 'msg -> unit) -> unit;
+      (** advance the member's world to the barrier clock [until],
+          posting any cross-member messages through [post]. [post] may
+          only be called during [step] (the outbox is exchanged at the
+          barrier). *)
+}
+(** One member of a sharded run: a sub-world plus its mailbox hooks. *)
+
+val run_sharded :
+  ?jobs:int ->
+  ?shards:int ->
+  ctx:Ctx.t ->
+  members:int ->
+  epoch:Time.t ->
+  until:Time.t ->
+  (member:int -> Ctx.t -> ('w, 'msg) sharded) ->
+  'w array
+(** [run_sharded ~shards ~ctx ~members ~epoch ~until init] partitions
+    ONE trial across domains: [members] independent sub-worlds advance
+    in lockstep to time barriers every [epoch] of simulated time, up to
+    the horizon [until], exchanging messages through deterministic
+    per-(src, dst) mailboxes ({!Shard}) drained at each barrier.
+
+    Each member - not each shard - gets its own context from
+    {!Ctx.fork_member}, so what a member simulates depends only on
+    [(Ctx.seed ctx, member)]; shard [s] merely advances the contiguous
+    block {!Shard.range}[ ~members ~shards s]. Together with the
+    canonical mailbox drain order this makes the results, the trace,
+    and the merged telemetry {e byte-identical for every}
+    [shards]/[jobs] {e combination} (shards execute via {!map}, so
+    [jobs] only bounds worker domains). Epoch choice is the modelling
+    contract: messages posted during an epoch arrive at its closing
+    barrier, which is faithful only when [epoch <=] the minimum
+    cross-member latency being simulated (DESIGN.md §14).
+
+    When [ctx] carries a telemetry sink, each member gets a
+    {!Telemetry.create_like} child, merged into the parent in member
+    order after the run, spans tagged with a 1-based ["member"] field.
+    The run itself contributes [sim_shard_epochs_total],
+    [sim_shard_messages_total] and [sim_shard_members] - all
+    partition-invariant by the argument above. Mail still undelivered
+    when the horizon closes is flushed to [deliver] at [until] in
+    member order, so in-flight exchanges land before the run returns.
+    If any shard raises, the exception of the lowest-indexed failing
+    shard is re-raised (as {!map}). Raises [Invalid_argument] for a
+    non-positive [epoch], a negative [members], or a [post] to a
+    destination outside [0, members). *)

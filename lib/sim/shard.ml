@@ -1,0 +1,73 @@
+(* Partitioning and mailbox plumbing for lockstep sharded runs.
+
+   The partition is contiguous-block by construction: shard [s] of [S]
+   owns members [s*M/S .. (s+1)*M/S). Concatenating the shards in shard
+   order therefore yields the global member order 0..M-1 for *any* S,
+   which is what makes "merge per-member state in shard order" a
+   partition-invariant operation - the property Parallel.run_sharded's
+   byte-identity contract rests on.
+
+   Mailboxes are single-writer: every (src, dst) queue lives in the
+   outbox of src's shard, and only src's worker posts to it during an
+   epoch. The coordinator exchanges outboxes between barriers, after the
+   worker join, so no queue is ever touched from two domains at once. *)
+
+type 'msg outbox = {
+  mutable posted : int;
+  boxes : (int * int, 'msg Queue.t) Hashtbl.t;
+}
+
+let outbox () = { posted = 0; boxes = Hashtbl.create 16 }
+
+let post ob ~src ~dst msg =
+  let q =
+    match Hashtbl.find_opt ob.boxes (src, dst) with
+    | Some q -> q
+    | None ->
+      let q = Queue.create () in
+      Hashtbl.add ob.boxes (src, dst) q;
+      q
+  in
+  Queue.add msg q;
+  ob.posted <- ob.posted + 1
+
+let posted ob = ob.posted
+
+let range ~members ~shards s =
+  if shards < 1 then invalid_arg "Shard.range: shards must be >= 1";
+  if members < 0 then invalid_arg "Shard.range: negative member count";
+  if s < 0 || s >= shards then invalid_arg "Shard.range: shard index out of range";
+  (s * members / shards, (s + 1) * members / shards)
+
+(* Inverse of [range]: smallest [s] whose block extends past [m], i.e.
+   [ceil ((m+1) * shards / members) - 1], folded into one division. *)
+let owner ~members ~shards m =
+  if members <= 0 then invalid_arg "Shard.owner: no members";
+  if m < 0 || m >= members then invalid_arg "Shard.owner: member out of range";
+  if shards < 1 then invalid_arg "Shard.owner: shards must be >= 1";
+  (((m + 1) * shards) - 1) / members
+
+(* Per-destination inboxes for the next epoch. Each (src, dst) pair
+   appears in exactly one outbox (src's shard is unique), so sorting the
+   collected queues by (dst, src) gives one canonical delivery order
+   that does not depend on how members were split into shards, nor on
+   Hashtbl iteration order. *)
+let exchange obs ~members =
+  let pairs =
+    Array.to_list obs
+    |> List.concat_map (fun ob ->
+           Hashtbl.fold (fun key q acc -> (key, q) :: acc) ob.boxes []
+           |> List.sort (fun (((s1, d1) : int * int), _) ((s2, d2), _) ->
+                  match Int.compare s1 s2 with 0 -> Int.compare d1 d2 | c -> c))
+    |> List.sort (fun (((s1, d1) : int * int), _) ((s2, d2), _) ->
+           match Int.compare d1 d2 with 0 -> Int.compare s1 s2 | c -> c)
+  in
+  let inboxes = Array.make members [] in
+  List.iter
+    (fun ((src, dst), q) ->
+      if dst < 0 || dst >= members then
+        invalid_arg "Shard.exchange: destination out of range";
+      let msgs = List.of_seq (Queue.to_seq q) in
+      if msgs <> [] then inboxes.(dst) <- inboxes.(dst) @ [ (src, msgs) ])
+    pairs;
+  inboxes

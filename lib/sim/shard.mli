@@ -1,0 +1,45 @@
+(** Partitioning and mailboxes for lockstep sharded simulation.
+
+    {!Parallel.run_sharded} splits one simulated world into [members]
+    independent sub-worlds and assigns each to one of [shards] workers.
+    This module supplies the two deterministic ingredients:
+
+    {ul
+    {- the {e contiguous block partition} - shard [s] owns members
+       [s*M/S .. (s+1)*M/S). Concatenating shards in shard order yields
+       the global member order for any shard count, so any per-member
+       fold done "in shard order" is automatically partition-invariant;}
+    {- {e single-writer mailboxes} - during an epoch every message a
+       member posts lands in its own shard's {!outbox}, keyed by
+       (src, dst). Between barriers the coordinator {!exchange}s the
+       outboxes into per-destination inboxes sorted by source, giving
+       one canonical delivery order independent of the partition.}} *)
+
+type 'msg outbox
+(** One shard's outgoing mail for the current epoch. Written by exactly
+    one worker domain; read by the coordinator after the barrier join. *)
+
+val outbox : unit -> 'msg outbox
+
+val post : 'msg outbox -> src:int -> dst:int -> 'msg -> unit
+(** Append [msg] to the (src, dst) queue, preserving post order. *)
+
+val posted : 'msg outbox -> int
+(** Messages posted into this outbox so far. *)
+
+val range : members:int -> shards:int -> int -> int * int
+(** [range ~members ~shards s] is the half-open member interval
+    [(lo, hi)] owned by shard [s]: [lo = s*members/shards],
+    [hi = (s+1)*members/shards]. Blocks tile [0, members) exactly. *)
+
+val owner : members:int -> shards:int -> int -> int
+(** [owner ~members ~shards m] is the shard whose {!range} contains
+    member [m]. *)
+
+val exchange : 'msg outbox array -> members:int -> (int * 'msg list) list array
+(** [exchange outboxes ~members] merges every outbox into an inbox
+    array: element [dst] lists [(src, msgs)] groups in ascending [src],
+    each group in post order. Because each (src, dst) pair lives in
+    exactly one outbox, the result is independent of the number of
+    outboxes the messages were spread over. Raises [Invalid_argument]
+    if a destination is outside [0, members). *)

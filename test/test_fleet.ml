@@ -1,0 +1,295 @@
+(* Tests for the sharded fleet: Shard mailbox/exchange and Barrier
+   plans, Ctx member forking, migration stream capture/resume, the
+   fabric default route, and the two headline properties - partition
+   invariance (identical fleet output for any --shards x --jobs
+   combination, including telemetry export and detector verdicts) and
+   churn conservation (every booted VM is alive, killed, dropped or
+   parked at the horizon; no host ever exceeds capacity). *)
+
+let shard_tests =
+  [
+    Alcotest.test_case "range partitions members contiguously" `Quick (fun () ->
+        List.iter
+          (fun (members, shards) ->
+            let covered = ref 0 in
+            for s = 0 to shards - 1 do
+              let lo, hi = Sim.Shard.range ~members ~shards s in
+              Alcotest.(check bool) "ordered" true (lo <= hi);
+              Alcotest.(check int) "contiguous" !covered lo;
+              covered := hi;
+              for m = lo to hi - 1 do
+                Alcotest.(check int) "owner agrees" s (Sim.Shard.owner ~members ~shards m)
+              done
+            done;
+            Alcotest.(check int) "covers all members" members !covered)
+          [ (1, 1); (4, 1); (4, 2); (4, 4); (5, 2); (7, 3); (10, 4); (100, 7) ]);
+    Alcotest.test_case "exchange drains in (dst, src) order" `Quick (fun () ->
+        let ob0 = Sim.Shard.outbox () and ob1 = Sim.Shard.outbox () in
+        Sim.Shard.post ob1 ~src:3 ~dst:0 "c";
+        Sim.Shard.post ob0 ~src:1 ~dst:0 "a";
+        Sim.Shard.post ob0 ~src:1 ~dst:0 "b";
+        Sim.Shard.post ob0 ~src:0 ~dst:2 "d";
+        let inboxes = Sim.Shard.exchange [| ob0; ob1 |] ~members:4 in
+        Alcotest.(check (list (pair int (list string))))
+          "dst 0 sees src 1 then src 3, per-pair FIFO"
+          [ (1, [ "a"; "b" ]); (3, [ "c" ]) ]
+          inboxes.(0);
+        Alcotest.(check (list (pair int (list string)))) "dst 2" [ (0, [ "d" ]) ] inboxes.(2);
+        Alcotest.(check (list (pair int (list string)))) "dst 1 empty" [] inboxes.(1);
+        Alcotest.(check int) "posted counts" 3 (Sim.Shard.posted ob0));
+    Alcotest.test_case "exchange is partition-invariant" `Quick (fun () ->
+        (* the same (src, dst, msg) set split across different outbox
+           layouts must produce identical inboxes *)
+        let post_all obs pick =
+          List.iter
+            (fun (src, dst, m) -> Sim.Shard.post obs.(pick src) ~src ~dst m)
+            [ (2, 0, "x"); (0, 1, "y"); (1, 0, "z"); (2, 1, "w") ]
+        in
+        let one = [| Sim.Shard.outbox () |] in
+        post_all one (fun _ -> 0);
+        let three = [| Sim.Shard.outbox (); Sim.Shard.outbox (); Sim.Shard.outbox () |] in
+        post_all three (fun src -> src);
+        let a = Sim.Shard.exchange one ~members:3 in
+        let b = Sim.Shard.exchange three ~members:3 in
+        for m = 0 to 2 do
+          Alcotest.(check (list (pair int (list string))))
+            (Printf.sprintf "member %d" m) a.(m) b.(m)
+        done);
+    Alcotest.test_case "barrier plan covers the horizon" `Quick (fun () ->
+        let plan = Sim.Barrier.plan ~epoch:(Sim.Time.s 15.) ~until:(Sim.Time.s 100.) in
+        Alcotest.(check int) "ceil(100/15)" 7 (Sim.Barrier.count plan);
+        let last = ref Sim.Time.zero in
+        Sim.Barrier.iter plan ~f:(fun ~index:_ ~start ~until ->
+            Alcotest.(check bool) "monotone" true (Sim.Time.equal start !last);
+            Alcotest.(check bool) "advances" true (Sim.Time.compare until start > 0);
+            last := until);
+        Alcotest.(check int64) "ends exactly at the horizon"
+          (Sim.Time.to_ns (Sim.Time.s 100.))
+          (Sim.Time.to_ns !last));
+    Alcotest.test_case "barrier rejects degenerate epochs" `Quick (fun () ->
+        Alcotest.check_raises "zero epoch"
+          (Invalid_argument "Barrier.plan: epoch must be positive") (fun () ->
+            ignore (Sim.Barrier.plan ~epoch:Sim.Time.zero ~until:(Sim.Time.s 1.))));
+    Alcotest.test_case "fork_member is deterministic and member-distinct" `Quick (fun () ->
+        let ctx = Sim.Ctx.create ~seed:7 () in
+        let seed_of m = Sim.Ctx.seed (Sim.Ctx.fork_member ctx ~member:m) in
+        Alcotest.(check int) "stable" (seed_of 3) (seed_of 3);
+        let seeds = List.init 64 seed_of in
+        Alcotest.(check int) "64 distinct member seeds" 64
+          (List.length (List.sort_uniq Int.compare seeds)));
+  ]
+
+(* ---- migration streams ---- *)
+
+let stream_tests =
+  [
+    Alcotest.test_case "capture/resume moves the guest byte-for-byte" `Quick (fun () ->
+        let l0 ctx name =
+          let uplink = Net.Fabric.Switch.create ctx ~name:(name ^ "-up") ~link:Net.Link.lan_1gbe in
+          Vmm.Hypervisor.create_l0 ctx ~name ~uplink ~addr:("10.0.0." ^ name)
+        in
+        let ctx = Sim.Ctx.create ~seed:11 () in
+        let src_host = l0 ctx "src" in
+        let cfg = { (Vmm.Qemu_config.default ~name:"mover") with Vmm.Qemu_config.memory_mb = 2 } in
+        let vm =
+          match Vmm.Hypervisor.launch src_host cfg with
+          | Ok vm -> vm
+          | Error e -> Alcotest.fail e
+        in
+        let ram = Vmm.Vm.ram vm in
+        for i = 0 to 99 do
+          ignore (Memory.Address_space.write ram (i * 3) (Memory.Page.Content.of_int i))
+        done;
+        let d = Migration.Stream.capture vm in
+        Alcotest.(check string) "name travels" "mover" d.Migration.Stream.vm_name;
+        Alcotest.(check int) "only nonzero pages ship" 100 (Migration.Stream.page_count d);
+        Alcotest.(check bool) "bytes include headers" true
+          (Migration.Stream.bytes d > 100 * 4096);
+        let dst_ctx = Sim.Ctx.create ~seed:12 () in
+        let dst_host = l0 dst_ctx "dst" in
+        (match Migration.Stream.resume dst_host ~incoming_port:9099 d with
+        | Error e -> Alcotest.fail e
+        | Ok vm' ->
+          Alcotest.(check bool) "alive on arrival" true (Vmm.Vm.is_alive vm');
+          let ram' = Vmm.Vm.ram vm' in
+          Alcotest.(check int) "same size" (Memory.Address_space.pages ram)
+            (Memory.Address_space.pages ram');
+          for i = 0 to Memory.Address_space.pages ram - 1 do
+            if
+              not
+                (Memory.Page.Content.equal
+                   (Memory.Address_space.read ram i)
+                   (Memory.Address_space.read ram' i))
+            then Alcotest.failf "page %d differs after resume" i
+          done));
+  ]
+
+(* ---- fabric default route ---- *)
+
+let fabric_tests =
+  [
+    Alcotest.test_case "unknown addresses fall through to the default route" `Quick
+      (fun () ->
+        let ctx = Sim.Ctx.create ~seed:3 () in
+        let sw = Net.Fabric.Switch.create ctx ~name:"uplink" ~link:Net.Link.lan_1gbe in
+        let node = Net.Fabric.Node.create (Sim.Ctx.engine ctx) ~name:"n1" ~addr:"10.0.0.1" in
+        Net.Fabric.Node.attach node sw;
+        let got = ref [] in
+        Net.Fabric.Switch.set_default_route sw
+          (Some (fun p -> got := p.Net.Packet.dst.Net.Packet.addr :: !got));
+        let send dst =
+          Net.Fabric.Switch.send sw
+            (Net.Packet.make ~id:0
+               ~src:(Net.Packet.endpoint "10.0.0.1" 1)
+               ~dst:(Net.Packet.endpoint dst 7) "hi")
+        in
+        send "fleet-9";
+        send "fleet-2";
+        ignore (Sim.Engine.run (Sim.Ctx.engine ctx));
+        Alcotest.(check (list string)) "routed in send order" [ "fleet-9"; "fleet-2" ]
+          (List.rev !got);
+        Alcotest.(check int) "routed counter" 2 (Net.Fabric.Switch.packets_routed sw));
+  ]
+
+(* ---- the headline properties ---- *)
+
+let small_spec ~hosts ~tenants ~infect ~churn =
+  {
+    Fleet.Spec.default with
+    Fleet.Spec.hosts;
+    racks = (if hosts >= 2 then 2 else 1);
+    tenants_per_host = tenants;
+    infection_rate = infect;
+    boot_per_hour = churn;
+    kill_per_hour = churn;
+    migrate_per_hour = churn;
+    duration = Sim.Time.minutes 8.;
+  }
+
+(* One full observable surface of a fleet run: rendered report,
+   telemetry export, and the SOC detection log. Byte-equality of this
+   string across partitions is exactly the CI guarantee. *)
+let surface ~shards ~jobs ~seed spec =
+  let tel = Sim.Telemetry.create () in
+  let ctx = Sim.Ctx.with_telemetry (Sim.Ctx.create ~seed ()) (Some tel) in
+  let r = Fleet.World.run ~jobs ~shards ctx spec in
+  let detections =
+    List.map
+      (fun d ->
+        Printf.sprintf "%d:%s:%Ld:%Ld:%d" d.Cloudskulk.Fleet_soc.det_host
+          d.Cloudskulk.Fleet_soc.det_tenant
+          (Sim.Time.to_ns d.Cloudskulk.Fleet_soc.det_at)
+          (Sim.Time.to_ns d.Cloudskulk.Fleet_soc.det_ttd)
+          d.Cloudskulk.Fleet_soc.det_probes)
+      r.Fleet.World.detections
+  in
+  ( Fleet.World.render r
+    ^ "\n--- telemetry ---\n"
+    ^ Sim.Telemetry.prometheus_string tel
+    ^ "\n--- detections ---\n" ^ String.concat "\n" detections,
+    r )
+
+let partition_cases =
+  (* (seed, hosts, tenants, infection rate, churn/hour) - includes a
+     single-host fleet (streams drop), a high-churn fleet (streams park
+     and forward), and an all-infected fleet (detector pressure) *)
+  [
+    (42, 4, 2, 0.3, 12.);
+    (7, 1, 2, 1.0, 20.);
+    (19, 5, 1, 0.5, 30.);
+    (3, 6, 3, 0.0, 6.);
+  ]
+
+let partition_tests =
+  [
+    Alcotest.test_case "fleet surface is invariant under shards x jobs" `Slow (fun () ->
+        List.iter
+          (fun (seed, hosts, tenants, infect, churn) ->
+            let spec = small_spec ~hosts ~tenants ~infect ~churn in
+            let base, _ = surface ~shards:1 ~jobs:1 ~seed spec in
+            List.iter
+              (fun (shards, jobs) ->
+                let got, _ = surface ~shards ~jobs ~seed spec in
+                Alcotest.(check string)
+                  (Printf.sprintf "seed %d, %d hosts: shards=%d jobs=%d" seed hosts shards
+                     jobs)
+                  base got)
+              [ (1, 4); (2, 1); (2, 4); (4, 1); (4, 4); (3, 2) ])
+          partition_cases);
+  ]
+
+let conservation_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"churn conserves VMs and respects capacity" ~count:12
+         QCheck.(
+           quad (int_range 0 1000) (int_range 1 5) (int_range 0 3) (int_range 0 30))
+         (fun (seed, hosts, tenants, churn) ->
+           let spec =
+             small_spec ~hosts ~tenants ~infect:0.25 ~churn:(float_of_int churn)
+           in
+           let r = Fleet.World.run ~jobs:1 ~shards:2 (Sim.Ctx.create ~seed ()) spec in
+           (match Fleet.World.conservation r with
+           | Ok () -> ()
+           | Error e -> QCheck.Test.fail_reportf "conservation: %s" e);
+           Array.iter
+             (fun h ->
+               if h.Fleet.Host.r_alive > h.Fleet.Host.r_capacity then
+                 QCheck.Test.fail_reportf "host %d alive %d > capacity %d"
+                   h.Fleet.Host.r_host h.Fleet.Host.r_alive h.Fleet.Host.r_capacity)
+             r.Fleet.World.reports;
+           (* every stream that left a host arrived somewhere, waits in
+              a queue, or was dropped by a fleet with nowhere to put it *)
+           Fleet.World.emigrations r
+           = Fleet.World.immigrations r + Fleet.World.dropped r + Fleet.World.parked r));
+  ]
+
+let detection_tests =
+  [
+    Alcotest.test_case "infected hosts get detected and reported to the SOC" `Slow
+      (fun () ->
+        let spec =
+          {
+            (small_spec ~hosts:4 ~tenants:2 ~infect:1.0 ~churn:2.) with
+            Fleet.Spec.duration = Sim.Time.minutes 40.;
+          }
+        in
+        let _, r = surface ~shards:2 ~jobs:1 ~seed:42 spec in
+        Alcotest.(check int) "all four hosts infected" 4 (Fleet.World.infected_hosts r);
+        Alcotest.(check bool) "most hosts detected" true (Fleet.World.detected_hosts r >= 3);
+        Alcotest.(check bool) "SOC saw the verdict reports" true
+          (List.length r.Fleet.World.detections >= 3);
+        List.iter
+          (fun d ->
+            Alcotest.(check bool) "positive time-to-detection" true
+              (Sim.Time.compare d.Cloudskulk.Fleet_soc.det_ttd Sim.Time.zero > 0))
+          r.Fleet.World.detections);
+    Alcotest.test_case "spec validation rejects degenerate fleets" `Quick (fun () ->
+        let bad f = Result.is_error (Fleet.Spec.validate f) in
+        Alcotest.(check bool) "zero hosts" true
+          (bad { Fleet.Spec.default with Fleet.Spec.hosts = 0 });
+        Alcotest.(check bool) "racks > hosts" true
+          (bad { Fleet.Spec.default with Fleet.Spec.hosts = 2; racks = 3 });
+        Alcotest.(check bool) "negative infection" true
+          (bad { Fleet.Spec.default with Fleet.Spec.infection_rate = -0.1 });
+        Alcotest.(check bool) "epoch explosion" true
+          (bad
+             {
+               Fleet.Spec.default with
+               Fleet.Spec.duration = Sim.Time.minutes (24. *. 60.);
+               fabric_latency = Sim.Time.ms 1.;
+             });
+        Alcotest.(check bool) "default is fine" true
+          (Result.is_ok (Fleet.Spec.validate Fleet.Spec.default)));
+  ]
+
+let () =
+  Alcotest.run "fleet"
+    [
+      ("shard", shard_tests);
+      ("stream", stream_tests);
+      ("fabric", fabric_tests);
+      ("partition", partition_tests);
+      ("conservation", conservation_tests);
+      ("detection", detection_tests);
+    ]

@@ -143,7 +143,7 @@ let corpus_tests =
         match Fuzz.Corpus.load_dir "corpus" with
         | Error e -> Alcotest.failf "load_dir: %s" e
         | Ok entries ->
-          Alcotest.(check bool) "has the hand-seeded programs" true (List.length entries >= 3);
+          Alcotest.(check bool) "has the hand-seeded programs" true (List.length entries >= 4);
           List.iter
             (fun e ->
               match Fuzz.Corpus.check e with

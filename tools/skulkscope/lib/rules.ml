@@ -8,7 +8,8 @@
 
    domain-escape —
      escape-capture  a closure handed to [Sim.Parallel.map]/[map_seeds]/
-                     [map_ctx] (including [~seed_of]) or [Domain.spawn]/
+                     [map_ctx]/[run_sharded] (including [~seed_of]) or
+                     [Domain.spawn]/
                      [Thread.create] captures a value of mutable type
                      (ref, array, bytes, Hashtbl/Queue/Stack/Buffer,
                      a record with mutable fields, or a module-level

@@ -1,0 +1,20 @@
+(* Known-bad: the init closure handed to [Sim.Parallel.run_sharded]
+   captures a mailbox Hashtbl from the spawning scope — every shard
+   domain would hash into the same buckets concurrently, and drain
+   order would follow the interleaving instead of the engine's
+   canonical (dst, src) schedule. One escape-capture finding. *)
+
+let run ctx =
+  let mailbox : (int, string list) Hashtbl.t = Hashtbl.create 8 in
+  let worlds =
+    Sim.Parallel.run_sharded ~shards:2 ~ctx ~members:4 ~epoch:(Sim.Time.s 1.)
+      ~until:(Sim.Time.s 4.) (fun ~member _ctx ->
+        {
+          Sim.Parallel.world = member;
+          deliver =
+            (fun ~now:_ ~src msgs ->
+              Hashtbl.replace mailbox src (msgs @ [ string_of_int member ]));
+          step = (fun ~until:_ ~post:_ -> ());
+        })
+  in
+  (worlds, Hashtbl.length mailbox)

@@ -33,7 +33,8 @@ let load ?path ?source ~kind name =
 
 let bad_names =
   [ "bad_ctx_launder"; "bad_ctx_minted"; "bad_escape_call";
-    "bad_escape_capture"; "bad_rng_order"; "bad_rng_two_domains" ]
+    "bad_escape_capture"; "bad_rng_order"; "bad_rng_two_domains";
+    "bad_shard_mailbox" ]
 
 let good_names =
   [ "good_allow"; "good_atomic"; "good_ctx_param"; "good_immutable";
@@ -59,7 +60,8 @@ let expected_bad =
     "lib/scope/bad_escape_capture.ml:23 escape-capture";
     "lib/scope/bad_rng_order.ml:7 rng-order";
     "lib/scope/bad_rng_two_domains.ml:7 rng-escape";
-    "lib/scope/bad_rng_two_domains.ml:8 rng-escape" ]
+    "lib/scope/bad_rng_two_domains.ml:8 rng-escape";
+    "lib/scope/bad_shard_mailbox.ml:16 escape-capture" ]
 
 let bad_tests =
   [
@@ -68,7 +70,7 @@ let bad_tests =
         let r = lint_bad () in
         check_briefs "findings" expected_bad r;
         Alcotest.(check int) "nothing suppressed" 0 r.suppressed;
-        Alcotest.(check int) "six units" 6 r.files_scanned);
+        Alcotest.(check int) "seven units" 7 r.files_scanned);
     Alcotest.test_case "every catalogue rule fires on the bad corpus" `Quick
       (fun () ->
         let r = lint_bad () in
